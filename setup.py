@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e . --no-use-pep517`` works on offline machines
+that lack the ``wheel`` package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

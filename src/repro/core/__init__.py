@@ -1,0 +1,94 @@
+"""Core valuation layer: the paper's contribution plus all compared baselines.
+
+Public surface
+--------------
+Exact schemes
+    :class:`MCShapley`, :class:`CCShapley`, :class:`PermShapley`
+The paper's contributions
+    :class:`StratifiedSampling` (Alg. 1), :class:`KGreedy` (Alg. 2),
+    :class:`IPSS` (Alg. 3)
+Baselines
+    :class:`ExtendedTMC`, :class:`ExtendedGTB`, :class:`CCShapleySampling`,
+    :class:`DIGFL`, :class:`ORBaseline`, :class:`LambdaMR`, :class:`GTGShapley`
+Support
+    :class:`ValuationResult`, error/fairness metrics, variance analysis and
+    the closed-form theory of Lemma 1 / Theorem 3.
+"""
+
+from repro.core.result import ValuationResult
+from repro.core.base import (
+    GradientBasedValuation,
+    UtilityFunction,
+    ValuationAlgorithm,
+)
+from repro.core.exact import CCShapley, MCShapley, PermShapley, exact_shapley
+from repro.core.stratified import StratifiedSampling, allocate_rounds
+from repro.core.k_greedy import KGreedy
+from repro.core.ipss import IPSS
+from repro.core.metrics import (
+    efficiency_gap,
+    fairness_proxy_error,
+    max_absolute_error,
+    null_player_error,
+    rank_correlation,
+    relative_error_l2,
+    symmetry_error,
+)
+from repro.core.variance import (
+    VarianceComparison,
+    contribution_variance,
+    empirical_scheme_variance,
+    theoretical_variance_cc,
+    theoretical_variance_mc,
+)
+from repro.core import theory
+from repro.core.baselines import (
+    BanzhafSampling,
+    CCShapleySampling,
+    DIGFL,
+    ExtendedGTB,
+    ExtendedTMC,
+    GTGShapley,
+    LambdaMR,
+    LeaveOneOut,
+    ORBaseline,
+    RandomValuation,
+)
+
+__all__ = [
+    "ValuationResult",
+    "ValuationAlgorithm",
+    "GradientBasedValuation",
+    "UtilityFunction",
+    "MCShapley",
+    "CCShapley",
+    "PermShapley",
+    "exact_shapley",
+    "StratifiedSampling",
+    "allocate_rounds",
+    "KGreedy",
+    "IPSS",
+    "relative_error_l2",
+    "max_absolute_error",
+    "rank_correlation",
+    "null_player_error",
+    "symmetry_error",
+    "fairness_proxy_error",
+    "efficiency_gap",
+    "VarianceComparison",
+    "contribution_variance",
+    "empirical_scheme_variance",
+    "theoretical_variance_mc",
+    "theoretical_variance_cc",
+    "theory",
+    "ExtendedTMC",
+    "ExtendedGTB",
+    "CCShapleySampling",
+    "DIGFL",
+    "ORBaseline",
+    "LambdaMR",
+    "GTGShapley",
+    "BanzhafSampling",
+    "LeaveOneOut",
+    "RandomValuation",
+]

@@ -1,0 +1,172 @@
+"""Base classes for valuation algorithms.
+
+Two families exist, mirroring the paper's taxonomy (Sec. II-C):
+
+* **Utility-based** algorithms (exact schemes, the stratified framework,
+  K-Greedy, IPSS, Extended-TMC, Extended-GTB, CC-Shapley, DIG-FL) consume a
+  utility oracle ``U(S)`` — any callable that maps a coalition to a float and
+  optionally exposes ``evaluations`` / ``n_clients``.
+* **Gradient-based** algorithms (OR, λ-MR, GTG-Shapley) consume the training
+  history of the grand-coalition FL run and reconstruct coalition models from
+  recorded client updates instead of retraining.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.result import ValuationResult
+from repro.utils.rng import RandomState, SeedLike
+from repro.utils.timer import Timer
+
+UtilityFunction = Callable[[Iterable[int]], float]
+
+
+@runtime_checkable
+class UtilityOracle(Protocol):
+    """Structural type for utility oracles with cost accounting."""
+
+    def __call__(self, coalition: Iterable[int]) -> float: ...
+
+    @property
+    def evaluations(self) -> int: ...
+
+
+def _evaluation_count(utility: UtilityFunction) -> int:
+    """Best-effort read of a utility oracle's evaluation counter."""
+    return int(getattr(utility, "evaluations", 0))
+
+
+def infer_n_clients(utility: UtilityFunction, n_clients: Optional[int]) -> int:
+    """Resolve the number of clients from the argument or the oracle itself."""
+    if n_clients is not None:
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        return int(n_clients)
+    inferred = getattr(utility, "n_clients", None)
+    if inferred is None:
+        raise ValueError(
+            "n_clients was not provided and the utility oracle does not expose it"
+        )
+    return int(inferred)
+
+
+class ValuationAlgorithm(abc.ABC):
+    """Base class for utility-oracle-based valuation algorithms."""
+
+    #: short name used in result objects and experiment reports
+    name: str = "base"
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self.seed = seed
+
+    @abc.abstractmethod
+    def _estimate(
+        self,
+        utility: UtilityFunction,
+        n_clients: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return the estimated data values for all clients."""
+
+    def run(
+        self,
+        utility: UtilityFunction,
+        n_clients: Optional[int] = None,
+    ) -> ValuationResult:
+        """Estimate data values, measuring wall-clock time and oracle calls."""
+        n = infer_n_clients(utility, n_clients)
+        rng = RandomState(self.seed)
+        evaluations_before = _evaluation_count(utility)
+        with Timer() as timer:
+            values = self._estimate(utility, n, rng)
+        evaluations_after = _evaluation_count(utility)
+        return ValuationResult(
+            values=np.asarray(values, dtype=float),
+            algorithm=self.name,
+            n_clients=n,
+            utility_evaluations=evaluations_after - evaluations_before,
+            elapsed_seconds=timer.elapsed,
+            metadata=self._metadata(),
+        )
+
+    def _metadata(self) -> dict:
+        """Algorithm-specific extras attached to the result; override freely."""
+        return {}
+
+
+class GradientBasedValuation(abc.ABC):
+    """Base class for algorithms that reconstruct models from FL history.
+
+    Subclasses receive a :class:`~repro.fl.history.TrainingHistory`, a template
+    parametric model (used to evaluate reconstructed parameter vectors) and
+    the test dataset; they never retrain FL models.
+    """
+
+    name: str = "gradient-base"
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self.seed = seed
+        self._model_evaluations = 0
+
+    @abc.abstractmethod
+    def _estimate(self, history, model, test_dataset, rng) -> np.ndarray:
+        """Return estimated values given the recorded training history."""
+
+    def run_from_history(self, history, model, test_dataset) -> ValuationResult:
+        """Estimate values from an already-recorded grand-coalition history."""
+        rng = RandomState(self.seed)
+        self._model_evaluations = 0
+        n = len(history.clients())
+        with Timer() as timer:
+            values = self._estimate(history, model, test_dataset, rng)
+        return ValuationResult(
+            values=np.asarray(values, dtype=float),
+            algorithm=self.name,
+            n_clients=n,
+            utility_evaluations=1,  # the single grand-coalition FL training
+            elapsed_seconds=timer.elapsed,
+            metadata={"model_evaluations": self._model_evaluations, **self._metadata()},
+        )
+
+    def run(self, utility, n_clients: Optional[int] = None) -> ValuationResult:
+        """Estimate values from a :class:`~repro.fl.utility.CoalitionUtility`.
+
+        The oracle must expose its :class:`~repro.fl.federation.FederatedTrainer`
+        (as ``utility.trainer``) so the grand-coalition training history can be
+        produced; tree-model oracles raise, matching the paper's remark that
+        gradient-based approximation is not applicable to XGBoost.
+        """
+        trainer = getattr(utility, "trainer", None)
+        if trainer is None:
+            raise TypeError(
+                f"{self.name} is gradient-based and requires a CoalitionUtility "
+                "backed by a FederatedTrainer"
+            )
+        rng = RandomState(self.seed)
+        self._model_evaluations = 0
+        n = infer_n_clients(utility, n_clients)
+        with Timer() as timer:
+            history = trainer.grand_coalition_history()
+            model = trainer.template_model()
+            values = self._estimate(history, model, trainer.test_dataset, rng)
+        return ValuationResult(
+            values=np.asarray(values, dtype=float),
+            algorithm=self.name,
+            n_clients=n,
+            utility_evaluations=1,
+            elapsed_seconds=timer.elapsed,
+            metadata={"model_evaluations": self._model_evaluations, **self._metadata()},
+        )
+
+    def _evaluate_parameters(self, model, parameters: np.ndarray, test_dataset) -> float:
+        """Evaluate a reconstructed parameter vector on the test set."""
+        model.set_parameters(parameters)
+        self._model_evaluations += 1
+        return float(model.evaluate(test_dataset))
+
+    def _metadata(self) -> dict:
+        return {}

@@ -1,0 +1,33 @@
+"""The nine baseline valuation algorithms the paper compares against.
+
+Definition-based (exact): ``Perm-Shapley`` and ``MC-Shapley`` live in
+:mod:`repro.core.exact`.  This subpackage contains the approximations:
+
+* sampling-based — :class:`ExtendedTMC`, :class:`ExtendedGTB`,
+  :class:`CCShapleySampling`;
+* evaluation-efficient — :class:`DIGFL`;
+* gradient-based (reconstruct coalition models from the recorded FL history,
+  never retrain) — :class:`ORBaseline`, :class:`LambdaMR`, :class:`GTGShapley`.
+"""
+
+from repro.core.baselines.extended_tmc import ExtendedTMC
+from repro.core.baselines.extended_gtb import ExtendedGTB
+from repro.core.baselines.cc_shapley import CCShapleySampling
+from repro.core.baselines.dig_fl import DIGFL
+from repro.core.baselines.or_baseline import ORBaseline
+from repro.core.baselines.lambda_mr import LambdaMR
+from repro.core.baselines.gtg_shapley import GTGShapley
+from repro.core.baselines.extras import BanzhafSampling, LeaveOneOut, RandomValuation
+
+__all__ = [
+    "ExtendedTMC",
+    "ExtendedGTB",
+    "CCShapleySampling",
+    "DIGFL",
+    "ORBaseline",
+    "LambdaMR",
+    "GTGShapley",
+    "BanzhafSampling",
+    "LeaveOneOut",
+    "RandomValuation",
+]

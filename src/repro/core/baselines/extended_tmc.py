@@ -1,0 +1,109 @@
+"""Extended-TMC: Truncated Monte Carlo permutation sampling, extended to FL.
+
+Ghorbani & Zou's Truncated Monte Carlo (TMC) Shapley samples random
+permutations of the players and accumulates each player's marginal
+contribution with respect to its predecessors; a permutation walk is truncated
+once the running utility is within a tolerance of the grand-coalition utility,
+because the remaining marginal contributions are then negligible.
+
+The paper extends TMC from single-sample valuation to FL by treating each
+client's dataset as one player: every prefix evaluation costs a full FL
+training.  The sampling budget γ therefore bounds the number of utility
+evaluations rather than the number of permutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import UtilityFunction, ValuationAlgorithm
+from repro.utils.rng import SeedLike
+
+
+class ExtendedTMC(ValuationAlgorithm):
+    """Truncated Monte Carlo permutation sampling under an evaluation budget.
+
+    Parameters
+    ----------
+    total_rounds:
+        Budget γ on coalition utility evaluations (FL trainings).  Evaluations
+        already cached by the utility oracle still count one round, mirroring
+        how the paper budgets all sampling baselines identically.
+    truncation_tolerance:
+        A permutation walk stops once ``U(N) − U(prefix)`` falls below this
+        value; remaining clients in the permutation get zero marginal
+        contribution for that permutation.
+    max_permutations:
+        Safety cap on permutations independent of the budget.
+    """
+
+    name = "Extended-TMC"
+
+    def __init__(
+        self,
+        total_rounds: int = 32,
+        truncation_tolerance: float = 0.01,
+        max_permutations: int = 10_000,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if total_rounds < 2:
+            raise ValueError("total_rounds must be at least 2 for TMC")
+        if truncation_tolerance < 0:
+            raise ValueError("truncation_tolerance must be non-negative")
+        self.total_rounds = total_rounds
+        self.truncation_tolerance = truncation_tolerance
+        self.max_permutations = max_permutations
+        self._permutations_used = 0
+        self._truncations = 0
+
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        budget = self.total_rounds
+        sums = np.zeros(n_clients)
+        counts = np.zeros(n_clients)
+        self._permutations_used = 0
+        self._truncations = 0
+
+        # The grand-coalition and empty-coalition utilities anchor truncation.
+        grand_utility = utility(frozenset(range(n_clients)))
+        empty_utility = utility(frozenset())
+        budget -= 2
+
+        while budget > 0 and self._permutations_used < self.max_permutations:
+            permutation = rng.permutation(n_clients)
+            prefix: frozenset = frozenset()
+            previous_utility = empty_utility
+            self._permutations_used += 1
+            for position, client in enumerate(permutation):
+                client = int(client)
+                if budget <= 0:
+                    break
+                if abs(grand_utility - previous_utility) < self.truncation_tolerance:
+                    # Truncate: remaining clients contribute (approximately) zero.
+                    self._truncations += 1
+                    for remaining in permutation[position:]:
+                        counts[int(remaining)] += 1
+                    break
+                prefix = prefix | {client}
+                if len(prefix) == n_clients:
+                    current_utility = grand_utility
+                else:
+                    current_utility = utility(prefix)
+                    budget -= 1
+                sums[client] += current_utility - previous_utility
+                counts[client] += 1
+                previous_utility = current_utility
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            values = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+        return values
+
+    def _metadata(self) -> dict:
+        return {
+            "total_rounds": self.total_rounds,
+            "truncation_tolerance": self.truncation_tolerance,
+            "permutations_used": self._permutations_used,
+            "truncations": self._truncations,
+        }

@@ -1,0 +1,105 @@
+"""Additional valuation baselines from the data-valuation literature.
+
+The paper's related-work section (Sec. VI-B) surveys several valuation
+schemes beyond the nine it benchmarks; three cheap and widely used ones are
+provided here so downstream users can compare against them as well:
+
+* :class:`LeaveOneOut` — values a client by the utility drop when it is
+  removed from the grand coalition (``n + 1`` evaluations).  This is the
+  simplest contribution measure and the conceptual core of DIG-FL-style
+  linear-evaluation methods.
+* :class:`BanzhafSampling` — Monte-Carlo estimate of the Banzhaf value
+  (Wang & Jia, "Data Banzhaf"), which weighs all coalitions equally instead of
+  by size and is known to be more robust to utility noise.
+* :class:`RandomValuation` — uniformly random values, the sanity-check floor
+  every real method must beat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import UtilityFunction, ValuationAlgorithm
+from repro.utils.rng import SeedLike
+
+
+class LeaveOneOut(ValuationAlgorithm):
+    """Leave-one-out valuation: ``φ_i = U(N) − U(N \\ {i})``.
+
+    Costs exactly ``n + 1`` coalition evaluations.  It satisfies the
+    null-player axiom but not efficiency or symmetry in general, which is why
+    the Shapley value is preferred; it remains a useful cheap reference point.
+    """
+
+    name = "Leave-One-Out"
+
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        everyone = frozenset(range(n_clients))
+        grand_utility = utility(everyone)
+        values = np.zeros(n_clients)
+        for client in range(n_clients):
+            values[client] = grand_utility - utility(everyone - {client})
+        return values
+
+
+class BanzhafSampling(ValuationAlgorithm):
+    """Monte-Carlo Banzhaf value estimation.
+
+    The Banzhaf value of client ``i`` is the average marginal contribution
+    ``U(S ∪ {i}) − U(S)`` over coalitions ``S ⊆ N \\ {i}`` drawn uniformly
+    (every client included independently with probability 1/2), rather than
+    the size-stratified average used by the Shapley value.
+
+    Parameters
+    ----------
+    total_rounds:
+        Budget on coalition utility evaluations; each Monte-Carlo sample costs
+        at most two evaluations (the coalition with and without the client).
+    """
+
+    name = "Banzhaf"
+
+    def __init__(self, total_rounds: int = 32, seed: SeedLike = None) -> None:
+        super().__init__(seed=seed)
+        if total_rounds < 2:
+            raise ValueError("total_rounds must be at least 2")
+        self.total_rounds = total_rounds
+
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        sums = np.zeros(n_clients)
+        counts = np.zeros(n_clients)
+        budget = self.total_rounds
+        while budget >= 2:
+            client = int(rng.integers(0, n_clients))
+            mask = rng.random(n_clients) < 0.5
+            mask[client] = False
+            coalition = frozenset(np.flatnonzero(mask).tolist())
+            without = utility(coalition)
+            with_client = utility(coalition | {client})
+            budget -= 2
+            sums[client] += with_client - without
+            counts[client] += 1
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+
+    def _metadata(self) -> dict:
+        return {"total_rounds": self.total_rounds}
+
+
+class RandomValuation(ValuationAlgorithm):
+    """Uniformly random values in [0, 1] — the sanity-check floor.
+
+    Any meaningful valuation algorithm must beat this baseline on both the
+    relative-error and the rank-correlation metrics.
+    """
+
+    name = "Random"
+
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return rng.random(n_clients)

@@ -1,0 +1,127 @@
+"""Exact Shapley-value computation schemes.
+
+Three equivalent formulations are provided, matching the paper's Definitions
+3–4 and the Perm-Shapley baseline:
+
+* :class:`MCShapley` — marginal-contribution scheme (Def. 3),
+* :class:`CCShapley` — complementary-contribution scheme (Def. 4),
+* :class:`PermShapley` — permutation form, averaging marginal contributions
+  over every ordering of the clients.
+
+All three train/evaluate ``O(2^n)`` coalitions (``O(n!)`` orderings for the
+permutation form), so they are only usable for small ``n`` — which is exactly
+the paper's motivation for approximation.  They serve as ground truth in the
+experiments and tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.core.base import UtilityFunction, ValuationAlgorithm
+from repro.utils.combinatorics import all_coalitions, marginal_coefficient
+
+#: refuse exact permutation enumeration beyond this many clients
+MAX_EXACT_PERMUTATION_CLIENTS = 9
+
+#: refuse exact coalition enumeration beyond this many clients
+MAX_EXACT_COALITION_CLIENTS = 20
+
+
+def _check_tractable(n_clients: int, limit: int, scheme: str) -> None:
+    if n_clients > limit:
+        raise ValueError(
+            f"exact {scheme} is intractable for {n_clients} clients "
+            f"(limit {limit}); use an approximation algorithm instead"
+        )
+
+
+class MCShapley(ValuationAlgorithm):
+    """Exact Shapley value via the marginal-contribution scheme (MC-SV).
+
+    ``φ_i = Σ_{S ⊆ N\\{i}} [U(S ∪ {i}) − U(S)] / (n · C(n−1, |S|))``
+    """
+
+    name = "MC-Shapley"
+
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        _check_tractable(n_clients, MAX_EXACT_COALITION_CLIENTS, "MC-SV")
+        # Evaluate every coalition once (the cache in the oracle makes repeat
+        # lookups free, but precomputing keeps the loop below readable).
+        utilities = {s: utility(s) for s in all_coalitions(n_clients)}
+        values = np.zeros(n_clients)
+        for client in range(n_clients):
+            for coalition, value in utilities.items():
+                if client in coalition:
+                    continue
+                with_client = coalition | {client}
+                weight = marginal_coefficient(n_clients, len(coalition))
+                values[client] += weight * (utilities[with_client] - value)
+        return values
+
+
+class CCShapley(ValuationAlgorithm):
+    """Exact Shapley value via the complementary-contribution scheme (CC-SV).
+
+    ``φ_i = Σ_{S ⊆ N\\{i}} [U(S ∪ {i}) − U(N \\ (S ∪ {i}))] / (n · C(n−1, |S|))``
+    """
+
+    name = "CC-Shapley-exact"
+
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        _check_tractable(n_clients, MAX_EXACT_COALITION_CLIENTS, "CC-SV")
+        everyone = frozenset(range(n_clients))
+        utilities = {s: utility(s) for s in all_coalitions(n_clients)}
+        values = np.zeros(n_clients)
+        for client in range(n_clients):
+            for coalition in utilities:
+                if client in coalition:
+                    continue
+                with_client = coalition | {client}
+                complement = everyone - with_client
+                weight = marginal_coefficient(n_clients, len(coalition))
+                values[client] += weight * (
+                    utilities[with_client] - utilities[complement]
+                )
+        return values
+
+
+class PermShapley(ValuationAlgorithm):
+    """Exact Shapley value via full permutation enumeration (Perm-SV).
+
+    For every ordering π of the clients the marginal contribution of each
+    client with respect to its predecessors is accumulated; the Shapley value
+    is the average over all ``n!`` orderings.  Equivalent to MC-SV but — as in
+    the paper's Perm-Shapley baseline — far more expensive, so it is capped at
+    :data:`MAX_EXACT_PERMUTATION_CLIENTS` clients.
+    """
+
+    name = "Perm-Shapley"
+
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        _check_tractable(n_clients, MAX_EXACT_PERMUTATION_CLIENTS, "Perm-SV")
+        values = np.zeros(n_clients)
+        n_permutations = math.factorial(n_clients)
+        for permutation in itertools.permutations(range(n_clients)):
+            prefix: frozenset = frozenset()
+            previous_utility = utility(prefix)
+            for client in permutation:
+                prefix = prefix | {client}
+                current_utility = utility(prefix)
+                values[client] += current_utility - previous_utility
+                previous_utility = current_utility
+        return values / n_permutations
+
+
+def exact_shapley(utility: UtilityFunction, n_clients: int) -> np.ndarray:
+    """Convenience function returning the exact MC-SV values as an array."""
+    return MCShapley().run(utility, n_clients).values

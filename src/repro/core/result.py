@@ -1,0 +1,82 @@
+"""Result object returned by every valuation algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class ValuationResult:
+    """Estimated data values plus the cost of producing them.
+
+    Attributes
+    ----------
+    values:
+        Array of shape ``(n_clients,)`` with the (approximate) Shapley value
+        of each FL client's dataset.
+    algorithm:
+        Name of the algorithm that produced the estimate.
+    n_clients:
+        Number of FL clients.
+    utility_evaluations:
+        Number of coalition utility evaluations (i.e. FL trainings) consumed.
+        This is the hardware-independent cost the paper's τ·count analysis uses.
+    elapsed_seconds:
+        Wall-clock time of the estimation.
+    metadata:
+        Algorithm-specific extras (e.g. k*, sampled coalitions, truncations).
+    """
+
+    values: np.ndarray
+    algorithm: str
+    n_clients: int
+    utility_evaluations: int = 0
+    elapsed_seconds: float = 0.0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.shape != (self.n_clients,):
+            raise ValueError(
+                f"values must have shape ({self.n_clients},), got {self.values.shape}"
+            )
+
+    def value_of(self, client_id: int) -> float:
+        return float(self.values[client_id])
+
+    def ranking(self) -> np.ndarray:
+        """Client ids ordered from most to least valuable."""
+        return np.argsort(-self.values)
+
+    def normalized(self) -> np.ndarray:
+        """Values rescaled to sum to one (efficiency-normalised shares).
+
+        If the values sum to (near) zero the unnormalised values are returned,
+        since shares are undefined in that case.
+        """
+        total = self.values.sum()
+        if np.isclose(total, 0.0):
+            return self.values.copy()
+        return self.values / total
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by the experiment reports."""
+        return {
+            "algorithm": self.algorithm,
+            "n_clients": self.n_clients,
+            "values": self.values.tolist(),
+            "utility_evaluations": self.utility_evaluations,
+            "elapsed_seconds": self.elapsed_seconds,
+            "metadata": dict(self.metadata),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rounded = np.round(self.values, 4).tolist()
+        return (
+            f"ValuationResult(algorithm={self.algorithm!r}, values={rounded}, "
+            f"evaluations={self.utility_evaluations}, "
+            f"elapsed={self.elapsed_seconds:.3f}s)"
+        )

@@ -1,0 +1,212 @@
+"""Unified stratified-sampling approximation framework (paper Alg. 1).
+
+Both SV computation schemes have a hierarchical structure over coalition
+sizes, so coalitions of the same size form natural strata.  The framework
+
+1. samples ``m_k`` coalitions from each stratum ``S_k`` (all coalitions with
+   ``k`` clients),
+2. trains/evaluates the FL model for every sampled coalition, and
+3. for each client averages the marginal (MC-SV) or complementary (CC-SV)
+   contributions that can be formed from the sampled coalitions, stratum by
+   stratum, then averages across strata.
+
+The framework is unbiased for both schemes (paper Thm. 1); under the FL
+linear-regression assumption the MC-SV scheme has lower variance (Thm. 2),
+which is why IPSS builds on MC-SV.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import UtilityFunction, ValuationAlgorithm
+from repro.utils.combinatorics import n_choose_k, random_coalition_of_size
+from repro.utils.rng import SeedLike
+
+SCHEMES = ("mc", "cc")
+
+
+def allocate_rounds(
+    n_clients: int,
+    total_rounds: int,
+    strategy: str = "proportional",
+) -> list[int]:
+    """Split a total sampling budget γ into per-stratum rounds ``m_1..m_n``.
+
+    ``proportional`` allocates in proportion to the stratum sizes ``C(n, k)``
+    (capped at the stratum size); ``uniform`` gives each stratum the same
+    number of rounds (again capped).  Both guarantee at least one round per
+    stratum whenever the budget allows it, because a stratum with zero samples
+    contributes nothing to the estimate.
+    """
+    if total_rounds < 1:
+        raise ValueError(f"total_rounds must be >= 1, got {total_rounds}")
+    if strategy not in ("proportional", "uniform"):
+        raise ValueError(f"unknown allocation strategy {strategy!r}")
+    sizes = [n_choose_k(n_clients, k) for k in range(1, n_clients + 1)]
+    rounds = [0] * n_clients
+
+    # First pass: one sample per stratum while budget remains.
+    remaining = total_rounds
+    for index in range(n_clients):
+        if remaining == 0:
+            break
+        rounds[index] = 1
+        remaining -= 1
+
+    if strategy == "uniform":
+        index = 0
+        while remaining > 0:
+            stratum = index % n_clients
+            if rounds[stratum] < sizes[stratum]:
+                rounds[stratum] += 1
+                remaining -= 1
+            index += 1
+            if index > 10 * n_clients * (total_rounds + 1):
+                break
+        return rounds
+
+    # Proportional: distribute the remainder following stratum sizes.
+    weights = np.asarray(sizes, dtype=float)
+    while remaining > 0:
+        free = np.asarray([sizes[i] - rounds[i] for i in range(n_clients)], dtype=float)
+        mask = free > 0
+        if not mask.any():
+            break
+        share = weights * mask
+        share = share / share.sum()
+        extra = np.floor(share * remaining).astype(int)
+        extra = np.minimum(extra, free.astype(int))
+        if extra.sum() == 0:
+            # Give one round to the largest stratum that still has room.
+            candidate = int(np.argmax(np.where(mask, weights, -1)))
+            rounds[candidate] += 1
+            remaining -= 1
+            continue
+        for index in range(n_clients):
+            rounds[index] += int(extra[index])
+        remaining -= int(extra.sum())
+    return rounds
+
+
+class StratifiedSampling(ValuationAlgorithm):
+    """Paper Alg. 1: stratified Monte-Carlo approximation of MC-SV or CC-SV.
+
+    Parameters
+    ----------
+    total_rounds:
+        The total sampling budget γ; ignored if ``rounds_per_stratum`` given.
+    rounds_per_stratum:
+        Explicit ``m_k`` for each stratum ``k = 1..n`` (overrides γ).
+    scheme:
+        ``"mc"`` pairs each sampled coalition ``S ∋ i`` with ``S \\ {i}``;
+        ``"cc"`` pairs it with ``N \\ S``.
+    allocation:
+        Strategy used to split γ across strata (see :func:`allocate_rounds`).
+    pair_on_demand:
+        Alg. 1 as printed only uses a sampled coalition if its *paired*
+        coalition also happens to be sampled, which silently drops strata and
+        biases the estimate toward zero when budgets are tight.  With
+        ``pair_on_demand=True`` the missing pair is evaluated instead (costing
+        extra utility evaluations beyond γ), which makes the estimator exactly
+        unbiased (Thm. 1's setting).  Default ``False`` stays literal.
+    """
+
+    def __init__(
+        self,
+        total_rounds: int = 32,
+        rounds_per_stratum: Optional[Sequence[int]] = None,
+        scheme: str = "mc",
+        allocation: str = "proportional",
+        pair_on_demand: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if scheme not in SCHEMES:
+            raise ValueError(f"scheme must be one of {SCHEMES}, got {scheme!r}")
+        if total_rounds < 1:
+            raise ValueError(f"total_rounds must be >= 1, got {total_rounds}")
+        self.total_rounds = total_rounds
+        self.rounds_per_stratum = (
+            None if rounds_per_stratum is None else [int(m) for m in rounds_per_stratum]
+        )
+        self.scheme = scheme
+        self.allocation = allocation
+        self.pair_on_demand = pair_on_demand
+        self.name = f"Stratified-{scheme.upper()}"
+
+    # ------------------------------------------------------------------ #
+    def _sample_strata(
+        self, n_clients: int, rng: np.random.Generator
+    ) -> dict[int, list[frozenset]]:
+        """Sample (without replacement within a stratum) the coalition sets."""
+        if self.rounds_per_stratum is not None:
+            if len(self.rounds_per_stratum) != n_clients:
+                raise ValueError(
+                    "rounds_per_stratum must have one entry per stratum (1..n)"
+                )
+            rounds = list(self.rounds_per_stratum)
+        else:
+            rounds = allocate_rounds(n_clients, self.total_rounds, self.allocation)
+
+        sampled: dict[int, list[frozenset]] = {}
+        for stratum_index, m_k in enumerate(rounds, start=1):
+            stratum_size = n_choose_k(n_clients, stratum_index)
+            target = min(m_k, stratum_size)
+            coalitions: set[frozenset] = set()
+            attempts = 0
+            while len(coalitions) < target and attempts < 50 * target + 50:
+                coalitions.add(random_coalition_of_size(n_clients, stratum_index, rng))
+                attempts += 1
+            sampled[stratum_index] = sorted(coalitions, key=sorted)
+        return sampled
+
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        sampled = self._sample_strata(n_clients, rng)
+        everyone = frozenset(range(n_clients))
+
+        # Evaluate every sampled coalition (lines 5-7 of Alg. 1).  The empty
+        # coalition is always available: it is the untrained initial model.
+        utilities: dict[frozenset, float] = {frozenset(): utility(frozenset())}
+        for coalitions in sampled.values():
+            for coalition in coalitions:
+                utilities[coalition] = utility(coalition)
+
+        values = np.zeros(n_clients)
+        for client in range(n_clients):
+            stratum_sums = np.zeros(n_clients + 1)
+            stratum_counts = np.zeros(n_clients + 1)
+            for stratum_index, coalitions in sampled.items():
+                for coalition in coalitions:
+                    if client not in coalition:
+                        continue
+                    if self.scheme == "mc":
+                        paired = coalition - {client}
+                    else:
+                        paired = everyone - coalition
+                    if paired not in utilities:
+                        if not self.pair_on_demand:
+                            continue
+                        utilities[paired] = utility(paired)
+                    stratum_sums[stratum_index] += (
+                        utilities[coalition] - utilities[paired]
+                    )
+                    stratum_counts[stratum_index] += 1
+            total = 0.0
+            for stratum_index in range(1, n_clients + 1):
+                if stratum_counts[stratum_index] > 0:
+                    total += stratum_sums[stratum_index] / stratum_counts[stratum_index]
+            values[client] = total / n_clients
+        return values
+
+    def _metadata(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "total_rounds": self.total_rounds,
+            "allocation": self.allocation,
+            "pair_on_demand": self.pair_on_demand,
+        }

@@ -1,0 +1,152 @@
+"""Analytical results from the paper's theory sections.
+
+The paper analyses its algorithms under the FL linear-regression model of
+Donahue & Kleinberg, where every sample is drawn from a standard Gaussian and
+the expected mean-squared error of a linear model trained on ``d`` samples is
+
+    E[mse(d)] = μ_e · |x| / (d − |x| − 1)                     (Eq. 12)
+
+with ``|x|`` the feature dimension and ``μ_e`` the noise expectation.  On top
+of that model the paper derives
+
+* **Lemma 1** — the expected MC-SV data value of every client,
+* **Theorem 3** — the relative error bound of IPSS with cut-off ``k*``, and
+* **Theorem 2** — the variance advantage of the MC-SV scheme over CC-SV inside
+  the stratified framework (implemented in :mod:`repro.core.variance`).
+
+These functions are used by the theory benchmark (``bench_theory.py``) and by
+tests that check the implementation agrees with the analytical predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.combinatorics import max_fully_enumerable_size
+
+
+def expected_mse(n_samples: float, n_features: int, noise_mean: float) -> float:
+    """Donahue–Kleinberg expected MSE of linear regression on ``n_samples`` points.
+
+    Only defined for ``n_samples > n_features + 1``; smaller sample counts are
+    in the regime where the regression is under-determined and the paper
+    replaces the value with the initial-model MSE ``m0``.
+    """
+    if n_samples <= n_features + 1:
+        raise ValueError(
+            "expected_mse requires n_samples > n_features + 1 "
+            f"(got n_samples={n_samples}, n_features={n_features})"
+        )
+    return noise_mean * n_features / (n_samples - n_features - 1)
+
+
+def lemma1_expected_value(
+    n_clients: int,
+    samples_per_client: int,
+    n_features: int,
+    noise_mean: float,
+    initial_mse: float,
+) -> float:
+    """Lemma 1: expected data value of each client under negative-MSE utility.
+
+    ``E[φ_i] = (1/n) · (m0 − μ_e |x| / (n·t − |x| − 1))``
+    """
+    if n_clients < 1 or samples_per_client < 1:
+        raise ValueError("n_clients and samples_per_client must be positive")
+    total_samples = n_clients * samples_per_client
+    return (initial_mse - expected_mse(total_samples, n_features, noise_mean)) / n_clients
+
+
+def truncated_expected_value(
+    k_star: int,
+    n_clients: int,
+    samples_per_client: int,
+    n_features: int,
+    noise_mean: float,
+    initial_mse: float,
+) -> float:
+    """Expected IPSS estimate when only coalitions of size ≤ k* are used (Eq. 16).
+
+    ``E[φ̂_i^{k*}] = (1/n) · (m0 − μ_e |x| / (k*·t − |x| − 1))``
+    """
+    if k_star < 1:
+        raise ValueError("k_star must be at least 1")
+    return (
+        initial_mse - expected_mse(k_star * samples_per_client, n_features, noise_mean)
+    ) / n_clients
+
+
+def theorem3_relative_error_bound(
+    n_clients: int,
+    k_star: int,
+    samples_per_client: int,
+    n_features: int,
+) -> float:
+    """Theorem 3: bound on |E[φ̂^{k*}] − E[φ]| / E[φ].
+
+    ``(n − k*) · t / ((k*·t − |x| − 1)(n·t − |x| − 2))``
+    """
+    if k_star < 1 or k_star > n_clients:
+        raise ValueError("k_star must lie in [1, n_clients]")
+    t = samples_per_client
+    x = n_features
+    denominator = (k_star * t - x - 1) * (n_clients * t - x - 2)
+    if denominator <= 0:
+        raise ValueError(
+            "the bound requires k*·t > |x| + 1 (enough samples per coalition)"
+        )
+    return (n_clients - k_star) * t / denominator
+
+
+def theorem3_asymptotic_bound(n_clients: int, k_star: int, samples_per_client: int) -> float:
+    """The O((n − k*) / (k*·n·t)) simplification of the Theorem 3 bound."""
+    if k_star < 1:
+        raise ValueError("k_star must be at least 1")
+    return (n_clients - k_star) / (k_star * n_clients * samples_per_client)
+
+
+def ipss_k_star(n_clients: int, total_rounds: int) -> int:
+    """Line 1 of Alg. 3: the largest fully enumerable coalition size."""
+    return max_fully_enumerable_size(n_clients, total_rounds)
+
+
+def predicted_relative_error(
+    n_clients: int,
+    total_rounds: int,
+    samples_per_client: int,
+    n_features: int,
+) -> float:
+    """Theorem 3 bound evaluated at the k* implied by a sampling budget γ."""
+    k_star = ipss_k_star(n_clients, total_rounds)
+    if k_star < 1:
+        return float("inf")
+    return theorem3_relative_error_bound(
+        n_clients, k_star, samples_per_client, n_features
+    )
+
+
+def linear_utility_table(
+    n_clients: int,
+    samples_per_client: int,
+    n_features: int,
+    noise_mean: float,
+    initial_mse: float,
+) -> dict[frozenset, float]:
+    """Expected negative-MSE utility of every coalition under the theory model.
+
+    Coalitions too small to determine the regression fall back to the initial
+    model's MSE, as in the paper's treatment of ``mse(0) = m0``.  The resulting
+    table can drive :class:`~repro.fl.utility.TabularUtility` for closed-form
+    experiments.
+    """
+    from repro.utils.combinatorics import all_coalitions
+
+    table: dict[frozenset, float] = {}
+    for coalition in all_coalitions(n_clients):
+        samples = len(coalition) * samples_per_client
+        if samples > n_features + 1:
+            mse = expected_mse(samples, n_features, noise_mean)
+        else:
+            mse = initial_mse
+        table[coalition] = -mse
+    return table

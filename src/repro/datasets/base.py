@@ -1,0 +1,197 @@
+"""Dataset container shared by the model zoo, the FL simulator and valuation.
+
+A :class:`Dataset` is a thin immutable-ish wrapper around a feature matrix and
+a target vector, with convenience methods for subsetting, concatenation and
+shuffled splits.  Classification targets are integer class ids; regression
+targets are floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, SeedLike
+
+
+@dataclass
+class Dataset:
+    """Features, targets and light metadata for one learning task.
+
+    Parameters
+    ----------
+    features:
+        Array of shape ``(n_samples, ...)``.  Image datasets may keep a
+        trailing spatial shape (e.g. ``(n, 8, 8)``); tabular datasets use 2-D.
+    targets:
+        Array of shape ``(n_samples,)``.
+    num_classes:
+        Number of classes for classification tasks, ``None`` for regression.
+    name:
+        Human-readable identifier used in reports.
+    group_ids:
+        Optional per-sample group labels (writer id, occupation, ...) used by
+        group-based partitioners.
+    """
+
+    features: np.ndarray
+    targets: np.ndarray
+    num_classes: Optional[int] = None
+    name: str = "dataset"
+    group_ids: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features)
+        self.targets = np.asarray(self.targets)
+        if len(self.features) != len(self.targets):
+            raise ValueError(
+                "features and targets must have the same number of samples "
+                f"({len(self.features)} vs {len(self.targets)})"
+            )
+        if self.group_ids is not None:
+            self.group_ids = np.asarray(self.group_ids)
+            if len(self.group_ids) != len(self.targets):
+                raise ValueError("group_ids must match the number of samples")
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.targets)
+
+    @property
+    def n_features(self) -> int:
+        """Number of features after flattening any spatial dimensions."""
+        if self.features.ndim == 1:
+            return 1
+        return int(np.prod(self.features.shape[1:]))
+
+    @property
+    def is_classification(self) -> bool:
+        return self.num_classes is not None
+
+    @property
+    def flat_features(self) -> np.ndarray:
+        """Features reshaped to ``(n_samples, n_features)``."""
+        return self.features.reshape(len(self), -1)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: Sequence[int] | np.ndarray, name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset restricted to the given sample indices."""
+        idx = np.asarray(indices, dtype=int)
+        return Dataset(
+            features=self.features[idx],
+            targets=self.targets[idx],
+            num_classes=self.num_classes,
+            name=name or self.name,
+            group_ids=None if self.group_ids is None else self.group_ids[idx],
+        )
+
+    def shuffled(self, seed: SeedLike = None) -> "Dataset":
+        """Return a copy with samples in random order."""
+        rng = RandomState(seed)
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def take(self, n: int, name: Optional[str] = None) -> "Dataset":
+        """Return the first ``n`` samples (or all samples if fewer exist)."""
+        n = min(n, len(self))
+        return self.subset(np.arange(n), name=name)
+
+    def copy(self) -> "Dataset":
+        return Dataset(
+            features=self.features.copy(),
+            targets=self.targets.copy(),
+            num_classes=self.num_classes,
+            name=self.name,
+            group_ids=None if self.group_ids is None else self.group_ids.copy(),
+        )
+
+    def with_targets(self, targets: np.ndarray) -> "Dataset":
+        """Return a copy with replaced targets (used by label-noise injection)."""
+        clone = self.copy()
+        clone.targets = np.asarray(targets)
+        if len(clone.targets) != len(clone.features):
+            raise ValueError("replacement targets must match the sample count")
+        return clone
+
+    def with_features(self, features: np.ndarray) -> "Dataset":
+        """Return a copy with replaced features (used by feature-noise injection)."""
+        clone = self.copy()
+        clone.features = np.asarray(features)
+        if len(clone.features) != len(clone.targets):
+            raise ValueError("replacement features must match the sample count")
+        return clone
+
+    def label_distribution(self) -> np.ndarray:
+        """Empirical class frequencies (classification only)."""
+        if not self.is_classification:
+            raise ValueError("label_distribution is only defined for classification")
+        counts = np.bincount(self.targets.astype(int), minlength=self.num_classes)
+        total = counts.sum()
+        if total == 0:
+            return np.zeros(self.num_classes)
+        return counts / total
+
+    @staticmethod
+    def concatenate(datasets: Iterable["Dataset"], name: str = "union") -> "Dataset":
+        """Concatenate several datasets (used to pool a coalition's data)."""
+        parts = list(datasets)
+        if not parts:
+            raise ValueError("cannot concatenate an empty collection of datasets")
+        num_classes = parts[0].num_classes
+        for part in parts:
+            if part.num_classes != num_classes:
+                raise ValueError("all datasets must share the same num_classes")
+        features = np.concatenate([p.features for p in parts], axis=0)
+        targets = np.concatenate([p.targets for p in parts], axis=0)
+        if all(p.group_ids is not None for p in parts):
+            group_ids = np.concatenate([p.group_ids for p in parts], axis=0)
+        else:
+            group_ids = None
+        return Dataset(features, targets, num_classes=num_classes, name=name, group_ids=group_ids)
+
+    @staticmethod
+    def empty_like(reference: "Dataset", name: str = "empty") -> "Dataset":
+        """An empty dataset with the same feature shape and class count."""
+        shape = (0,) + reference.features.shape[1:]
+        return Dataset(
+            features=np.zeros(shape, dtype=reference.features.dtype),
+            targets=np.zeros(0, dtype=reference.targets.dtype),
+            num_classes=reference.num_classes,
+            name=name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = f"{self.num_classes}-class" if self.is_classification else "regression"
+        return (
+            f"Dataset(name={self.name!r}, n_samples={len(self)}, "
+            f"n_features={self.n_features}, kind={kind})"
+        )
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> tuple[Dataset, Dataset]:
+    """Shuffle and split a dataset into train and test portions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must lie in (0, 1), got {test_fraction}")
+    rng = RandomState(seed)
+    order = rng.permutation(len(dataset))
+    n_test = max(1, int(round(test_fraction * len(dataset))))
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return (
+        dataset.subset(train_idx, name=f"{dataset.name}-train"),
+        dataset.subset(test_idx, name=f"{dataset.name}-test"),
+    )

@@ -1,0 +1,55 @@
+"""Noise injectors for the paper's noisy-label / noisy-feature setups.
+
+Setup (d) *same-size-noisy-label* flips 0–20% of a client's labels to another
+class chosen uniformly; setup (e) *same-size-noisy-feature* adds Gaussian
+noise ``N(0, 1)`` scaled by 0.00–0.20 to the training features.  Both injectors
+return new :class:`~repro.datasets.base.Dataset` objects and leave the input
+untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.utils.rng import RandomState, SeedLike
+from repro.utils.validation import check_fraction
+
+
+def flip_labels(
+    dataset: Dataset,
+    flip_fraction: float,
+    seed: SeedLike = None,
+) -> Dataset:
+    """Flip a fraction of labels to a uniformly random *different* class."""
+    check_fraction(flip_fraction, "flip_fraction")
+    if not dataset.is_classification:
+        raise ValueError("flip_labels requires a classification dataset")
+    if flip_fraction == 0.0 or len(dataset) == 0:
+        return dataset.copy()
+    rng = RandomState(seed)
+    targets = dataset.targets.astype(int).copy()
+    n_flip = int(round(flip_fraction * len(dataset)))
+    if n_flip == 0:
+        return dataset.copy()
+    flip_indices = rng.choice(len(dataset), size=n_flip, replace=False)
+    n_classes = dataset.num_classes
+    for idx in flip_indices:
+        offset = int(rng.integers(1, n_classes))
+        targets[idx] = (targets[idx] + offset) % n_classes
+    return dataset.with_targets(targets)
+
+
+def add_feature_noise(
+    dataset: Dataset,
+    noise_scale: float,
+    seed: SeedLike = None,
+) -> Dataset:
+    """Add ``noise_scale * N(0, 1)`` noise to every feature value."""
+    if noise_scale < 0:
+        raise ValueError(f"noise_scale must be non-negative, got {noise_scale}")
+    if noise_scale == 0.0 or len(dataset) == 0:
+        return dataset.copy()
+    rng = RandomState(seed)
+    noise = rng.normal(0.0, 1.0, size=dataset.features.shape) * noise_scale
+    return dataset.with_features(dataset.features + noise)

@@ -1,0 +1,48 @@
+"""Experiment harness that regenerates every table and figure of the paper.
+
+Each experiment (Table IV, Table V, Fig. 1b, Fig. 4, Fig. 6–10) has a
+dedicated function returning a plain-data report (rows / series) plus a text
+renderer, so the benchmark suite, the examples and EXPERIMENTS.md all use the
+same code path.  Scales are configurable: the ``tiny`` scale finishes each
+experiment in seconds for CI, the ``small`` scale is the default used to
+produce the numbers recorded in EXPERIMENTS.md, and the ``paper`` scale
+mirrors the paper's client counts and sampling budgets.
+"""
+
+from repro.experiments.config import (
+    PAPER_SAMPLING_ROUNDS,
+    ExperimentScale,
+    sampling_rounds_for,
+)
+from repro.experiments.tasks import (
+    build_adult_task,
+    build_femnist_task,
+    build_synthetic_task,
+    SYNTHETIC_SETUPS,
+)
+from repro.experiments.runner import (
+    AlgorithmComparison,
+    ComparisonRow,
+    build_algorithm_suite,
+    run_comparison,
+)
+from repro.experiments.reporting import format_table, format_series
+from repro.experiments import figures, tables
+
+__all__ = [
+    "PAPER_SAMPLING_ROUNDS",
+    "ExperimentScale",
+    "sampling_rounds_for",
+    "build_adult_task",
+    "build_femnist_task",
+    "build_synthetic_task",
+    "SYNTHETIC_SETUPS",
+    "AlgorithmComparison",
+    "ComparisonRow",
+    "build_algorithm_suite",
+    "run_comparison",
+    "format_table",
+    "format_series",
+    "figures",
+    "tables",
+]

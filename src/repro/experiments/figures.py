@@ -1,0 +1,319 @@
+"""Regenerators for the paper's figures (Fig. 1b, 4, 6, 7, 8, 9, 10).
+
+Each function runs the experiment behind one figure and returns the numeric
+series the figure plots; :func:`repro.experiments.reporting.format_series`
+renders them as text.  Dataset/model sizes are controlled by
+:class:`~repro.experiments.config.ExperimentScale`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import (
+    CCShapleySampling,
+    ExtendedGTB,
+    ExtendedTMC,
+    IPSS,
+    KGreedy,
+    MCShapley,
+    empirical_scheme_variance,
+    fairness_proxy_error,
+    relative_error_l2,
+)
+from repro.core.variance import contribution_variance
+from repro.experiments.config import ExperimentScale, sampling_rounds_for
+from repro.experiments.runner import build_algorithm_suite, run_comparison
+from repro.experiments.tasks import (
+    SYNTHETIC_SETUPS,
+    build_femnist_task,
+    build_synthetic_task,
+)
+from repro.utils.combinatorics import count_coalitions_up_to
+from repro.utils.rng import RandomState, SeedLike, spawn_rng
+from repro.utils.timer import Timer
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 1(b): time-vs-error scatter on FEMNIST with ten clients
+# --------------------------------------------------------------------------- #
+def figure1b(
+    scale: Optional[ExperimentScale] = None,
+    n_clients: int = 10,
+    model: str = "mlp",
+    seed: SeedLike = 0,
+) -> list[dict]:
+    """Motivating scatter: each algorithm's (time, error) point."""
+    scale = scale or ExperimentScale.small()
+    utility, _ = build_femnist_task(n_clients=n_clients, model=model, scale=scale, seed=seed)
+    suite = build_algorithm_suite(n_clients, seed=seed)
+    comparison = run_comparison(utility, suite, n_clients=n_clients, task_label="fig1b")
+    return [
+        {
+            "algorithm": row.algorithm,
+            "time_s": row.elapsed_seconds,
+            "error_l2": row.relative_error,
+        }
+        for row in comparison.rows
+        if not row.is_exact
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 4: K-Greedy — error and evaluation count versus K
+# --------------------------------------------------------------------------- #
+def figure4(
+    scale: Optional[ExperimentScale] = None,
+    n_clients: int = 10,
+    model: str = "mlp",
+    max_k: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> dict:
+    """Key-combinations probe: relative error of K-Greedy as K grows."""
+    scale = scale or ExperimentScale.small()
+    max_k = max_k or n_clients
+    utility, _ = build_femnist_task(n_clients=n_clients, model=model, scale=scale, seed=seed)
+    exact = MCShapley(seed=seed).run(utility, n_clients).values
+
+    ks, errors, evaluations = [], [], []
+    for k in range(1, max_k + 1):
+        result = KGreedy(max_size=k, seed=seed).run(utility, n_clients)
+        ks.append(k)
+        errors.append(relative_error_l2(result.values, exact))
+        evaluations.append(count_coalitions_up_to(n_clients, k))
+    return {"k": ks, "relative_error": errors, "evaluations": evaluations}
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 6: the five synthetic setups, MLP and CNN
+# --------------------------------------------------------------------------- #
+def figure6(
+    scale: Optional[ExperimentScale] = None,
+    setups: Sequence[str] = SYNTHETIC_SETUPS,
+    models: Sequence[str] = ("mlp", "cnn"),
+    n_clients: int = 10,
+    seed: SeedLike = 0,
+) -> list[dict]:
+    """Time and error of every algorithm on the synthetic setups (a)–(e)."""
+    scale = scale or ExperimentScale.small()
+    rows: list[dict] = []
+    for setup in setups:
+        for model in models:
+            utility = build_synthetic_task(
+                setup, n_clients=n_clients, model=model, scale=scale, seed=seed
+            )
+            suite = build_algorithm_suite(n_clients, seed=seed)
+            comparison = run_comparison(
+                utility, suite, n_clients=n_clients, task_label=f"fig6/{setup}/{model}"
+            )
+            for row in comparison.rows:
+                rows.append(
+                    {
+                        "setup": setup,
+                        "model": model,
+                        "algorithm": row.algorithm,
+                        "time_s": row.elapsed_seconds,
+                        "error_l2": row.relative_error,
+                    }
+                )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7: error versus sampling rounds γ
+# --------------------------------------------------------------------------- #
+def figure7(
+    scale: Optional[ExperimentScale] = None,
+    n_clients: int = 10,
+    model: str = "mlp",
+    gammas: Sequence[int] = (8, 16, 32, 64, 128),
+    repetitions: int = 3,
+    seed: SeedLike = 0,
+) -> dict:
+    """Mean relative error of the sampling algorithms as γ grows."""
+    scale = scale or ExperimentScale.small()
+    utility, _ = build_femnist_task(n_clients=n_clients, model=model, scale=scale, seed=seed)
+    exact = MCShapley(seed=seed).run(utility, n_clients).values
+    rng = RandomState(seed)
+
+    series: dict[str, list[float]] = {
+        "IPSS": [],
+        "Extended-TMC": [],
+        "Extended-GTB": [],
+        "CC-Shapley": [],
+    }
+    for gamma in gammas:
+        errors = {name: [] for name in series}
+        for rep_rng in spawn_rng(rng, repetitions):
+            rep_seed = int(rep_rng.integers(0, 2**31 - 1))
+            algorithms = {
+                "IPSS": IPSS(total_rounds=gamma, seed=rep_seed),
+                "Extended-TMC": ExtendedTMC(total_rounds=gamma, seed=rep_seed),
+                "Extended-GTB": ExtendedGTB(total_rounds=gamma, seed=rep_seed),
+                "CC-Shapley": CCShapleySampling(total_rounds=gamma, seed=rep_seed),
+            }
+            for name, algorithm in algorithms.items():
+                result = algorithm.run(utility, n_clients)
+                errors[name].append(relative_error_l2(result.values, exact))
+        for name in series:
+            series[name].append(float(np.mean(errors[name])))
+    return {"gamma": list(gammas), "series": series}
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 8: Pareto curves (time vs error) for the sampling algorithms
+# --------------------------------------------------------------------------- #
+def figure8(
+    scale: Optional[ExperimentScale] = None,
+    n_clients: int = 6,
+    model: str = "mlp",
+    gammas: Sequence[int] = (6, 12, 24, 48),
+    seed: SeedLike = 0,
+) -> list[dict]:
+    """Per-(algorithm, γ) points tracing the efficiency/effectiveness trade-off."""
+    scale = scale or ExperimentScale.small()
+    utility, _ = build_femnist_task(n_clients=n_clients, model=model, scale=scale, seed=seed)
+    exact = MCShapley(seed=seed).run(utility, n_clients).values
+
+    rows: list[dict] = []
+    for gamma in gammas:
+        algorithms = {
+            "IPSS": IPSS(total_rounds=gamma, seed=seed),
+            "Extended-TMC": ExtendedTMC(total_rounds=gamma, seed=seed),
+            "Extended-GTB": ExtendedGTB(total_rounds=gamma, seed=seed),
+            "CC-Shapley": CCShapleySampling(total_rounds=gamma, seed=seed),
+        }
+        for name, algorithm in algorithms.items():
+            # Use a fresh cache per point so the measured time reflects the
+            # budget actually spent at this γ rather than earlier warm-up.
+            utility.reset_cache()
+            with Timer() as timer:
+                result = algorithm.run(utility, n_clients)
+            rows.append(
+                {
+                    "algorithm": name,
+                    "gamma": gamma,
+                    "n": n_clients,
+                    "model": model,
+                    "time_s": timer.elapsed,
+                    "evaluations": result.utility_evaluations,
+                    "error_l2": relative_error_l2(result.values, exact),
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 9: scalability to large client counts with fairness-proxy errors
+# --------------------------------------------------------------------------- #
+def figure9(
+    scale: Optional[ExperimentScale] = None,
+    client_counts: Sequence[int] = (20, 50, 100),
+    model: str = "logistic",
+    null_fraction: float = 0.05,
+    duplicate_fraction: float = 0.05,
+    seed: SeedLike = 0,
+) -> list[dict]:
+    """Running time and fairness-proxy error for 20–100 clients.
+
+    Exact values are unobtainable at this scale, so — as in the paper — 5% of
+    clients hold empty datasets and 5% duplicate another client's dataset, and
+    the no-free-rider / symmetric-fairness violations serve as the error proxy.
+    γ is set to n·log n.
+    """
+    scale = scale or ExperimentScale.tiny()
+    rows: list[dict] = []
+    for n_clients in client_counts:
+        n_null = max(1, int(round(null_fraction * n_clients)))
+        n_duplicate = max(1, int(round(duplicate_fraction * n_clients)))
+        utility, info = build_femnist_task(
+            n_clients=n_clients,
+            model=model,
+            scale=scale,
+            n_null_clients=n_null,
+            n_duplicate_clients=n_duplicate,
+            seed=seed,
+        )
+        gamma = sampling_rounds_for(n_clients)
+        algorithms = {
+            "IPSS": IPSS(total_rounds=gamma, seed=seed),
+            "Extended-TMC": ExtendedTMC(total_rounds=gamma, seed=seed),
+            "Extended-GTB": ExtendedGTB(total_rounds=gamma, seed=seed),
+            "CC-Shapley": CCShapleySampling(total_rounds=gamma, seed=seed),
+        }
+        for name, algorithm in algorithms.items():
+            utility.reset_cache()
+            with Timer() as timer:
+                result = algorithm.run(utility, info["n_clients"])
+            proxy = fairness_proxy_error(
+                result.values, info["null_clients"], info["duplicate_groups"]
+            )
+            rows.append(
+                {
+                    "n": info["n_clients"],
+                    "gamma": gamma,
+                    "algorithm": name,
+                    "time_s": timer.elapsed,
+                    "evaluations": result.utility_evaluations,
+                    "fairness_error": proxy,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 10: variance of MC-SV versus CC-SV inside the stratified framework
+# --------------------------------------------------------------------------- #
+def figure10(
+    scale: Optional[ExperimentScale] = None,
+    client_counts: Sequence[int] = (3, 6, 10),
+    model: str = "mlp",
+    gammas: Sequence[int] = (4, 8, 16, 32),
+    repetitions: int = 10,
+    contribution_samples: int = 120,
+    seed: SeedLike = 0,
+) -> list[dict]:
+    """Variance comparison of the MC-SV and CC-SV schemes (Fig. 10).
+
+    Two variance notions are reported per (n, γ):
+
+    * ``mc_variance`` / ``cc_variance`` — the spread of the full Alg. 1
+      estimate across ``repetitions`` re-runs with different sampled
+      coalitions (the quantity plotted in the paper's figure), and
+    * ``mc_contribution_variance`` / ``cc_contribution_variance`` — the
+      variance of a single marginal vs complementary contribution sample,
+      which is the quantity Theorem 2 bounds and is independent of γ.
+    """
+    scale = scale or ExperimentScale.tiny()
+    rows: list[dict] = []
+    for n_clients in client_counts:
+        utility, _ = build_femnist_task(
+            n_clients=n_clients, model=model, scale=scale, seed=seed
+        )
+        per_sample = contribution_variance(
+            utility, n_clients, n_samples=contribution_samples, seed=seed
+        )
+        for gamma in gammas:
+            comparison = empirical_scheme_variance(
+                utility,
+                n_clients=n_clients,
+                total_rounds=gamma,
+                repetitions=repetitions,
+                seed=seed,
+            )
+            rows.append(
+                {
+                    "n": n_clients,
+                    "model": model,
+                    "gamma": gamma,
+                    "mc_variance": comparison.mean_mc_variance,
+                    "cc_variance": comparison.mean_cc_variance,
+                    "mc_is_lower": comparison.mc_is_lower,
+                    "mc_contribution_variance": per_sample["mc_variance"],
+                    "cc_contribution_variance": per_sample["cc_variance"],
+                    "contribution_mc_is_lower": per_sample["mc_is_lower"],
+                }
+            )
+    return rows

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment reports.
+
+The paper presents results as tables (Table IV, V) and line/scatter plots
+(Fig. 4, 6–10).  Without a plotting dependency we render tables as aligned
+text and figures as labelled numeric series, which is enough to compare the
+reproduced shape against the paper (who wins, by what factor, where the
+crossovers are).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def _format_cell(value, precision: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or 0 < abs(value) < 10**-precision:
+            return f"{value:.2e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_format_cell(row.get(column), precision) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(r[i]) for r in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render named series over a shared x-axis (a text version of a figure)."""
+    rows = []
+    for index, x in enumerate(x_values):
+        row = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else None
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()], title=title, precision=precision)

@@ -1,0 +1,36 @@
+"""Server-side aggregation rules."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def weighted_average(
+    vectors: Sequence[np.ndarray], weights: Sequence[float]
+) -> np.ndarray:
+    """Weighted average of parameter vectors.
+
+    Weights are normalised internally; if they sum to zero (e.g. every client
+    in the coalition holds an empty dataset) a plain unweighted mean is used.
+    """
+    if len(vectors) == 0:
+        raise ValueError("cannot aggregate an empty list of parameter vectors")
+    if len(vectors) != len(weights):
+        raise ValueError("vectors and weights must have the same length")
+    stacked = np.stack([np.asarray(v, dtype=float) for v in vectors])
+    weight_arr = np.asarray(weights, dtype=float)
+    if np.any(weight_arr < 0):
+        raise ValueError("aggregation weights must be non-negative")
+    total = weight_arr.sum()
+    if total <= 0:
+        return stacked.mean(axis=0)
+    return (stacked * (weight_arr / total)[:, None]).sum(axis=0)
+
+
+def fedavg_aggregate(
+    client_parameters: Sequence[np.ndarray], client_sizes: Sequence[int]
+) -> np.ndarray:
+    """FedAvg: average client models weighted by their local sample counts."""
+    return weighted_average(client_parameters, [float(s) for s in client_sizes])

@@ -1,0 +1,78 @@
+"""FL client: local dataset plus local-update logic.
+
+In the paper a client is a cross-silo data provider (hospital, company).  The
+simulator keeps each client in-process: ``local_update`` receives the current
+global parameters, runs local training on the client's private dataset, and
+returns the updated parameters together with the sample count the server
+needs for weighted aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.fl.config import FLConfig
+from repro.models.base import ParametricModel
+from repro.utils.rng import SeedLike
+
+
+class FLClient:
+    """One federated-learning participant.
+
+    Parameters
+    ----------
+    client_id:
+        Stable integer identifier (index into the federation).
+    dataset:
+        The client's private training data.  May be empty (a "free rider").
+    """
+
+    def __init__(self, client_id: int, dataset: Dataset) -> None:
+        self.client_id = int(client_id)
+        self.dataset = dataset
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.dataset)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.dataset) == 0
+
+    def local_update(
+        self,
+        model: ParametricModel,
+        global_parameters: np.ndarray,
+        config: FLConfig,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Run local training from the global parameters and return new ones.
+
+        The shared ``model`` object is used as a computation engine only: its
+        parameters are overwritten with ``global_parameters`` before training,
+        so no state leaks between clients.
+        Empty clients return the global parameters unchanged.
+        """
+        if self.is_empty:
+            return np.asarray(global_parameters, dtype=float).copy()
+        model.set_parameters(global_parameters)
+        if config.algorithm == "fedsgd":
+            # A single full-batch gradient step; the server aggregates the result.
+            gradient = model.gradient_on(self.dataset)
+            updated = np.asarray(global_parameters, dtype=float) - model.learning_rate * gradient
+            model.set_parameters(updated)
+            return updated
+        proximal_mu = config.proximal_mu if config.algorithm == "fedprox" else 0.0
+        return model.train_epochs(
+            self.dataset,
+            epochs=config.local_epochs,
+            seed=seed,
+            proximal_mu=proximal_mu,
+            reference_parameters=np.asarray(global_parameters, dtype=float),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FLClient(id={self.client_id}, n_samples={self.n_samples})"

@@ -1,0 +1,64 @@
+"""Configuration of the federated training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SUPPORTED_ALGORITHMS = ("fedavg", "fedprox", "fedsgd")
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Hyperparameters of a federated training run.
+
+    Parameters
+    ----------
+    rounds:
+        Number of communication rounds between server and clients.
+    local_epochs:
+        Local SGD epochs each client runs per round (FedAvg / FedProx).
+        FedSGD ignores this and always takes a single full-batch step.
+    algorithm:
+        One of ``"fedavg"``, ``"fedprox"`` or ``"fedsgd"``.
+    proximal_mu:
+        FedProx proximal coefficient; only used when ``algorithm="fedprox"``.
+    client_fraction:
+        Fraction of the coalition's clients sampled per round (1.0 = all).
+    record_history:
+        Whether to record per-round client updates; required by the
+        gradient-based valuation baselines, off by default to save memory.
+    """
+
+    rounds: int = 5
+    local_epochs: int = 1
+    algorithm: str = "fedavg"
+    proximal_mu: float = 0.1
+    client_fraction: float = 1.0
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.local_epochs < 1:
+            raise ValueError(f"local_epochs must be >= 1, got {self.local_epochs}")
+        if self.algorithm not in SUPPORTED_ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {SUPPORTED_ALGORITHMS}, got {self.algorithm!r}"
+            )
+        if self.proximal_mu < 0:
+            raise ValueError(f"proximal_mu must be non-negative, got {self.proximal_mu}")
+        if not 0.0 < self.client_fraction <= 1.0:
+            raise ValueError(
+                f"client_fraction must lie in (0, 1], got {self.client_fraction}"
+            )
+
+    def with_history(self) -> "FLConfig":
+        """Copy of this config with per-round history recording enabled."""
+        return FLConfig(
+            rounds=self.rounds,
+            local_epochs=self.local_epochs,
+            algorithm=self.algorithm,
+            proximal_mu=self.proximal_mu,
+            client_fraction=self.client_fraction,
+            record_history=True,
+        )

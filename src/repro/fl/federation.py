@@ -1,0 +1,150 @@
+"""Coalition-level federated training.
+
+:class:`FederatedTrainer` is the bridge between the valuation layer and the FL
+substrate: given the per-client datasets and a model factory it can train an
+FL model for *any* coalition ``S ⊆ N`` and report its utility on the test
+set.  Parametric models are trained with the federated loop (FedAvg/FedProx/
+FedSGD); non-parametric models (the XGBoost stand-in) are trained centrally on
+the coalition's pooled data, mirroring the paper's remark that gradient-based
+federation does not apply to tree models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.datasets.base import Dataset
+from repro.fl.client import FLClient
+from repro.fl.config import FLConfig
+from repro.fl.history import TrainingHistory
+from repro.fl.server import FLServer
+from repro.models.base import Model, ParametricModel
+from repro.utils.rng import RandomState, SeedLike, derive_seed
+
+ModelFactory = Callable[[], Model]
+
+
+def train_federated(
+    model: ParametricModel,
+    client_datasets: Sequence[Dataset],
+    config: Optional[FLConfig] = None,
+    seed: SeedLike = None,
+) -> tuple[ParametricModel, Optional[TrainingHistory]]:
+    """Convenience wrapper: train one FL model across the given client datasets."""
+    clients = [FLClient(i, dataset) for i, dataset in enumerate(client_datasets)]
+    server = FLServer(model, clients, config)
+    trained = server.train(seed=seed)
+    return trained, server.history
+
+
+class FederatedTrainer:
+    """Trains FL models for arbitrary coalitions of a fixed set of clients.
+
+    Parameters
+    ----------
+    client_datasets:
+        One dataset per FL client; the client's index is its id.
+    test_dataset:
+        Held-out data on which coalition models are evaluated.
+    model_factory:
+        Zero-argument callable returning a fresh, unfitted model.
+    config:
+        Federated-training hyperparameters (ignored for non-parametric models).
+    seed:
+        Base seed; each coalition derives a deterministic seed from it so the
+        same coalition always produces the same model.
+    """
+
+    def __init__(
+        self,
+        client_datasets: Sequence[Dataset],
+        test_dataset: Dataset,
+        model_factory: ModelFactory,
+        config: Optional[FLConfig] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        if not client_datasets:
+            raise ValueError("at least one client dataset is required")
+        self.client_datasets = list(client_datasets)
+        self.test_dataset = test_dataset
+        self.model_factory = model_factory
+        self.config = config or FLConfig()
+        self._base_seed = derive_seed(RandomState(seed))
+        probe = model_factory()
+        self._parametric = probe.is_parametric
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.client_datasets)
+
+    def _coalition_seed(self, coalition: frozenset) -> int:
+        """Deterministic per-coalition seed (order-independent)."""
+        key = sum((member + 1) * 1_000_003 for member in sorted(coalition))
+        return (self._base_seed + key) % (2**63 - 1)
+
+    def _effective_members(self, members: frozenset) -> frozenset:
+        """Members that actually contribute training data.
+
+        Clients with empty datasets cannot influence training, so they are
+        excluded from both the training run and the coalition seed.  This
+        keeps ``U(S) == U(S ∪ {free rider})`` *exactly*, which in turn makes
+        the null-player axiom hold exactly for the computed values instead of
+        only up to training noise.
+        """
+        return frozenset(m for m in members if len(self.client_datasets[m]) > 0)
+
+    def train_coalition(
+        self, coalition: Iterable[int], record_history: bool = False
+    ) -> tuple[Model, Optional[TrainingHistory]]:
+        """Train a model on the coalition's data; empty coalitions stay untrained."""
+        members = frozenset(int(c) for c in coalition)
+        invalid = [m for m in members if not 0 <= m < self.n_clients]
+        if invalid:
+            raise ValueError(f"unknown client ids in coalition: {invalid}")
+        model = self.model_factory()
+        members = self._effective_members(members)
+        seed = self._coalition_seed(members)
+
+        if not members:
+            if isinstance(model, ParametricModel):
+                model.initialize(seed)
+            return model, None
+
+        if self._parametric:
+            config = self.config.with_history() if record_history else self.config
+            clients = [FLClient(m, self.client_datasets[m]) for m in sorted(members)]
+            server = FLServer(model, clients, config)
+            server.train(seed=seed)
+            return model, server.history
+
+        # Non-parametric models (tree ensembles): pool the coalition's data.
+        pooled = Dataset.concatenate(
+            [self.client_datasets[m] for m in sorted(members)],
+            name=f"coalition-{sorted(members)}",
+        )
+        model.fit(pooled, seed=seed)
+        return model, None
+
+    def utility(self, coalition: Iterable[int]) -> float:
+        """Utility ``U(M_S)``: test performance of the coalition's model."""
+        model, _ = self.train_coalition(coalition)
+        return float(model.evaluate(self.test_dataset))
+
+    def grand_coalition_history(self, seed: SeedLike = None) -> TrainingHistory:
+        """Train on all clients with history recording (for gradient baselines)."""
+        members = frozenset(range(self.n_clients))
+        if not self._parametric:
+            raise TypeError(
+                "training history requires a parametric model; gradient-based "
+                "baselines are not applicable to tree models (see paper Table V)"
+            )
+        model = self.model_factory()
+        clients = [FLClient(i, d) for i, d in enumerate(self.client_datasets)]
+        server = FLServer(model, clients, self.config.with_history())
+        run_seed = self._coalition_seed(members) if seed is None else seed
+        server.train(seed=run_seed)
+        return server.history
+
+    def template_model(self) -> Model:
+        """A fresh model instance, used for evaluating reconstructed parameters."""
+        return self.model_factory()

@@ -1,0 +1,127 @@
+"""Training-history records consumed by the gradient-based baselines.
+
+OR, λ-MR, GTG-Shapley and DIG-FL all avoid re-training FL models for every
+coalition by *reconstructing* coalition models from the per-round local
+updates produced during the single grand-coalition FL run.  The records here
+store exactly what those reconstructions need:
+
+* the global parameters at the start of each round,
+* each participating client's locally updated parameters, and
+* each client's sample count (FedAvg aggregation weight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.fl.aggregation import weighted_average
+
+
+@dataclass
+class ClientUpdate:
+    """One client's contribution to one round."""
+
+    client_id: int
+    parameters: np.ndarray
+    n_samples: int
+
+    @property
+    def delta(self) -> Optional[np.ndarray]:
+        """Filled in lazily by :class:`RoundRecord` (update − global)."""
+        return getattr(self, "_delta", None)
+
+
+@dataclass
+class RoundRecord:
+    """Everything recorded about one communication round."""
+
+    round_index: int
+    global_before: np.ndarray
+    updates: Dict[int, ClientUpdate] = field(default_factory=dict)
+    global_after: Optional[np.ndarray] = None
+
+    def add_update(self, update: ClientUpdate) -> None:
+        update._delta = np.asarray(update.parameters, dtype=float) - self.global_before
+        self.updates[update.client_id] = update
+
+    def client_delta(self, client_id: int) -> np.ndarray:
+        """Local update minus the round's starting global parameters."""
+        update = self.updates[client_id]
+        return np.asarray(update.parameters, dtype=float) - self.global_before
+
+    def participating_clients(self) -> List[int]:
+        return sorted(self.updates)
+
+    def aggregate_subset(self, coalition: Iterable[int]) -> np.ndarray:
+        """Reconstruct the post-round parameters if only ``coalition`` took part.
+
+        This is the core primitive of the gradient-based approximations: the
+        recorded local updates of the coalition's clients are FedAvg-averaged
+        as if the other clients had not existed in this round.  Clients that
+        did not participate in the recorded round are ignored; if none of the
+        coalition's clients participated the round is a no-op for them and the
+        starting global parameters are returned.
+        """
+        members = [c for c in coalition if c in self.updates]
+        if not members:
+            return self.global_before.copy()
+        vectors = [self.updates[c].parameters for c in members]
+        weights = [float(self.updates[c].n_samples) for c in members]
+        return weighted_average(vectors, weights)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-round records of a grand-coalition FL run plus the initial model."""
+
+    initial_parameters: np.ndarray
+    rounds: List[RoundRecord] = field(default_factory=list)
+    client_sizes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def add_round(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+        for client_id, update in record.updates.items():
+            self.client_sizes.setdefault(client_id, update.n_samples)
+
+    def clients(self) -> List[int]:
+        return sorted(self.client_sizes)
+
+    def reconstruct_sequential(self, coalition: Iterable[int]) -> np.ndarray:
+        """Reconstruct a coalition model by replaying every recorded round.
+
+        Starting from the recorded initial parameters, each round applies the
+        averaged *delta* of the coalition's clients for that round.  This is
+        the reconstruction rule used by the OR baseline ("take gradients within
+        the FL process with all clients the same as gradients under other
+        combinations").
+        """
+        members = set(int(c) for c in coalition)
+        parameters = self.initial_parameters.copy()
+        if not members:
+            return parameters
+        for record in self.rounds:
+            present = [c for c in members if c in record.updates]
+            if not present:
+                continue
+            deltas = [record.client_delta(c) for c in present]
+            weights = [float(record.updates[c].n_samples) for c in present]
+            parameters = parameters + weighted_average(deltas, weights)
+        return parameters
+
+    def reconstruct_round(self, round_index: int, coalition: Iterable[int]) -> np.ndarray:
+        """Reconstruct the post-round model of one round for a sub-coalition.
+
+        Used by the per-round baselines (λ-MR, GTG-Shapley): the round starts
+        from the *recorded* global parameters of that round, so only the
+        current round's updates are restricted to the coalition.
+        """
+        if not 0 <= round_index < len(self.rounds):
+            raise IndexError(f"round index {round_index} out of range")
+        return self.rounds[round_index].aggregate_subset(coalition)

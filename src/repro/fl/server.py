@@ -1,0 +1,89 @@
+"""FL server: orchestrates rounds of local training and aggregation."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import fedavg_aggregate
+from repro.fl.client import FLClient
+from repro.fl.config import FLConfig
+from repro.fl.history import ClientUpdate, RoundRecord, TrainingHistory
+from repro.models.base import ParametricModel
+from repro.utils.rng import RandomState, SeedLike, spawn_rng
+
+
+class FLServer:
+    """Coordinator of a federated training run.
+
+    The server owns the global model, selects clients each round, collects
+    their locally updated parameters and aggregates them with FedAvg.  When
+    ``config.record_history`` is enabled the full per-round trace is kept for
+    the gradient-based valuation baselines.
+    """
+
+    def __init__(
+        self,
+        model: ParametricModel,
+        clients: Sequence[FLClient],
+        config: Optional[FLConfig] = None,
+    ) -> None:
+        if not clients:
+            raise ValueError("the federation needs at least one client")
+        if not model.is_parametric:
+            raise TypeError(
+                "FLServer requires a ParametricModel; use pooled training for "
+                "non-parametric models such as GradientBoostedTrees"
+            )
+        self.model = model
+        self.clients = list(clients)
+        self.config = config or FLConfig()
+        self.history: Optional[TrainingHistory] = None
+
+    def _select_clients(self, rng: np.random.Generator) -> list[FLClient]:
+        """Sample the participating clients for one round."""
+        if self.config.client_fraction >= 1.0:
+            return list(self.clients)
+        n_selected = max(1, int(round(self.config.client_fraction * len(self.clients))))
+        indices = rng.choice(len(self.clients), size=n_selected, replace=False)
+        return [self.clients[int(i)] for i in sorted(indices)]
+
+    def train(self, seed: SeedLike = None) -> ParametricModel:
+        """Run the configured number of federated rounds and return the model."""
+        rng = RandomState(seed)
+        if not self.model.is_initialized:
+            self.model.initialize(rng)
+        global_parameters = self.model.get_parameters()
+
+        if self.config.record_history:
+            self.history = TrainingHistory(initial_parameters=global_parameters.copy())
+
+        for round_index in range(self.config.rounds):
+            participants = self._select_clients(rng)
+            record = RoundRecord(round_index=round_index, global_before=global_parameters.copy())
+            client_rngs = spawn_rng(rng, len(participants))
+            updated_parameters = []
+            sizes = []
+            for client, client_rng in zip(participants, client_rngs):
+                local_parameters = client.local_update(
+                    self.model, global_parameters, self.config, seed=client_rng
+                )
+                updated_parameters.append(local_parameters)
+                sizes.append(client.n_samples)
+                if self.config.record_history:
+                    record.add_update(
+                        ClientUpdate(
+                            client_id=client.client_id,
+                            parameters=local_parameters,
+                            n_samples=client.n_samples,
+                        )
+                    )
+            if sum(sizes) > 0:
+                global_parameters = fedavg_aggregate(updated_parameters, sizes)
+            if self.config.record_history:
+                record.global_after = global_parameters.copy()
+                self.history.add_round(record)
+
+        self.model.set_parameters(global_parameters)
+        return self.model

@@ -1,0 +1,137 @@
+"""Coalition utility oracles.
+
+Every sampling-based valuation algorithm in :mod:`repro.core` is written
+against a single callable interface: ``utility(coalition) -> float``.  The
+classes here implement that interface on top of the FL simulator, add
+memoisation (training the same coalition twice would be wasted work) and keep
+a count of how many FL trainings were actually performed — the
+hardware-independent cost model used in EXPERIMENTS.md alongside wall-clock
+times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.datasets.base import Dataset
+from repro.fl.config import FLConfig
+from repro.fl.federation import FederatedTrainer, ModelFactory
+from repro.utils.cache import UtilityCache
+from repro.utils.rng import SeedLike
+
+
+class CoalitionUtility:
+    """Cached utility oracle ``U(S)`` backed by federated training.
+
+    Parameters
+    ----------
+    client_datasets:
+        One training dataset per FL client.
+    test_dataset:
+        Held-out evaluation data defining the utility.
+    model_factory:
+        Zero-argument callable producing a fresh model.
+    config:
+        FL training configuration.
+    seed:
+        Base seed making coalition training deterministic.
+    artificial_cost:
+        Optional per-evaluation time (seconds) that experiments can use to
+        model the paper's much larger per-coalition training cost τ without
+        actually sleeping; exposed via :attr:`modeled_time`.
+    """
+
+    def __init__(
+        self,
+        client_datasets: Sequence[Dataset],
+        test_dataset: Dataset,
+        model_factory: ModelFactory,
+        config: Optional[FLConfig] = None,
+        seed: SeedLike = 0,
+        artificial_cost: float = 0.0,
+    ) -> None:
+        self.trainer = FederatedTrainer(
+            client_datasets=client_datasets,
+            test_dataset=test_dataset,
+            model_factory=model_factory,
+            config=config,
+            seed=seed,
+        )
+        self._cache = UtilityCache(evaluator=self.trainer.utility)
+        self.artificial_cost = float(artificial_cost)
+
+    # ------------------------------------------------------------------ #
+    # Oracle interface
+    # ------------------------------------------------------------------ #
+    @property
+    def n_clients(self) -> int:
+        return self.trainer.n_clients
+
+    def __call__(self, coalition: Iterable[int]) -> float:
+        return self._cache.utility(coalition)
+
+    def utility(self, coalition: Iterable[int]) -> float:
+        return self._cache.utility(coalition)
+
+    # ------------------------------------------------------------------ #
+    # Cost accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def evaluations(self) -> int:
+        """Number of distinct coalitions trained so far."""
+        return self._cache.evaluations
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache.stats.hits
+
+    @property
+    def modeled_time(self) -> float:
+        """Evaluations × artificial per-coalition cost (a τ·count cost model)."""
+        return self.evaluations * self.artificial_cost
+
+    def reset_cache(self) -> None:
+        self._cache.clear()
+
+    def snapshot_evaluations(self) -> int:
+        """Convenience for measuring the evaluations used by one algorithm run."""
+        return self.evaluations
+
+
+class TabularUtility:
+    """Utility oracle backed by a precomputed coalition → utility table.
+
+    Used in unit tests (to check algorithms against hand-computed Shapley
+    values, e.g. the paper's Table I example) and in analytical experiments
+    where utilities come from a closed-form model rather than FL training.
+    """
+
+    def __init__(self, n_clients: int, table: Mapping[frozenset, float]) -> None:
+        self.n_clients = int(n_clients)
+        self._table = {frozenset(k): float(v) for k, v in table.items()}
+        self._counter = 0
+
+    @classmethod
+    def from_function(
+        cls, n_clients: int, function: Callable[[frozenset], float]
+    ) -> "TabularUtility":
+        """Materialise a full utility table from a coalition function."""
+        from repro.utils.combinatorics import all_coalitions
+
+        table = {s: function(s) for s in all_coalitions(n_clients)}
+        return cls(n_clients, table)
+
+    def __call__(self, coalition: Iterable[int]) -> float:
+        key = frozenset(int(c) for c in coalition)
+        if key not in self._table:
+            raise KeyError(f"utility of coalition {sorted(key)} is not defined")
+        self._counter += 1
+        return self._table[key]
+
+    def utility(self, coalition: Iterable[int]) -> float:
+        return self(coalition)
+
+    @property
+    def evaluations(self) -> int:
+        """Number of lookups performed (each lookup models one FL training)."""
+        return self._counter

@@ -1,0 +1,39 @@
+"""NumPy model zoo used as the FL model substrate.
+
+The paper trains MLP, CNN and XGBoost models under TensorFlow / TensorFlow
+Federated.  Offline we provide equivalent model families implemented directly
+on NumPy:
+
+* :class:`~repro.models.linear.LinearRegressionModel` — the linear-regression
+  setting used by the paper's theory (Thm. 2, Lemma 1).
+* :class:`~repro.models.logistic.LogisticRegressionModel` — softmax regression.
+* :class:`~repro.models.mlp.MLPClassifier` — multi-layer perceptron.
+* :class:`~repro.models.cnn.SimpleCNN` — small convolutional network (im2col).
+* :class:`~repro.models.gbdt.GradientBoostedTrees` — gradient-boosted decision
+  trees standing in for XGBoost.
+
+All parametric models expose flat parameter get/set so the FL simulator can
+run FedAvg-style aggregation and the gradient-based valuation baselines can
+reconstruct coalition models from recorded client updates.
+"""
+
+from repro.models.base import Model, ParametricModel
+from repro.models.linear import LinearRegressionModel
+from repro.models.logistic import LogisticRegressionModel
+from repro.models.mlp import MLPClassifier
+from repro.models.cnn import SimpleCNN
+from repro.models.gbdt import GradientBoostedTrees
+from repro.models.metrics import accuracy_score, mean_squared_error, negative_mse
+
+__all__ = [
+    "Model",
+    "ParametricModel",
+    "LinearRegressionModel",
+    "LogisticRegressionModel",
+    "MLPClassifier",
+    "SimpleCNN",
+    "GradientBoostedTrees",
+    "accuracy_score",
+    "mean_squared_error",
+    "negative_mse",
+]

@@ -1,0 +1,182 @@
+"""Model interfaces shared by the FL simulator and the valuation layer.
+
+Two abstractions are defined:
+
+* :class:`Model` — anything that can be fitted on a dataset and evaluated on a
+  test dataset, returning a scalar utility.  Non-parametric models (e.g. the
+  gradient-boosted trees standing in for XGBoost) implement only this.
+* :class:`ParametricModel` — additionally exposes its parameters as a single
+  flat vector and supports local gradient-descent epochs, which is what
+  FedAvg-style aggregation and the gradient-based valuation baselines
+  (OR, λ-MR, GTG-Shapley) require.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.utils.rng import RandomState, SeedLike
+
+
+class Model(abc.ABC):
+    """Minimal model protocol: fit on data, predict, report utility."""
+
+    #: whether the model exposes flat parameters usable for FedAvg aggregation
+    is_parametric: bool = False
+
+    @abc.abstractmethod
+    def fit(self, dataset: Dataset, seed: SeedLike = None) -> "Model":
+        """Train the model from scratch on ``dataset`` and return ``self``."""
+
+    @abc.abstractmethod
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets (class ids or regression values) for ``features``."""
+
+    @abc.abstractmethod
+    def evaluate(self, dataset: Dataset) -> float:
+        """Scalar utility of the model on ``dataset`` (accuracy or −MSE)."""
+
+    def clone(self) -> "Model":
+        """Return an unfitted copy with identical hyperparameters."""
+        return copy.deepcopy(self)
+
+
+class ParametricModel(Model):
+    """A model whose state is a flat parameter vector trainable by SGD.
+
+    Subclasses implement :meth:`_init_parameters`, :meth:`_gradient` and the
+    prediction/evaluation methods.  This base class provides parameter get/set,
+    mini-batch local training (``train_epochs``) and full ``fit``, which is a
+    fresh initialisation followed by local training — exactly the primitives
+    the FL server and clients need.
+    """
+
+    is_parametric = True
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        epochs: int = 5,
+        batch_size: int = 32,
+        l2: float = 0.0,
+        init_scale: float = 0.1,
+        seed: SeedLike = None,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if epochs < 0:
+            raise ValueError(f"epochs must be non-negative, got {epochs}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.init_scale = init_scale
+        self._init_seed = seed
+        self._parameters: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Parameter handling
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+
+    @abc.abstractmethod
+    def _init_parameters(self, rng: np.random.Generator) -> np.ndarray:
+        """Return a freshly initialised flat parameter vector."""
+
+    @abc.abstractmethod
+    def _gradient(
+        self, parameters: np.ndarray, features: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Mini-batch gradient of the training loss at ``parameters``."""
+
+    def get_parameters(self) -> np.ndarray:
+        """Copy of the current flat parameter vector (initialising if needed)."""
+        if self._parameters is None:
+            self.initialize(self._init_seed)
+        return self._parameters.copy()
+
+    def set_parameters(self, parameters: np.ndarray) -> None:
+        parameters = np.asarray(parameters, dtype=float)
+        expected = self.num_parameters()
+        if parameters.shape != (expected,):
+            raise ValueError(
+                f"expected parameter vector of shape ({expected},), got {parameters.shape}"
+            )
+        self._parameters = parameters.copy()
+
+    def initialize(self, seed: SeedLike = None) -> "ParametricModel":
+        """(Re-)initialise parameters; used by the FL server at round zero."""
+        rng = RandomState(seed if seed is not None else self._init_seed)
+        self._parameters = np.asarray(self._init_parameters(rng), dtype=float)
+        if self._parameters.shape != (self.num_parameters(),):
+            raise RuntimeError(
+                "model initialisation produced a parameter vector of the wrong size"
+            )
+        return self
+
+    @property
+    def is_initialized(self) -> bool:
+        return self._parameters is not None
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def train_epochs(
+        self,
+        dataset: Dataset,
+        epochs: Optional[int] = None,
+        seed: SeedLike = None,
+        proximal_mu: float = 0.0,
+        reference_parameters: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run mini-batch SGD epochs from the current parameters.
+
+        ``proximal_mu``/``reference_parameters`` implement the FedProx proximal
+        term ``(μ/2)·||w − w_ref||²`` used by the FedProx algorithm.
+        Returns the updated flat parameter vector (also stored on the model).
+        """
+        if self._parameters is None:
+            self.initialize(seed)
+        epochs = self.epochs if epochs is None else epochs
+        rng = RandomState(seed)
+        params = self._parameters
+        n = len(dataset)
+        if n == 0 or epochs == 0:
+            return params.copy()
+        features = dataset.features
+        targets = dataset.targets
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                grad = self._gradient(params, features[batch], targets[batch])
+                if self.l2 > 0:
+                    grad = grad + self.l2 * params
+                if proximal_mu > 0.0 and reference_parameters is not None:
+                    grad = grad + proximal_mu * (params - reference_parameters)
+                params = params - self.learning_rate * grad
+        self._parameters = params
+        return params.copy()
+
+    def fit(self, dataset: Dataset, seed: SeedLike = None) -> "ParametricModel":
+        """Fresh initialisation followed by ``self.epochs`` of local training."""
+        self.initialize(seed)
+        self.train_epochs(dataset, seed=seed)
+        return self
+
+    def gradient_on(self, dataset: Dataset) -> np.ndarray:
+        """Full-batch gradient at the current parameters (for analysis/tests)."""
+        if self._parameters is None:
+            self.initialize(self._init_seed)
+        if len(dataset) == 0:
+            return np.zeros(self.num_parameters())
+        return self._gradient(self._parameters, dataset.features, dataset.targets)

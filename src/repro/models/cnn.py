@@ -1,0 +1,217 @@
+"""Small convolutional neural network.
+
+The paper's second neural FL model is "the widely-used convolutional neural
+network".  This implementation keeps the architecture deliberately small so
+that training a coalition model stays fast on CPU:
+
+    conv(3x3, F filters, stride 1, valid) -> ReLU -> 2x2 max-pool
+        -> flatten -> dense -> softmax
+
+The convolution is implemented with im2col so both the forward and backward
+passes reduce to matrix multiplications.  All parameters (filters, filter
+biases, dense weights, dense biases) are packed into one flat vector for
+FedAvg aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.models.activations import relu, relu_grad, softmax
+from repro.models.base import ParametricModel
+from repro.models.metrics import accuracy_score
+from repro.utils.rng import SeedLike
+
+
+def _im2col(images: np.ndarray, kernel: int) -> np.ndarray:
+    """Rearrange image patches into rows for convolution-as-matmul.
+
+    ``images`` has shape ``(n, H, W)``; the result has shape
+    ``(n, out_h * out_w, kernel * kernel)`` where ``out_h = H - kernel + 1``.
+    """
+    n, height, width = images.shape
+    out_h = height - kernel + 1
+    out_w = width - kernel + 1
+    strides = images.strides
+    patches = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(n, out_h, out_w, kernel, kernel),
+        strides=(strides[0], strides[1], strides[2], strides[1], strides[2]),
+        writeable=False,
+    )
+    return patches.reshape(n, out_h * out_w, kernel * kernel)
+
+
+class SimpleCNN(ParametricModel):
+    """One-conv-layer CNN classifier over square greyscale images.
+
+    Parameters
+    ----------
+    image_size:
+        Side length of the (square) input images.
+    n_classes:
+        Number of output classes.
+    n_filters:
+        Number of convolution filters.
+    kernel_size:
+        Side length of the square convolution kernel.
+    """
+
+    def __init__(
+        self,
+        image_size: int,
+        n_classes: int,
+        n_filters: int = 4,
+        kernel_size: int = 3,
+        learning_rate: float = 0.2,
+        epochs: int = 8,
+        batch_size: int = 32,
+        l2: float = 0.0,
+        init_scale: float = 0.2,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(
+            learning_rate=learning_rate,
+            epochs=epochs,
+            batch_size=batch_size,
+            l2=l2,
+            init_scale=init_scale,
+            seed=seed,
+        )
+        if image_size < kernel_size + 1:
+            raise ValueError("image_size must exceed kernel_size")
+        if n_classes < 2 or n_filters <= 0:
+            raise ValueError("need at least two classes and one filter")
+        self.image_size = image_size
+        self.n_classes = n_classes
+        self.n_filters = n_filters
+        self.kernel_size = kernel_size
+        self.conv_out = image_size - kernel_size + 1
+        self.pool_out = self.conv_out // 2
+        if self.pool_out < 1:
+            raise ValueError("image too small for a 2x2 max-pool after convolution")
+        self.flat_size = n_filters * self.pool_out * self.pool_out
+
+    # ------------------------------------------------------------------ #
+    # Parameter packing
+    # ------------------------------------------------------------------ #
+    def num_parameters(self) -> int:
+        conv = self.n_filters * self.kernel_size * self.kernel_size + self.n_filters
+        dense = self.flat_size * self.n_classes + self.n_classes
+        return conv + dense
+
+    def _init_parameters(self, rng: np.random.Generator) -> np.ndarray:
+        k2 = self.kernel_size * self.kernel_size
+        conv_w = rng.normal(0.0, self.init_scale * np.sqrt(2.0 / k2), size=self.n_filters * k2)
+        conv_b = np.zeros(self.n_filters)
+        dense_w = rng.normal(
+            0.0,
+            self.init_scale * np.sqrt(2.0 / self.flat_size),
+            size=self.flat_size * self.n_classes,
+        )
+        dense_b = np.zeros(self.n_classes)
+        return np.concatenate([conv_w, conv_b, dense_w, dense_b])
+
+    def _unpack(self, parameters: np.ndarray):
+        k2 = self.kernel_size * self.kernel_size
+        offset = 0
+        conv_w = parameters[offset : offset + self.n_filters * k2].reshape(self.n_filters, k2)
+        offset += self.n_filters * k2
+        conv_b = parameters[offset : offset + self.n_filters]
+        offset += self.n_filters
+        dense_w = parameters[offset : offset + self.flat_size * self.n_classes].reshape(
+            self.flat_size, self.n_classes
+        )
+        offset += self.flat_size * self.n_classes
+        dense_b = parameters[offset : offset + self.n_classes]
+        return conv_w, conv_b, dense_w, dense_b
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    def _reshape_images(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 2:
+            features = features.reshape(len(features), self.image_size, self.image_size)
+        return features
+
+    def _forward(self, parameters: np.ndarray, images: np.ndarray):
+        conv_w, conv_b, dense_w, dense_b = self._unpack(parameters)
+        n = len(images)
+        columns = _im2col(images, self.kernel_size)  # (n, P, k2)
+        conv_pre = columns @ conv_w.T + conv_b  # (n, P, F)
+        conv_pre = conv_pre.reshape(n, self.conv_out, self.conv_out, self.n_filters)
+        conv_act = relu(conv_pre)
+
+        # 2x2 max-pool with stride 2 (trailing row/col dropped when odd).
+        crop = self.pool_out * 2
+        pooled_view = conv_act[:, :crop, :crop, :].reshape(
+            n, self.pool_out, 2, self.pool_out, 2, self.n_filters
+        )
+        pooled = pooled_view.max(axis=(2, 4))  # (n, P_out, P_out, F)
+        # Argmax mask for backprop: mark positions equal to the pooled maximum.
+        pooled_broadcast = pooled[:, :, None, :, None, :]
+        pool_mask = (pooled_view == pooled_broadcast).astype(float)
+        # Normalise ties so the gradient mass is preserved.
+        tie_counts = pool_mask.sum(axis=(2, 4), keepdims=True)
+        pool_mask = pool_mask / np.maximum(tie_counts, 1.0)
+
+        flat = pooled.reshape(n, self.flat_size)
+        logits = flat @ dense_w + dense_b
+        probabilities = softmax(logits)
+        cache = (columns, conv_pre, pool_mask, flat, crop)
+        return probabilities, cache
+
+    def _gradient(
+        self, parameters: np.ndarray, features: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        images = self._reshape_images(features)
+        targets = np.asarray(targets).astype(int)
+        n = len(images)
+        conv_w, conv_b, dense_w, dense_b = self._unpack(parameters)
+        probabilities, cache = self._forward(parameters, images)
+        columns, conv_pre, pool_mask, flat, crop = cache
+
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(n), targets] = 1.0
+        delta_logits = (probabilities - one_hot) / n  # (n, C)
+
+        grad_dense_w = flat.T @ delta_logits
+        grad_dense_b = delta_logits.sum(axis=0)
+
+        delta_flat = delta_logits @ dense_w.T  # (n, flat)
+        delta_pooled = delta_flat.reshape(n, self.pool_out, self.pool_out, self.n_filters)
+        # Route gradients back through the max-pool.
+        delta_conv_cropped = (
+            pool_mask * delta_pooled[:, :, None, :, None, :]
+        ).reshape(n, crop, crop, self.n_filters)
+        delta_conv = np.zeros((n, self.conv_out, self.conv_out, self.n_filters))
+        delta_conv[:, :crop, :crop, :] = delta_conv_cropped
+        delta_conv = delta_conv * relu_grad(conv_pre)
+
+        delta_conv_flat = delta_conv.reshape(n, -1, self.n_filters)  # (n, P, F)
+        grad_conv_w = np.einsum("npf,npk->fk", delta_conv_flat, columns)
+        grad_conv_b = delta_conv_flat.sum(axis=(0, 1))
+
+        return np.concatenate(
+            [grad_conv_w.ravel(), grad_conv_b, grad_dense_w.ravel(), grad_dense_b]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prediction / evaluation
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        images = self._reshape_images(features)
+        probabilities, _ = self._forward(self.get_parameters(), images)
+        return probabilities
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def evaluate(self, dataset: Dataset) -> float:
+        """Test accuracy (the paper's classification utility)."""
+        if len(dataset) == 0:
+            return 0.0
+        predictions = self.predict(dataset.features)
+        return accuracy_score(dataset.targets, predictions)

@@ -1,0 +1,234 @@
+"""Gradient-boosted decision trees (XGBoost stand-in).
+
+The paper's Adult experiments use XGBoost as the FL model.  XGBoost is not
+available offline, so this module implements second-order gradient boosting
+with regression trees in NumPy: per boosting round a CART-style tree is fitted
+to the gradients/hessians of the logistic (binary) or softmax (multiclass)
+loss, exactly as XGBoost does, with depth / leaf-weight shrinkage / L2
+regularisation hyperparameters.
+
+Because tree ensembles have no flat parameter vector to average, FedAvg does
+not apply — the paper makes the same point ("gradient-based approximation is
+not applicable to the XGB model", Table V).  The FL simulator therefore trains
+this model centrally on a coalition's *pooled* data, which is all the
+valuation algorithms need: a utility per coalition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.models.activations import sigmoid, softmax
+from repro.models.base import Model
+from repro.models.metrics import accuracy_score
+from repro.utils.rng import RandomState, SeedLike
+
+
+@dataclass
+class _TreeNode:
+    """A node of a regression tree; leaves carry an output weight."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+    weight: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+class _RegressionTree:
+    """Second-order regression tree fitted to (gradient, hessian) targets."""
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 2,
+        reg_lambda: float = 1.0,
+        n_thresholds: int = 16,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.n_thresholds = n_thresholds
+        self.root: Optional[_TreeNode] = None
+
+    def _leaf_weight(self, grad: np.ndarray, hess: np.ndarray) -> float:
+        return float(-grad.sum() / (hess.sum() + self.reg_lambda))
+
+    def _gain(self, grad: np.ndarray, hess: np.ndarray) -> float:
+        return float(grad.sum() ** 2 / (hess.sum() + self.reg_lambda))
+
+    def _best_split(self, features, grad, hess):
+        best = (None, None, 0.0)  # feature, threshold, gain improvement
+        parent_gain = self._gain(grad, hess)
+        n_features = features.shape[1]
+        for feature in range(n_features):
+            column = features[:, feature]
+            candidates = np.unique(
+                np.quantile(column, np.linspace(0.1, 0.9, self.n_thresholds))
+            )
+            for threshold in candidates:
+                left_mask = column <= threshold
+                n_left = int(left_mask.sum())
+                n_right = len(column) - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                gain = (
+                    self._gain(grad[left_mask], hess[left_mask])
+                    + self._gain(grad[~left_mask], hess[~left_mask])
+                    - parent_gain
+                )
+                if gain > best[2]:
+                    best = (feature, float(threshold), gain)
+        return best
+
+    def _build(self, features, grad, hess, depth):
+        node = _TreeNode(weight=self._leaf_weight(grad, hess))
+        if depth >= self.max_depth or len(grad) < 2 * self.min_samples_leaf:
+            return node
+        feature, threshold, gain = self._best_split(features, grad, hess)
+        if feature is None or gain <= 1e-12:
+            return node
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[mask], grad[mask], hess[mask], depth + 1)
+        node.right = self._build(features[~mask], grad[~mask], hess[~mask], depth + 1)
+        return node
+
+    def fit(self, features: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> "_RegressionTree":
+        self.root = self._build(features, grad, hess, depth=0)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        outputs = np.empty(len(features))
+        for index, row in enumerate(features):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            outputs[index] = node.weight
+        return outputs
+
+
+class GradientBoostedTrees(Model):
+    """Gradient-boosted classification trees, trained on pooled coalition data.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes; 2 uses binary logistic loss, >2 one-vs-all softmax.
+    n_rounds:
+        Number of boosting rounds.
+    max_depth, learning_rate, reg_lambda, subsample:
+        The usual XGBoost-style knobs.
+    """
+
+    is_parametric = False
+
+    def __init__(
+        self,
+        n_classes: int = 2,
+        n_rounds: int = 10,
+        max_depth: int = 3,
+        learning_rate: float = 0.3,
+        reg_lambda: float = 1.0,
+        min_samples_leaf: int = 2,
+        subsample: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if n_classes < 2:
+            raise ValueError("n_classes must be at least 2")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must lie in (0, 1]")
+        self.n_classes = n_classes
+        self.n_rounds = n_rounds
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.reg_lambda = reg_lambda
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self._seed = seed
+        self._trees: list[list[_RegressionTree]] = []
+        self._base_score = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: Dataset, seed: SeedLike = None) -> "GradientBoostedTrees":
+        self._trees = []
+        if len(dataset) == 0:
+            return self
+        rng = RandomState(seed if seed is not None else self._seed)
+        features = dataset.flat_features
+        targets = dataset.targets.astype(int)
+        n = len(features)
+        n_outputs = 1 if self.n_classes == 2 else self.n_classes
+        raw = np.zeros((n, n_outputs))
+
+        for _ in range(self.n_rounds):
+            if self.n_classes == 2:
+                probabilities = sigmoid(raw[:, 0])
+                grad = (probabilities - targets).reshape(n, 1)
+                hess = (probabilities * (1 - probabilities)).reshape(n, 1)
+            else:
+                probabilities = softmax(raw)
+                one_hot = np.zeros_like(probabilities)
+                one_hot[np.arange(n), targets] = 1.0
+                grad = probabilities - one_hot
+                hess = probabilities * (1 - probabilities)
+            round_trees: list[_RegressionTree] = []
+            if self.subsample < 1.0:
+                sample = rng.choice(n, size=max(2, int(self.subsample * n)), replace=False)
+            else:
+                sample = np.arange(n)
+            for output in range(n_outputs):
+                tree = _RegressionTree(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    reg_lambda=self.reg_lambda,
+                )
+                tree.fit(features[sample], grad[sample, output], hess[sample, output])
+                raw[:, output] += self.learning_rate * tree.predict(features)
+                round_trees.append(tree)
+            self._trees.append(round_trees)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prediction / evaluation
+    # ------------------------------------------------------------------ #
+    def _raw_scores(self, features: np.ndarray) -> np.ndarray:
+        n_outputs = 1 if self.n_classes == 2 else self.n_classes
+        raw = np.zeros((len(features), n_outputs))
+        for round_trees in self._trees:
+            for output, tree in enumerate(round_trees):
+                raw[:, output] += self.learning_rate * tree.predict(features)
+        return raw
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float).reshape(len(features), -1)
+        raw = self._raw_scores(features)
+        if self.n_classes == 2:
+            positive = sigmoid(raw[:, 0])
+            return np.column_stack([1 - positive, positive])
+        return softmax(raw)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def evaluate(self, dataset: Dataset) -> float:
+        """Test accuracy; an unfitted ensemble predicts the majority-less prior."""
+        if len(dataset) == 0:
+            return 0.0
+        predictions = self.predict(dataset.flat_features)
+        return accuracy_score(dataset.targets, predictions)
+
+    @property
+    def n_trees(self) -> int:
+        return sum(len(round_trees) for round_trees in self._trees)

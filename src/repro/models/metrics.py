@@ -1,0 +1,56 @@
+"""Model evaluation metrics and utility functions.
+
+The valuation layer measures a coalition's worth with the *utility function*
+``U(M_S)``, which the paper sets to test accuracy for classification models
+and to negative mean-squared-error for the linear-regression theory sections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correctly classified samples; 0.0 for empty inputs."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must have the same length")
+    return float(np.mean(y_true == y_pred))
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error; ``inf`` for empty inputs (an untrained regressor)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if len(y_true) == 0:
+        return float("inf")
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must have the same length")
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def negative_mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Negative MSE, the regression utility used in the paper's Lemma 1."""
+    return -mean_squared_error(y_true, y_pred)
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error, used in the Thm. 2 variance analysis."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if len(y_true) == 0:
+        return float("inf")
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def cross_entropy(probabilities: np.ndarray, y_true: np.ndarray, eps: float = 1e-12) -> float:
+    """Average categorical cross-entropy given predicted class probabilities."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    y_true = np.asarray(y_true, dtype=int)
+    if len(y_true) == 0:
+        return 0.0
+    picked = probabilities[np.arange(len(y_true)), y_true]
+    return float(-np.mean(np.log(np.clip(picked, eps, 1.0))))

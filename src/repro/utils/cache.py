@@ -1,0 +1,101 @@
+"""Coalition-utility cache.
+
+Training an FL model for a coalition is by far the dominant cost of every
+valuation algorithm (the paper denotes it τ).  The cache memoises the utility
+``U(M_S)`` per coalition so that algorithms which revisit the same coalition
+(e.g. MC-SV visits ``S`` and ``S ∪ {i}`` for many ``i``) pay the cost once.
+
+The cache also counts hits, misses and evaluations, which the experiment
+harness uses as a hardware-independent cost model (number of FL trainings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a :class:`UtilityCache` was used."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def evaluations(self) -> int:
+        """Number of distinct coalition evaluations actually performed."""
+        return self.misses
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class UtilityCache:
+    """Memoises ``coalition -> utility`` lookups around an evaluator callable.
+
+    Parameters
+    ----------
+    evaluator:
+        Callable mapping a coalition (``frozenset`` of client indices) to the
+        utility of the FL model trained on that coalition.
+    max_size:
+        Optional bound on the number of cached entries.  ``None`` (default)
+        keeps everything, which is appropriate because the number of distinct
+        coalitions evaluated by any approximation algorithm is small.
+    """
+
+    evaluator: Callable[[frozenset], float]
+    max_size: Optional[int] = None
+    _store: Dict[frozenset, float] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __call__(self, coalition: Iterable[int]) -> float:
+        return self.utility(coalition)
+
+    def utility(self, coalition: Iterable[int]) -> float:
+        """Return ``U(M_S)``, evaluating and caching on first use."""
+        key = frozenset(int(c) for c in coalition)
+        if key in self._store:
+            self.stats.hits += 1
+            return self._store[key]
+        value = float(self.evaluator(key))
+        self.stats.misses += 1
+        if self.max_size is not None and len(self._store) >= self.max_size:
+            # Drop the oldest entry; insertion order is preserved by dict.
+            oldest = next(iter(self._store))
+            del self._store[oldest]
+        self._store[key] = value
+        return value
+
+    def prefetch(self, coalitions: Iterable[Iterable[int]]) -> None:
+        """Evaluate (and cache) a batch of coalitions."""
+        for coalition in coalitions:
+            self.utility(coalition)
+
+    def contains(self, coalition: Iterable[int]) -> bool:
+        return frozenset(int(c) for c in coalition) in self._store
+
+    def peek(self, coalition: Iterable[int]) -> Optional[float]:
+        """Return a cached utility without triggering evaluation."""
+        return self._store.get(frozenset(int(c) for c in coalition))
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def evaluations(self) -> int:
+        """Number of FL trainings performed through this cache."""
+        return self.stats.evaluations

@@ -1,0 +1,67 @@
+"""Lightweight argument validation shared across subpackages.
+
+Raising early with a clear message keeps the valuation and FL code free of
+repetitive ``if``-checks and gives callers actionable errors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str, inclusive: bool = True) -> float:
+    """Require ``value`` to lie in [0, 1] (or (0, 1) when not inclusive)."""
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must lie in (0, 1), got {value}")
+    return value
+
+
+def check_client_count(n_clients: int, minimum: int = 1) -> int:
+    """Require a sensible number of FL clients."""
+    if not isinstance(n_clients, (int, np.integer)):
+        raise TypeError(f"n_clients must be an integer, got {type(n_clients)!r}")
+    if n_clients < minimum:
+        raise ValueError(f"n_clients must be >= {minimum}, got {n_clients}")
+    return int(n_clients)
+
+
+def check_probability_vector(values: Sequence[float], name: str) -> np.ndarray:
+    """Require a non-negative vector summing to one (within tolerance)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional")
+    if np.any(arr < 0):
+        raise ValueError(f"{name} must be non-negative")
+    total = arr.sum()
+    if not np.isclose(total, 1.0, atol=1e-8):
+        raise ValueError(f"{name} must sum to 1, got {total}")
+    return arr
+
+
+def check_same_length(a, b, name_a: str, name_b: str) -> None:
+    """Require two sized containers to have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length "
+            f"({len(a)} vs {len(b)})"
+        )

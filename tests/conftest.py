@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite.
+
+Most algorithm tests run against cheap tabular utility oracles (no FL
+training); a handful of integration tests use a tiny real federation built
+from the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+from repro.datasets import (
+    make_classification_blobs,
+    partition_different_sizes,
+    train_test_split,
+)
+from repro.fl import CoalitionUtility, FLConfig, TabularUtility
+from repro.models import LogisticRegressionModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def table1_utility():
+    """The paper's Table I three-client example (exact values 0.22, 0.32, 0.32)."""
+    table = {
+        frozenset(): 0.10,
+        frozenset({0}): 0.50,
+        frozenset({1}): 0.70,
+        frozenset({2}): 0.60,
+        frozenset({0, 1}): 0.80,
+        frozenset({0, 2}): 0.90,
+        frozenset({1, 2}): 0.90,
+        frozenset({0, 1, 2}): 0.96,
+    }
+    return TabularUtility(3, table)
+
+
+@pytest.fixture
+def table1_exact_values():
+    """Hand-computed exact Shapley values of the Table I example."""
+    return np.array([0.22, 0.32, 0.32])
+
+
+from tests.helpers import monotone_game
+
+
+@pytest.fixture
+def monotone_game_5():
+    return monotone_game(5, seed=1)
+
+
+@pytest.fixture
+def monotone_game_8():
+    return monotone_game(8, seed=2)
+
+
+@pytest.fixture
+def linear_theory_utility():
+    """Closed-form utility table from the Donahue–Kleinberg model (6 clients)."""
+    table = theory.linear_utility_table(
+        n_clients=6, samples_per_client=50, n_features=5, noise_mean=1.0, initial_mse=10.0
+    )
+    return TabularUtility(6, table)
+
+
+@pytest.fixture(scope="session")
+def tiny_fl_utility():
+    """A real (but tiny) FL federation: 4 clients, logistic regression model."""
+    pooled = make_classification_blobs(
+        n_samples=160,
+        n_features=6,
+        n_classes=3,
+        cluster_std=2.0,
+        class_separation=2.0,
+        seed=5,
+    )
+    train, test = train_test_split(pooled, test_fraction=0.25, seed=5)
+    clients = partition_different_sizes(train, 4, seed=5)
+    return CoalitionUtility(
+        client_datasets=clients,
+        test_dataset=test,
+        model_factory=lambda: LogisticRegressionModel(n_features=6, n_classes=3, epochs=3),
+        config=FLConfig(rounds=2, local_epochs=1),
+        seed=5,
+    )

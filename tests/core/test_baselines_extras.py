@@ -1,0 +1,97 @@
+"""Tests for the extra baselines: Leave-One-Out, Banzhaf sampling, Random."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BanzhafSampling,
+    LeaveOneOut,
+    MCShapley,
+    RandomValuation,
+    rank_correlation,
+    relative_error_l2,
+)
+from repro.fl import TabularUtility
+
+from tests.helpers import monotone_game
+
+
+class TestLeaveOneOut:
+    def test_evaluation_count(self, monotone_game_5):
+        result = LeaveOneOut().run(monotone_game_5, 5)
+        assert result.utility_evaluations == 6  # U(N) plus n leave-outs
+
+    def test_null_player_gets_zero(self):
+        def function(coalition):
+            return float(len(coalition - {1}))
+
+        oracle = TabularUtility.from_function(4, function)
+        values = LeaveOneOut().run(oracle, 4).values
+        assert values[1] == pytest.approx(0.0)
+
+    def test_additive_game_recovers_weights(self):
+        weights = np.array([0.1, 0.4, 0.2])
+
+        def function(coalition):
+            return float(sum(weights[i] for i in coalition))
+
+        oracle = TabularUtility.from_function(3, function)
+        values = LeaveOneOut().run(oracle, 3).values
+        assert np.allclose(values, weights)
+
+    def test_ranking_agrees_with_shapley_on_monotone_game(self, monotone_game_5):
+        exact = MCShapley().run(monotone_game_5, 5).values
+        loo = LeaveOneOut().run(monotone_game_5, 5).values
+        assert rank_correlation(loo, exact) > 0.6
+
+
+class TestBanzhafSampling:
+    def test_budget_respected(self, monotone_game_8):
+        result = BanzhafSampling(total_rounds=20, seed=0).run(monotone_game_8, 8)
+        assert result.utility_evaluations <= 20
+
+    def test_reasonable_on_additive_game(self):
+        weights = np.array([0.1, 0.4, 0.2, 0.3])
+
+        def function(coalition):
+            return float(sum(weights[i] for i in coalition))
+
+        oracle = TabularUtility.from_function(4, function)
+        values = BanzhafSampling(total_rounds=600, seed=0).run(oracle, 4).values
+        # On additive games the Banzhaf and Shapley values coincide with the weights.
+        assert relative_error_l2(values, weights) < 0.15
+
+    def test_deterministic_given_seed(self, monotone_game_5):
+        a = BanzhafSampling(total_rounds=30, seed=4).run(monotone_game_5, 5).values
+        b = BanzhafSampling(total_rounds=30, seed=4).run(monotone_game_5, 5).values
+        assert np.allclose(a, b)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            BanzhafSampling(total_rounds=1)
+
+    def test_values_finite_under_tiny_budget(self, monotone_game_8):
+        values = BanzhafSampling(total_rounds=2, seed=0).run(monotone_game_8, 8).values
+        assert np.all(np.isfinite(values))
+
+
+class TestRandomValuation:
+    def test_shape_and_range(self, monotone_game_5):
+        values = RandomValuation(seed=0).run(monotone_game_5, 5).values
+        assert values.shape == (5,)
+        assert np.all((values >= 0) & (values <= 1))
+
+    def test_no_utility_evaluations(self, monotone_game_5):
+        result = RandomValuation(seed=0).run(monotone_game_5, 5)
+        assert result.utility_evaluations == 0
+
+    def test_real_methods_beat_random_on_error(self):
+        game = monotone_game(6, seed=8, concavity=0.3)
+        exact = MCShapley().run(game, 6).values
+        random_error = relative_error_l2(RandomValuation(seed=1).run(game, 6).values, exact)
+        loo_error = relative_error_l2(LeaveOneOut().run(game, 6).values, exact)
+        from repro.core import IPSS
+
+        ipss_error = relative_error_l2(IPSS(total_rounds=20, seed=1).run(game, 6).values, exact)
+        assert ipss_error < random_error
+        assert loo_error < random_error

@@ -1,0 +1,171 @@
+"""Tests for the gradient-based baselines: DIG-FL, OR, λ-MR, GTG-Shapley.
+
+These algorithms reconstruct coalition models from the recorded grand-coalition
+training history instead of retraining, so the tests build one small real FL
+federation and share it across the module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DIGFL,
+    GTGShapley,
+    LambdaMR,
+    MCShapley,
+    ORBaseline,
+    rank_correlation,
+)
+from repro.datasets import (
+    Dataset,
+    make_classification_blobs,
+    partition_different_sizes,
+    train_test_split,
+)
+from repro.fl import CoalitionUtility, FLConfig, TabularUtility
+from repro.models import LogisticRegressionModel
+
+N_CLIENTS = 4
+GRADIENT_ALGORITHMS = [
+    lambda: DIGFL(seed=0),
+    lambda: ORBaseline(seed=0),
+    lambda: LambdaMR(seed=0),
+    lambda: GTGShapley(seed=0, permutations_per_round=4),
+]
+
+
+@pytest.fixture(scope="module")
+def federation_utility():
+    pooled = make_classification_blobs(
+        240,
+        n_features=6,
+        n_classes=3,
+        cluster_std=2.0,
+        class_separation=2.0,
+        seed=3,
+    )
+    train, test = train_test_split(pooled, test_fraction=0.25, seed=3)
+    clients = partition_different_sizes(train, N_CLIENTS, seed=3)
+    # The last client is a free rider with no data.
+    clients[-1] = Dataset.empty_like(test, name="free-rider")
+    return CoalitionUtility(
+        client_datasets=clients,
+        test_dataset=test,
+        model_factory=lambda: LogisticRegressionModel(n_features=6, n_classes=3, epochs=3),
+        config=FLConfig(rounds=3, local_epochs=1),
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def exact_values(federation_utility):
+    return MCShapley().run(federation_utility, N_CLIENTS).values
+
+
+class TestGradientBaselinesShared:
+    @pytest.mark.parametrize("factory", GRADIENT_ALGORITHMS)
+    def test_returns_one_value_per_client(self, federation_utility, factory):
+        result = factory().run(federation_utility, N_CLIENTS)
+        assert result.values.shape == (N_CLIENTS,)
+        assert np.all(np.isfinite(result.values))
+
+    @pytest.mark.parametrize("factory", GRADIENT_ALGORITHMS)
+    def test_single_fl_training_only(self, federation_utility, factory):
+        result = factory().run(federation_utility, N_CLIENTS)
+        assert result.utility_evaluations == 1
+        assert result.metadata["model_evaluations"] >= 1
+
+    @pytest.mark.parametrize("factory", GRADIENT_ALGORITHMS)
+    def test_rejects_plain_tabular_oracle(self, factory):
+        oracle = TabularUtility.from_function(3, lambda s: float(len(s)))
+        with pytest.raises(TypeError):
+            factory().run(oracle, 3)
+
+    @pytest.mark.parametrize("factory", GRADIENT_ALGORITHMS)
+    def test_run_from_history_direct(self, federation_utility, factory):
+        trainer = federation_utility.trainer
+        history = trainer.grand_coalition_history()
+        model = trainer.template_model()
+        result = factory().run_from_history(history, model, trainer.test_dataset)
+        assert result.values.shape == (N_CLIENTS,)
+
+
+class TestORBaseline:
+    def test_free_rider_not_most_valuable(self, federation_utility):
+        result = ORBaseline(seed=0).run(federation_utility, N_CLIENTS)
+        assert np.argmax(result.values) != N_CLIENTS - 1
+
+    def test_rough_agreement_with_exact_ordering(self, federation_utility, exact_values):
+        result = ORBaseline(seed=0).run(federation_utility, N_CLIENTS)
+        assert rank_correlation(result.values, exact_values) > 0.0
+
+    def test_too_many_clients_rejected(self):
+        from repro.fl import ClientUpdate, RoundRecord, TrainingHistory
+
+        history = TrainingHistory(initial_parameters=np.zeros(2))
+        record = RoundRecord(round_index=0, global_before=np.zeros(2))
+        for client in range(20):
+            record.add_update(ClientUpdate(client, np.ones(2), 5))
+        record.global_after = np.ones(2)
+        history.add_round(record)
+        with pytest.raises(ValueError):
+            ORBaseline().run_from_history(history, None, None)
+
+
+class TestLambdaMR:
+    def test_decay_weights_normalised(self):
+        algorithm = LambdaMR(decay=0.5)
+        weights = algorithm._round_weights(4)
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights[0] > weights[-1]
+
+    def test_equal_weights_with_unit_decay(self):
+        weights = LambdaMR(decay=1.0)._round_weights(5)
+        assert np.allclose(weights, 0.2)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            LambdaMR(decay=0.0)
+
+    def test_values_change_with_decay(self, federation_utility):
+        flat = LambdaMR(decay=1.0, seed=0).run(federation_utility, N_CLIENTS).values
+        steep = LambdaMR(decay=0.2, seed=0).run(federation_utility, N_CLIENTS).values
+        assert not np.allclose(flat, steep)
+
+
+class TestGTGShapley:
+    def test_metadata_reports_truncation(self, federation_utility):
+        result = GTGShapley(seed=0, permutations_per_round=3).run(
+            federation_utility, N_CLIENTS
+        )
+        assert "rounds_skipped" in result.metadata
+        assert result.metadata["permutations_per_round"] == 3
+
+    def test_large_round_tolerance_skips_everything(self, federation_utility):
+        result = GTGShapley(seed=0, round_tolerance=10.0).run(federation_utility, N_CLIENTS)
+        assert np.allclose(result.values, 0.0)
+        assert result.metadata["rounds_skipped"] >= 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            GTGShapley(permutations_per_round=0)
+        with pytest.raises(ValueError):
+            GTGShapley(round_tolerance=-1.0)
+
+
+class TestDIGFL:
+    def test_rounds_scored_metadata(self, federation_utility):
+        result = DIGFL(seed=0).run(federation_utility, N_CLIENTS)
+        assert result.metadata["rounds_scored"] == 3
+
+    def test_values_sum_close_to_total_round_gain(self, federation_utility):
+        """DIG-FL distributes each round's utility gain across clients."""
+        result = DIGFL(seed=0).run(federation_utility, N_CLIENTS)
+        trainer = federation_utility.trainer
+        history = trainer.grand_coalition_history()
+        model = trainer.template_model()
+        model.set_parameters(history.initial_parameters)
+        initial = model.evaluate(trainer.test_dataset)
+        model.set_parameters(history.rounds[-1].global_after)
+        final = model.evaluate(trainer.test_dataset)
+        assert result.values.sum() == pytest.approx(final - initial, abs=1e-6)

@@ -1,0 +1,177 @@
+"""Tests for the sampling-based baselines: Extended-TMC, Extended-GTB, CC-Shapley."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CCShapleySampling,
+    ExtendedGTB,
+    ExtendedTMC,
+    MCShapley,
+    relative_error_l2,
+)
+
+from tests.helpers import monotone_game
+
+
+class TestExtendedTMC:
+    def test_reasonable_estimate_with_generous_budget(self, monotone_game_5):
+        exact = MCShapley().run(monotone_game_5, 5).values
+        estimate = ExtendedTMC(total_rounds=200, truncation_tolerance=0.0, seed=0).run(
+            monotone_game_5, 5
+        )
+        assert relative_error_l2(estimate.values, exact) < 0.25
+
+    def test_budget_respected(self, monotone_game_8):
+        result = ExtendedTMC(total_rounds=20, seed=0).run(monotone_game_8, 8)
+        assert result.utility_evaluations <= 20
+
+    def test_truncation_reduces_evaluations(self):
+        game = monotone_game(6, seed=4, concavity=0.1)  # saturates fast
+        loose = ExtendedTMC(total_rounds=60, truncation_tolerance=0.2, max_permutations=5, seed=0)
+        strict = ExtendedTMC(total_rounds=60, truncation_tolerance=0.0, max_permutations=5, seed=0)
+        loose_result = loose.run(game, 6)
+        strict_result = strict.run(game, 6)
+        assert loose_result.utility_evaluations <= strict_result.utility_evaluations
+        assert loose_result.metadata["truncations"] >= 1
+
+    def test_metadata_counts_permutations(self, monotone_game_5):
+        result = ExtendedTMC(total_rounds=30, seed=0).run(monotone_game_5, 5)
+        assert result.metadata["permutations_used"] >= 1
+
+    def test_deterministic_given_seed(self, monotone_game_5):
+        a = ExtendedTMC(total_rounds=25, seed=9).run(monotone_game_5, 5).values
+        b = ExtendedTMC(total_rounds=25, seed=9).run(monotone_game_5, 5).values
+        assert np.allclose(a, b)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ExtendedTMC(total_rounds=1)
+        with pytest.raises(ValueError):
+            ExtendedTMC(truncation_tolerance=-0.1)
+
+    def test_values_finite_under_tiny_budget(self, monotone_game_8):
+        result = ExtendedTMC(total_rounds=3, seed=0).run(monotone_game_8, 8)
+        assert np.all(np.isfinite(result.values))
+
+
+class TestExtendedGTB:
+    def test_reasonable_estimate_with_generous_budget(self, monotone_game_5):
+        # Group testing converges noticeably slower than the other samplers
+        # (it estimates pairwise differences first), hence the loose bound.
+        exact = MCShapley().run(monotone_game_5, 5).values
+        estimate = ExtendedGTB(total_rounds=600, seed=0).run(monotone_game_5, 5)
+        assert relative_error_l2(estimate.values, exact) < 0.4
+
+    def test_efficiency_constraint_holds(self, monotone_game_5):
+        """GTB solutions satisfy Σφ = U(N) − U(∅) by construction."""
+        result = ExtendedGTB(total_rounds=40, seed=0).run(monotone_game_5, 5)
+        total = monotone_game_5(frozenset(range(5))) - monotone_game_5(frozenset())
+        assert result.values.sum() == pytest.approx(total, abs=1e-9)
+
+    def test_budget_respected(self, monotone_game_8):
+        result = ExtendedGTB(total_rounds=25, seed=0).run(monotone_game_8, 8)
+        assert result.utility_evaluations <= 25
+
+    def test_single_client(self):
+        game = monotone_game(1, seed=0)
+        result = ExtendedGTB(total_rounds=4, seed=0).run(game, 1)
+        expected = game(frozenset({0})) - game(frozenset())
+        assert result.values[0] == pytest.approx(expected)
+
+    def test_size_distribution_normalised(self):
+        probabilities = ExtendedGTB._size_distribution(8)
+        assert probabilities.shape == (7,)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            ExtendedGTB(total_rounds=3)
+
+    def test_deterministic_given_seed(self, monotone_game_5):
+        a = ExtendedGTB(total_rounds=30, seed=2).run(monotone_game_5, 5).values
+        b = ExtendedGTB(total_rounds=30, seed=2).run(monotone_game_5, 5).values
+        assert np.allclose(a, b)
+
+
+class TestCCShapleySampling:
+    def test_reasonable_estimate_with_generous_budget(self, monotone_game_5):
+        exact = MCShapley().run(monotone_game_5, 5).values
+        estimate = CCShapleySampling(total_rounds=300, seed=0).run(monotone_game_5, 5)
+        assert relative_error_l2(estimate.values, exact) < 0.3
+
+    def test_single_round_informs_every_client(self, monotone_game_5):
+        """One complementary pair yields a contribution sample for all clients."""
+        result = CCShapleySampling(total_rounds=2, seed=0).run(monotone_game_5, 5)
+        assert np.count_nonzero(result.values) == 5
+
+    def test_budget_respected(self, monotone_game_8):
+        result = CCShapleySampling(total_rounds=15, seed=0).run(monotone_game_8, 8)
+        assert result.utility_evaluations <= 15
+
+    def test_non_stratified_mode(self, monotone_game_5):
+        result = CCShapleySampling(total_rounds=30, stratified=False, seed=1).run(
+            monotone_game_5, 5
+        )
+        assert np.all(np.isfinite(result.values))
+        assert result.metadata["stratified"] is False
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            CCShapleySampling(total_rounds=1)
+
+    def test_deterministic_given_seed(self, monotone_game_5):
+        a = CCShapleySampling(total_rounds=20, seed=7).run(monotone_game_5, 5).values
+        b = CCShapleySampling(total_rounds=20, seed=7).run(monotone_game_5, 5).values
+        assert np.allclose(a, b)
+
+
+class TestBudgetParity:
+    """All sampling baselines respect the same γ, as configured in the paper."""
+
+    @pytest.mark.parametrize("gamma", [8, 16, 32])
+    def test_all_respect_budget(self, monotone_game_8, gamma):
+        from repro.core import IPSS
+
+        for algorithm in (
+            ExtendedTMC(total_rounds=gamma, seed=0),
+            ExtendedGTB(total_rounds=gamma, seed=0),
+            CCShapleySampling(total_rounds=gamma, seed=0),
+            IPSS(total_rounds=gamma, seed=0),
+        ):
+            result = algorithm.run(monotone_game_8, 8)
+            assert result.utility_evaluations <= gamma, algorithm.name
+
+    def test_ipss_most_accurate_on_saturating_game(self):
+        """The paper's headline comparison under a shared tight budget."""
+        game = monotone_game(8, seed=5, concavity=0.15)
+        exact = MCShapley().run(game, 8).values
+        gamma = 32
+        from repro.core import IPSS
+
+        errors = {}
+        for algorithm in (
+            ExtendedTMC(total_rounds=gamma, seed=3),
+            ExtendedGTB(total_rounds=gamma, seed=3),
+            CCShapleySampling(total_rounds=gamma, seed=3),
+            IPSS(total_rounds=gamma, seed=3),
+        ):
+            result = algorithm.run(game, 8)
+            errors[result.algorithm] = relative_error_l2(result.values, exact)
+        assert errors["IPSS"] == min(errors.values())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=200), gamma=st.integers(min_value=4, max_value=40))
+def test_sampling_baselines_always_finite(seed, gamma):
+    """No baseline ever emits NaN/inf, whatever the seed or budget."""
+    game = monotone_game(6, seed=seed)
+    for algorithm in (
+        ExtendedTMC(total_rounds=max(gamma, 2), seed=seed),
+        ExtendedGTB(total_rounds=max(gamma, 4), seed=seed),
+        CCShapleySampling(total_rounds=max(gamma, 2), seed=seed),
+    ):
+        values = algorithm.run(game, 6).values
+        assert np.all(np.isfinite(values))

@@ -1,0 +1,196 @@
+"""Tests for K-Greedy (Alg. 2) and IPSS (Alg. 3) — the paper's contributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IPSS, KGreedy, MCShapley, relative_error_l2
+from repro.fl import TabularUtility
+from repro.utils.combinatorics import count_coalitions_up_to
+
+from tests.helpers import monotone_game
+
+
+class TestKGreedy:
+    def test_full_k_recovers_exact(self, monotone_game_5):
+        exact = MCShapley().run(monotone_game_5, 5).values
+        estimate = KGreedy(max_size=5, seed=0).run(monotone_game_5, 5).values
+        assert relative_error_l2(estimate, exact) < 1e-9
+
+    def test_error_decreases_with_k(self, monotone_game_8):
+        """The key-combinations phenomenon: error shrinks (weakly) as K grows."""
+        exact = MCShapley().run(monotone_game_8, 8).values
+        errors = []
+        for k in range(1, 9):
+            estimate = KGreedy(max_size=k).run(monotone_game_8, 8).values
+            errors.append(relative_error_l2(estimate, exact))
+        assert errors[-1] < 1e-9
+        # Overall trend is decreasing: later errors never exceed the first.
+        assert max(errors[1:]) <= errors[0] + 1e-12
+        assert errors[3] <= errors[1] + 1e-12
+
+    def test_small_k_already_accurate_on_saturating_games(self):
+        """The key-combinations phenomenon: on a strongly saturating
+        (accuracy-like) utility, coalitions of at most 3 clients suffice."""
+        game = monotone_game(8, seed=2, concavity=0.15)
+        exact = MCShapley().run(game, 8).values
+        estimate = KGreedy(max_size=3).run(game, 8).values
+        assert relative_error_l2(estimate, exact) < 0.2
+
+    def test_evaluations_match_formula(self, monotone_game_5):
+        algorithm = KGreedy(max_size=2)
+        result = algorithm.run(monotone_game_5, 5)
+        expected = count_coalitions_up_to(5, 2)
+        assert result.utility_evaluations == expected
+        assert algorithm.evaluations_required(5) == expected
+
+    def test_k_larger_than_n_is_capped(self, monotone_game_5):
+        estimate = KGreedy(max_size=99).run(monotone_game_5, 5).values
+        exact = MCShapley().run(monotone_game_5, 5).values
+        assert np.allclose(estimate, exact, atol=1e-9)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KGreedy(max_size=0)
+
+    def test_name_includes_k(self):
+        assert "K=3" in KGreedy(max_size=3).name
+
+
+class TestIPSSBudgeting:
+    def test_k_star_matches_paper_example3(self):
+        assert IPSS(total_rounds=10).k_star(4) == 1
+
+    def test_budget_never_exceeded(self, monotone_game_8):
+        for gamma in (5, 9, 17, 40, 93):
+            result = IPSS(total_rounds=gamma, seed=0).run(monotone_game_8, 8)
+            assert result.utility_evaluations <= gamma
+
+    def test_budget_nearly_exhausted(self, monotone_game_8):
+        """IPSS should spend (almost) the whole budget, not leave it idle."""
+        result = IPSS(total_rounds=40, seed=0).run(monotone_game_8, 8)
+        assert result.utility_evaluations >= 35
+
+    def test_sampling_plan_consistency(self):
+        plan = IPSS(total_rounds=32).sampling_plan(10)
+        assert plan["k_star"] == 1
+        assert plan["exhaustive_evaluations"] == 11
+        assert plan["partial_budget"] == 21
+        assert plan["partial_stratum_size"] == 2
+
+    def test_budget_of_one_only_covers_empty_coalition(self, monotone_game_5):
+        # Budget of exactly 1 only fits the empty coalition -> k*=0 and the
+        # estimate degenerates to (almost) nothing, but it must not crash.
+        algorithm = IPSS(total_rounds=1, include_partial_stratum=False)
+        assert algorithm.k_star(5) == 0
+        result = algorithm.run(monotone_game_5, 5)
+        assert result.utility_evaluations <= 1
+
+    def test_invalid_budget_raises(self):
+        with pytest.raises(ValueError):
+            IPSS(total_rounds=0)
+
+
+class TestIPSSAccuracy:
+    def test_full_budget_recovers_exact(self, monotone_game_5):
+        exact = MCShapley().run(monotone_game_5, 5).values
+        estimate = IPSS(total_rounds=2**5, seed=0).run(monotone_game_5, 5).values
+        assert relative_error_l2(estimate, exact) < 1e-9
+
+    def test_partial_budget_is_accurate_on_saturating_games(self):
+        """IPSS under ~15% of the full budget on an accuracy-like utility."""
+        game = monotone_game(8, seed=2, concavity=0.15)
+        exact = MCShapley().run(game, 8).values
+        estimate = IPSS(total_rounds=40, seed=0).run(game, 8).values
+        assert relative_error_l2(estimate, exact) < 0.25
+
+    def test_moderately_concave_games_have_larger_truncation_error(self, monotone_game_8):
+        """The flip side of key combinations: when the utility keeps growing
+        with coalition size, truncation costs more accuracy (still bounded)."""
+        exact = MCShapley().run(monotone_game_8, 8).values
+        estimate = IPSS(total_rounds=40, seed=0).run(monotone_game_8, 8).values
+        assert relative_error_l2(estimate, exact) < 0.8
+
+    def test_beats_same_budget_without_partial_stratum(self, monotone_game_8):
+        """Ablation: the (k*+1) phase-2 samples should not hurt accuracy."""
+        exact = MCShapley().run(monotone_game_8, 8).values
+        with_partial = IPSS(total_rounds=20, include_partial_stratum=True, seed=0)
+        without_partial = IPSS(total_rounds=20, include_partial_stratum=False, seed=0)
+        error_with = relative_error_l2(with_partial.run(monotone_game_8, 8).values, exact)
+        error_without = relative_error_l2(without_partial.run(monotone_game_8, 8).values, exact)
+        assert error_with <= error_without + 0.05
+
+    def test_paper_table1_with_full_budget(self, table1_utility, table1_exact_values):
+        estimate = IPSS(total_rounds=8, seed=0).run(table1_utility, 3).values
+        assert np.allclose(estimate, table1_exact_values, atol=0.005)
+
+    def test_error_shrinks_with_budget(self):
+        game = monotone_game(8, seed=9)
+        exact = MCShapley().run(game, 8).values
+        small_budget = relative_error_l2(IPSS(total_rounds=9, seed=1).run(game, 8).values, exact)
+        large_budget = relative_error_l2(IPSS(total_rounds=120, seed=1).run(game, 8).values, exact)
+        assert large_budget <= small_budget + 1e-9
+
+    def test_metadata_reports_k_star(self, monotone_game_8):
+        result = IPSS(total_rounds=40, seed=0).run(monotone_game_8, 8)
+        assert result.metadata["k_star"] == 2
+        assert result.metadata["partial_stratum_samples"] >= 0
+
+    def test_deterministic_given_seed(self, monotone_game_8):
+        a = IPSS(total_rounds=20, seed=5).run(monotone_game_8, 8).values
+        b = IPSS(total_rounds=20, seed=5).run(monotone_game_8, 8).values
+        assert np.allclose(a, b)
+
+    def test_null_player_value_zero(self):
+        """No-free-riders: a client that never changes utility gets value ~0."""
+
+        def function(coalition):
+            useful = coalition - {3}
+            return 0.1 + 0.2 * len(useful)
+
+        oracle = TabularUtility.from_function(5, function)
+        values = IPSS(total_rounds=16, seed=0).run(oracle, 5).values
+        assert abs(values[3]) < 1e-9
+
+    def test_symmetric_clients_get_close_values(self):
+        """Balanced phase-2 sampling keeps symmetric clients' estimates close."""
+
+        def function(coalition):
+            return 0.1 + 0.15 * len(coalition)  # fully symmetric game
+
+        oracle = TabularUtility.from_function(6, function)
+        values = IPSS(total_rounds=15, seed=0).run(oracle, 6).values
+        assert values.max() - values.min() < 0.05
+
+
+class TestIPSSOnLinearTheoryModel:
+    def test_accuracy_on_donahue_kleinberg_utilities(self, linear_theory_utility):
+        """IPSS on the closed-form linear-regression utility (Lemma 1 setting)."""
+        exact = MCShapley().run(linear_theory_utility, 6).values
+        estimate = IPSS(total_rounds=10, seed=0).run(linear_theory_utility, 6).values
+        assert relative_error_l2(estimate, exact) < 0.1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    gamma=st.integers(min_value=2, max_value=60),
+    seed=st.integers(min_value=0, max_value=300),
+)
+def test_ipss_budget_and_finiteness_property(n, gamma, seed):
+    """IPSS never exceeds its budget and always returns finite values."""
+    game = monotone_game(n, seed=seed)
+    result = IPSS(total_rounds=gamma, seed=seed).run(game, n)
+    assert result.utility_evaluations <= gamma
+    assert np.all(np.isfinite(result.values))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_ipss_with_full_budget_matches_exact_property(seed):
+    """With γ = 2^n IPSS degenerates to the exact MC-SV."""
+    game = monotone_game(5, seed=seed)
+    exact = MCShapley().run(game, 5).values
+    estimate = IPSS(total_rounds=32, seed=seed).run(game, 5).values
+    assert np.allclose(estimate, exact, atol=1e-9)

@@ -1,0 +1,193 @@
+"""Tests for the unified stratified sampling framework (Alg. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MCShapley, StratifiedSampling, allocate_rounds, relative_error_l2
+from repro.utils.combinatorics import n_choose_k
+
+from tests.helpers import monotone_game
+
+
+class TestAllocateRounds:
+    def test_total_budget_respected(self):
+        for n in (3, 5, 8):
+            for gamma in (n, 2 * n, 30):
+                rounds = allocate_rounds(n, gamma)
+                assert sum(rounds) <= gamma
+
+    def test_each_stratum_capped_by_its_size(self):
+        rounds = allocate_rounds(5, 200)
+        for stratum, m in enumerate(rounds, start=1):
+            assert m <= n_choose_k(5, stratum)
+
+    def test_every_stratum_gets_a_round_when_budget_allows(self):
+        rounds = allocate_rounds(6, 10)
+        assert all(m >= 1 for m in rounds)
+
+    def test_uniform_strategy(self):
+        rounds = allocate_rounds(4, 8, strategy="uniform")
+        assert sum(rounds) <= 8
+        assert max(rounds) - min(rounds) <= 1 or rounds[-1] == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            allocate_rounds(4, 0)
+        with pytest.raises(ValueError):
+            allocate_rounds(4, 8, strategy="magic")
+
+
+class TestStratifiedSampling:
+    def test_full_budget_recovers_exact_mc(self, monotone_game_5):
+        exact = MCShapley().run(monotone_game_5, 5).values
+        algorithm = StratifiedSampling(total_rounds=2**5, scheme="mc", seed=0)
+        estimate = algorithm.run(monotone_game_5, 5).values
+        assert relative_error_l2(estimate, exact) < 1e-9
+
+    def test_full_budget_recovers_exact_cc(self, monotone_game_5):
+        exact = MCShapley().run(monotone_game_5, 5).values
+        algorithm = StratifiedSampling(total_rounds=2**5, scheme="cc", seed=0)
+        estimate = algorithm.run(monotone_game_5, 5).values
+        assert relative_error_l2(estimate, exact) < 1e-9
+
+    def test_partial_budget_gives_reasonable_estimate(self, monotone_game_8):
+        exact = MCShapley().run(monotone_game_8, 8).values
+        algorithm = StratifiedSampling(
+            total_rounds=60, scheme="mc", pair_on_demand=True, seed=1
+        )
+        estimate = algorithm.run(monotone_game_8, 8).values
+        assert relative_error_l2(estimate, exact) < 0.5
+
+    def test_explicit_rounds_per_stratum(self, monotone_game_5):
+        algorithm = StratifiedSampling(rounds_per_stratum=[2, 2, 2, 2, 1], seed=0)
+        result = algorithm.run(monotone_game_5, 5)
+        assert result.values.shape == (5,)
+
+    def test_wrong_rounds_per_stratum_length_raises(self, monotone_game_5):
+        algorithm = StratifiedSampling(rounds_per_stratum=[1, 1], seed=0)
+        with pytest.raises(ValueError):
+            algorithm.run(monotone_game_5, 5)
+
+    def test_invalid_scheme_raises(self):
+        with pytest.raises(ValueError):
+            StratifiedSampling(scheme="xx")
+
+    def test_invalid_budget_raises(self):
+        with pytest.raises(ValueError):
+            StratifiedSampling(total_rounds=0)
+
+    def test_result_name_includes_scheme(self, monotone_game_5):
+        result = StratifiedSampling(total_rounds=8, scheme="cc", seed=0).run(monotone_game_5, 5)
+        assert result.algorithm == "Stratified-CC"
+        assert result.metadata["scheme"] == "cc"
+
+    def test_deterministic_given_seed(self, monotone_game_5):
+        a = StratifiedSampling(total_rounds=10, seed=3).run(monotone_game_5, 5).values
+        b = StratifiedSampling(total_rounds=10, seed=3).run(monotone_game_5, 5).values
+        assert np.allclose(a, b)
+
+    def test_budget_not_exceeded(self, monotone_game_8):
+        result = StratifiedSampling(total_rounds=20, seed=0).run(monotone_game_8, 8)
+        # +1 allows the always-available empty coalition evaluation.
+        assert result.utility_evaluations <= 21
+
+    def test_theorem1_stratum_contribution_unbiased_mc(self):
+        """Thm. 1 (Eq. 6): the expected per-stratum MC contribution of a
+        uniformly sampled coalition equals the exact stratum average."""
+        from repro.utils.combinatorics import coalitions_of_size, random_coalition_of_size
+
+        game = monotone_game(5, seed=42)
+        rng = np.random.default_rng(0)
+        client = 2
+        for stratum in range(1, 6):
+            exact_terms = [
+                game(c) - game(c - {client})
+                for c in coalitions_of_size(5, stratum)
+                if client in c
+            ]
+            exact_mean = float(np.mean(exact_terms))
+            samples = []
+            for _ in range(400):
+                coalition = random_coalition_of_size(5, stratum - 1, rng, exclude=[client]) | {
+                    client
+                }
+                samples.append(game(coalition) - game(coalition - {client}))
+            assert np.mean(samples) == pytest.approx(exact_mean, abs=0.03)
+
+    def test_theorem1_stratum_contribution_unbiased_cc(self):
+        """Thm. 1 for the CC scheme: unbiased per-stratum complementary terms."""
+        from repro.utils.combinatorics import coalitions_of_size, random_coalition_of_size
+
+        game = monotone_game(4, seed=43)
+        rng = np.random.default_rng(1)
+        everyone = frozenset(range(4))
+        client = 1
+        for stratum in range(1, 5):
+            exact_terms = [
+                game(c) - game(everyone - c)
+                for c in coalitions_of_size(4, stratum)
+                if client in c
+            ]
+            exact_mean = float(np.mean(exact_terms))
+            samples = []
+            for _ in range(400):
+                coalition = random_coalition_of_size(4, stratum - 1, rng, exclude=[client]) | {
+                    client
+                }
+                samples.append(game(coalition) - game(everyone - coalition))
+            assert np.mean(samples) == pytest.approx(exact_mean, abs=0.03)
+
+    def test_pair_on_demand_reduces_shrinkage_bias(self):
+        """Averaged estimates with on-demand pairing land closer to the exact
+        total value than the literal variant under the same tight budget."""
+        game = monotone_game(5, seed=42)
+        exact_total = MCShapley().run(game, 5).values.sum()
+
+        def mean_total(pair_on_demand):
+            estimates = [
+                StratifiedSampling(
+                    total_rounds=12,
+                    scheme="mc",
+                    pair_on_demand=pair_on_demand,
+                    seed=seed,
+                )
+                .run(game, 5)
+                .values.sum()
+                for seed in range(40)
+            ]
+            return float(np.mean(estimates))
+
+        literal_gap = abs(mean_total(False) - exact_total)
+        paired_gap = abs(mean_total(True) - exact_total)
+        assert paired_gap <= literal_gap + 1e-9
+
+    def test_literal_variant_is_biased_towards_zero_under_tight_budgets(self):
+        """Documents why pair_on_demand exists: the literal Alg. 1 drops
+        unmatched samples, shrinking the estimate under tight budgets."""
+        game = monotone_game(5, seed=42)
+        exact = MCShapley().run(game, 5).values
+        literal = np.mean(
+            [
+                StratifiedSampling(total_rounds=12, scheme="mc", seed=seed).run(game, 5).values
+                for seed in range(40)
+            ],
+            axis=0,
+        )
+        assert literal.sum() <= exact.sum() + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    gamma=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=200),
+    scheme=st.sampled_from(["mc", "cc"]),
+)
+def test_stratified_sampling_always_returns_finite_values(n, gamma, seed, scheme):
+    """The framework never produces NaNs or infinities, whatever the budget."""
+    game = monotone_game(n, seed=seed)
+    result = StratifiedSampling(total_rounds=gamma, scheme=scheme, seed=seed).run(game, n)
+    assert np.all(np.isfinite(result.values))
+    assert result.values.shape == (n,)

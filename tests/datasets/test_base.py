@@ -1,0 +1,163 @@
+"""Tests for the Dataset container and train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, train_test_split
+
+
+def make_dataset(n=20, f=4, classes=3, with_groups=False, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        features=rng.normal(size=(n, f)),
+        targets=rng.integers(0, classes, size=n),
+        num_classes=classes,
+        name="toy",
+        group_ids=rng.integers(0, 4, size=n) if with_groups else None,
+    )
+
+
+class TestDatasetBasics:
+    def test_length_and_counts(self):
+        dataset = make_dataset(n=15, f=6)
+        assert len(dataset) == 15
+        assert dataset.n_samples == 15
+        assert dataset.n_features == 6
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_mismatched_group_ids_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(3), group_ids=np.zeros(4))
+
+    def test_is_classification(self):
+        assert make_dataset().is_classification
+        regression = Dataset(np.zeros((3, 2)), np.zeros(3))
+        assert not regression.is_classification
+
+    def test_flat_features_for_images(self):
+        images = Dataset(np.zeros((5, 4, 4)), np.zeros(5, dtype=int), num_classes=2)
+        assert images.n_features == 16
+        assert images.flat_features.shape == (5, 16)
+
+    def test_repr_contains_name(self):
+        assert "toy" in repr(make_dataset())
+
+
+class TestSubsetAndCopy:
+    def test_subset_selects_rows(self):
+        dataset = make_dataset(with_groups=True)
+        subset = dataset.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert np.array_equal(subset.features, dataset.features[[0, 2, 4]])
+        assert np.array_equal(subset.group_ids, dataset.group_ids[[0, 2, 4]])
+
+    def test_take(self):
+        dataset = make_dataset(n=10)
+        assert len(dataset.take(3)) == 3
+        assert len(dataset.take(100)) == 10
+
+    def test_shuffled_preserves_multiset(self):
+        dataset = make_dataset()
+        shuffled = dataset.shuffled(seed=1)
+        assert sorted(shuffled.targets.tolist()) == sorted(dataset.targets.tolist())
+
+    def test_copy_is_independent(self):
+        dataset = make_dataset()
+        clone = dataset.copy()
+        clone.features[0, 0] = 999.0
+        assert dataset.features[0, 0] != 999.0
+
+    def test_with_targets_validates_length(self):
+        dataset = make_dataset(n=5)
+        replaced = dataset.with_targets(np.ones(5, dtype=int))
+        assert replaced.targets.sum() == 5
+        with pytest.raises(ValueError):
+            dataset.with_targets(np.ones(4))
+
+    def test_with_features_validates_length(self):
+        dataset = make_dataset(n=5, f=2)
+        replaced = dataset.with_features(np.zeros((5, 2)))
+        assert replaced.features.sum() == 0.0
+        with pytest.raises(ValueError):
+            dataset.with_features(np.zeros((4, 2)))
+
+
+class TestLabelDistribution:
+    def test_distribution_sums_to_one(self):
+        dataset = make_dataset(n=50, classes=4)
+        distribution = dataset.label_distribution()
+        assert distribution.shape == (4,)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_distribution_requires_classification(self):
+        regression = Dataset(np.zeros((3, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            regression.label_distribution()
+
+    def test_empty_dataset_distribution(self):
+        dataset = make_dataset(n=10, classes=3)
+        empty = Dataset.empty_like(dataset)
+        assert empty.label_distribution().sum() == 0.0
+
+
+class TestConcatenate:
+    def test_concatenate_stacks_samples(self):
+        a = make_dataset(n=5, seed=1)
+        b = make_dataset(n=7, seed=2)
+        union = Dataset.concatenate([a, b])
+        assert len(union) == 12
+
+    def test_concatenate_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            Dataset.concatenate([])
+
+    def test_concatenate_mixed_classes_raises(self):
+        a = make_dataset(classes=3)
+        b = Dataset(np.zeros((3, 4)), np.zeros(3, dtype=int), num_classes=2)
+        with pytest.raises(ValueError):
+            Dataset.concatenate([a, b])
+
+    def test_concatenate_group_ids_kept_when_all_present(self):
+        a = make_dataset(n=4, with_groups=True, seed=1)
+        b = make_dataset(n=6, with_groups=True, seed=2)
+        union = Dataset.concatenate([a, b])
+        assert union.group_ids is not None
+        assert len(union.group_ids) == 10
+
+    def test_empty_like(self):
+        reference = make_dataset(n=9, f=4)
+        empty = Dataset.empty_like(reference)
+        assert len(empty) == 0
+        assert empty.features.shape[1:] == reference.features.shape[1:]
+        assert empty.num_classes == reference.num_classes
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self):
+        dataset = make_dataset(n=100)
+        train, test = train_test_split(dataset, test_fraction=0.2, seed=0)
+        assert len(test) == 20
+        assert len(train) == 80
+
+    def test_split_is_disjoint_and_complete(self):
+        dataset = make_dataset(n=40)
+        dataset.features[:, 0] = np.arange(40)  # unique marker per row
+        train, test = train_test_split(dataset, test_fraction=0.25, seed=3)
+        markers = np.concatenate([train.features[:, 0], test.features[:, 0]])
+        assert sorted(markers.tolist()) == list(range(40))
+
+    def test_invalid_fraction_raises(self):
+        dataset = make_dataset()
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=1.0)
+
+    def test_split_deterministic_with_seed(self):
+        dataset = make_dataset(n=30)
+        train_a, _ = train_test_split(dataset, seed=9)
+        train_b, _ = train_test_split(dataset, seed=9)
+        assert np.array_equal(train_a.features, train_b.features)

@@ -1,0 +1,226 @@
+"""Tests for partitioners and noise injectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    add_feature_noise,
+    flip_labels,
+    make_adult_like,
+    make_classification_blobs,
+    make_femnist_like,
+    partition_by_group,
+    partition_different_sizes,
+    partition_dirichlet,
+    partition_iid,
+    partition_label_skew,
+)
+
+
+@pytest.fixture
+def blob_dataset():
+    return make_classification_blobs(200, n_features=5, n_classes=4, seed=0)
+
+
+def total_samples(parts):
+    return sum(len(p) for p in parts)
+
+
+class TestPartitionIID:
+    def test_covers_all_samples(self, blob_dataset):
+        parts = partition_iid(blob_dataset, 5, seed=0)
+        assert len(parts) == 5
+        assert total_samples(parts) == len(blob_dataset)
+
+    def test_roughly_equal_sizes(self, blob_dataset):
+        parts = partition_iid(blob_dataset, 7, seed=0)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_names_include_client_index(self, blob_dataset):
+        parts = partition_iid(blob_dataset, 3, seed=0)
+        assert "client-2" in parts[2].name
+
+    def test_invalid_client_count_raises(self, blob_dataset):
+        with pytest.raises(ValueError):
+            partition_iid(blob_dataset, 0)
+
+
+class TestPartitionDifferentSizes:
+    def test_default_ratios_are_increasing(self, blob_dataset):
+        parts = partition_different_sizes(blob_dataset, 4, seed=0)
+        sizes = [len(p) for p in parts]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_custom_ratios(self, blob_dataset):
+        parts = partition_different_sizes(blob_dataset, 2, ratios=[1, 3], seed=0)
+        assert len(parts[1]) > 2 * len(parts[0])
+
+    def test_ratio_length_mismatch_raises(self, blob_dataset):
+        with pytest.raises(ValueError):
+            partition_different_sizes(blob_dataset, 3, ratios=[1, 2])
+
+    def test_non_positive_ratio_raises(self, blob_dataset):
+        with pytest.raises(ValueError):
+            partition_different_sizes(blob_dataset, 2, ratios=[0, 1])
+
+    def test_covers_all_samples(self, blob_dataset):
+        parts = partition_different_sizes(blob_dataset, 6, seed=1)
+        assert total_samples(parts) == len(blob_dataset)
+
+
+class TestPartitionLabelSkew:
+    def test_dominant_class_is_overrepresented(self, blob_dataset):
+        parts = partition_label_skew(blob_dataset, 4, dominant_fraction=0.8, seed=0)
+        for client, part in enumerate(parts):
+            distribution = part.label_distribution()
+            dominant = client % blob_dataset.num_classes
+            assert distribution[dominant] >= 0.5
+
+    def test_requires_classification(self):
+        from repro.datasets import make_linear_regression
+
+        with pytest.raises(ValueError):
+            partition_label_skew(make_linear_regression(50, seed=0), 3)
+
+    def test_invalid_fraction_raises(self, blob_dataset):
+        with pytest.raises(ValueError):
+            partition_label_skew(blob_dataset, 3, dominant_fraction=1.5)
+
+    def test_no_sample_duplication(self, blob_dataset):
+        marked = blob_dataset.copy()
+        marked.features[:, 0] = np.arange(len(marked))
+        parts = partition_label_skew(marked, 4, seed=0)
+        markers = np.concatenate([p.features[:, 0] for p in parts])
+        assert len(np.unique(markers)) == len(markers)
+
+
+class TestPartitionDirichlet:
+    def test_covers_all_samples(self, blob_dataset):
+        parts = partition_dirichlet(blob_dataset, 5, alpha=0.5, seed=0)
+        assert total_samples(parts) == len(blob_dataset)
+
+    def test_every_client_nonempty(self, blob_dataset):
+        parts = partition_dirichlet(blob_dataset, 5, alpha=0.3, seed=1)
+        assert all(len(p) >= 1 for p in parts)
+
+    def test_small_alpha_is_more_skewed(self, blob_dataset):
+        def skew(parts):
+            distributions = np.stack([p.label_distribution() for p in parts if len(p) > 0])
+            return float(distributions.std(axis=0).mean())
+
+        skewed = partition_dirichlet(blob_dataset, 4, alpha=0.1, seed=2)
+        uniform = partition_dirichlet(blob_dataset, 4, alpha=100.0, seed=2)
+        assert skew(skewed) > skew(uniform)
+
+    def test_invalid_alpha_raises(self, blob_dataset):
+        with pytest.raises(ValueError):
+            partition_dirichlet(blob_dataset, 3, alpha=0.0)
+
+
+class TestPartitionByGroup:
+    def test_groups_not_split_across_clients(self):
+        dataset = make_femnist_like(150, n_writers=8, seed=0)
+        parts = partition_by_group(dataset, 4, seed=0)
+        seen: dict[int, int] = {}
+        for client, part in enumerate(parts):
+            for writer in np.unique(part.group_ids):
+                assert writer not in seen, "writer assigned to two clients"
+                seen[int(writer)] = client
+
+    def test_requires_group_ids(self, blob_dataset):
+        with pytest.raises(ValueError):
+            partition_by_group(blob_dataset, 3)
+
+    def test_too_many_clients_raises(self):
+        dataset = make_adult_like(100, n_occupations=3, seed=0)
+        with pytest.raises(ValueError):
+            partition_by_group(dataset, 10)
+
+    def test_covers_all_samples(self):
+        dataset = make_adult_like(200, n_occupations=12, seed=0)
+        parts = partition_by_group(dataset, 5, seed=0)
+        assert total_samples(parts) == len(dataset)
+
+
+class TestLabelNoise:
+    def test_flip_fraction_respected(self, blob_dataset):
+        noisy = flip_labels(blob_dataset, 0.3, seed=0)
+        changed = np.mean(noisy.targets != blob_dataset.targets)
+        assert changed == pytest.approx(0.3, abs=0.01)
+
+    def test_zero_fraction_is_identity(self, blob_dataset):
+        noisy = flip_labels(blob_dataset, 0.0, seed=0)
+        assert np.array_equal(noisy.targets, blob_dataset.targets)
+
+    def test_flipped_labels_stay_in_range(self, blob_dataset):
+        noisy = flip_labels(blob_dataset, 1.0, seed=0)
+        assert set(np.unique(noisy.targets)).issubset(set(range(blob_dataset.num_classes)))
+        # Flipping always moves to a *different* class.
+        assert np.all(noisy.targets != blob_dataset.targets)
+
+    def test_original_unmodified(self, blob_dataset):
+        before = blob_dataset.targets.copy()
+        flip_labels(blob_dataset, 0.5, seed=0)
+        assert np.array_equal(blob_dataset.targets, before)
+
+    def test_regression_dataset_raises(self):
+        from repro.datasets import make_linear_regression
+
+        with pytest.raises(ValueError):
+            flip_labels(make_linear_regression(20, seed=0), 0.1)
+
+    def test_invalid_fraction_raises(self, blob_dataset):
+        with pytest.raises(ValueError):
+            flip_labels(blob_dataset, 1.5)
+
+
+class TestFeatureNoise:
+    def test_noise_scale_zero_is_identity(self, blob_dataset):
+        noisy = add_feature_noise(blob_dataset, 0.0, seed=0)
+        assert np.array_equal(noisy.features, blob_dataset.features)
+
+    def test_noise_changes_features(self, blob_dataset):
+        noisy = add_feature_noise(blob_dataset, 0.2, seed=0)
+        assert not np.array_equal(noisy.features, blob_dataset.features)
+        deviation = np.std(noisy.features - blob_dataset.features)
+        assert deviation == pytest.approx(0.2, rel=0.15)
+
+    def test_targets_untouched(self, blob_dataset):
+        noisy = add_feature_noise(blob_dataset, 0.5, seed=0)
+        assert np.array_equal(noisy.targets, blob_dataset.targets)
+
+    def test_negative_scale_raises(self, blob_dataset):
+        with pytest.raises(ValueError):
+            add_feature_noise(blob_dataset, -0.1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_clients=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_iid_partition_property(n_clients, seed):
+    """IID partitions always cover the dataset exactly once."""
+    dataset = make_classification_blobs(80, n_features=3, n_classes=3, seed=seed)
+    marked = dataset.copy()
+    marked.features[:, 0] = np.arange(len(marked))
+    parts = partition_iid(marked, n_clients, seed=seed)
+    markers = np.concatenate([p.features[:, 0] for p in parts])
+    assert sorted(markers.tolist()) == list(range(len(dataset)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_flip_labels_property(fraction, seed):
+    """Label flipping changes close to the requested fraction of labels."""
+    dataset = make_classification_blobs(100, n_classes=5, seed=seed)
+    noisy = flip_labels(dataset, fraction, seed=seed)
+    changed = int(np.sum(noisy.targets != dataset.targets))
+    assert changed == int(round(fraction * len(dataset)))

@@ -1,0 +1,132 @@
+"""Tests for experiment configuration and task builders."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    PAPER_SAMPLING_ROUNDS,
+    SYNTHETIC_SETUPS,
+    build_adult_task,
+    build_femnist_task,
+    build_synthetic_task,
+    sampling_rounds_for,
+)
+from repro.fl import CoalitionUtility
+
+TINY = ExperimentScale.tiny()
+
+
+class TestSamplingRounds:
+    def test_paper_table3_values(self):
+        assert PAPER_SAMPLING_ROUNDS == {3: 5, 6: 8, 10: 32}
+        assert sampling_rounds_for(3) == 5
+        assert sampling_rounds_for(6) == 8
+        assert sampling_rounds_for(10) == 32
+
+    def test_large_n_uses_nlogn_rule(self):
+        assert sampling_rounds_for(100) >= 100
+        assert sampling_rounds_for(20) >= 22
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            sampling_rounds_for(0)
+
+
+class TestExperimentScale:
+    def test_named_scales(self):
+        assert ExperimentScale.tiny().name == "tiny"
+        assert ExperimentScale.small().name == "small"
+        assert ExperimentScale.paper().name == "paper"
+
+    def test_from_name_roundtrip(self):
+        assert ExperimentScale.from_name("tiny") == ExperimentScale.tiny()
+        with pytest.raises(ValueError):
+            ExperimentScale.from_name("huge")
+
+    def test_scales_are_ordered_in_size(self):
+        tiny, small, paper = (
+            ExperimentScale.tiny(),
+            ExperimentScale.small(),
+            ExperimentScale.paper(),
+        )
+        assert tiny.samples_per_client < small.samples_per_client < paper.samples_per_client
+
+
+class TestSyntheticTaskBuilder:
+    @pytest.mark.parametrize("setup", SYNTHETIC_SETUPS)
+    def test_all_setups_build(self, setup):
+        utility = build_synthetic_task(setup, n_clients=3, model="logistic", scale=TINY, seed=0)
+        assert isinstance(utility, CoalitionUtility)
+        assert utility.n_clients == 3
+        value = utility(frozenset({0, 1, 2}))
+        assert 0.0 <= value <= 1.0
+
+    def test_unknown_setup_raises(self):
+        with pytest.raises(ValueError):
+            build_synthetic_task("same-size-chaotic", scale=TINY)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            build_synthetic_task(SYNTHETIC_SETUPS[0], model="transformer", scale=TINY)
+
+    def test_different_size_setup_has_unequal_clients(self):
+        utility = build_synthetic_task(
+            "different-size-same-distribution", n_clients=4, model="logistic", scale=TINY, seed=0
+        )
+        sizes = [len(d) for d in utility.trainer.client_datasets]
+        assert max(sizes) > min(sizes)
+
+    def test_deterministic_given_seed(self):
+        a = build_synthetic_task(SYNTHETIC_SETUPS[0], n_clients=3, model="logistic", scale=TINY, seed=1)
+        b = build_synthetic_task(SYNTHETIC_SETUPS[0], n_clients=3, model="logistic", scale=TINY, seed=1)
+        assert a(frozenset({0, 1})) == b(frozenset({0, 1}))
+
+
+class TestFemnistTaskBuilder:
+    def test_basic_construction(self):
+        utility, info = build_femnist_task(n_clients=4, model="logistic", scale=TINY, seed=0)
+        assert utility.n_clients == 4
+        assert info["null_clients"] == []
+        assert info["duplicate_groups"] == []
+
+    def test_null_and_duplicate_clients(self):
+        utility, info = build_femnist_task(
+            n_clients=6,
+            model="logistic",
+            scale=TINY,
+            n_null_clients=1,
+            n_duplicate_clients=1,
+            seed=0,
+        )
+        assert info["n_clients"] == 6
+        null_client = info["null_clients"][0]
+        assert len(utility.trainer.client_datasets[null_client]) == 0
+        group = info["duplicate_groups"][0]
+        original, duplicate = group[0], group[-1]
+        assert len(utility.trainer.client_datasets[original]) == len(
+            utility.trainer.client_datasets[duplicate]
+        )
+
+    def test_too_many_special_clients_raise(self):
+        with pytest.raises(ValueError):
+            build_femnist_task(
+                n_clients=3, scale=TINY, n_null_clients=2, n_duplicate_clients=1
+            )
+
+    def test_cnn_model_variant(self):
+        utility, _ = build_femnist_task(n_clients=3, model="cnn", scale=TINY, seed=0)
+        value = utility(frozenset({0}))
+        assert 0.0 <= value <= 1.0
+
+
+class TestAdultTaskBuilder:
+    def test_mlp_variant(self):
+        utility = build_adult_task(n_clients=3, model="mlp", scale=TINY, seed=0)
+        assert 0.0 <= utility(frozenset({0, 1})) <= 1.0
+
+    def test_xgb_variant_is_not_parametric(self):
+        utility = build_adult_task(n_clients=3, model="xgb", scale=TINY, seed=0)
+        assert 0.0 <= utility(frozenset({0, 1, 2})) <= 1.0
+        with pytest.raises(TypeError):
+            utility.trainer.grand_coalition_history()

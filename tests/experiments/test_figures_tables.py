@@ -1,0 +1,104 @@
+"""Smoke tests for the table/figure regenerators at tiny scale.
+
+Each experiment is exercised with the smallest meaningful configuration so the
+whole module stays fast; the benchmark suite runs the realistic versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentScale, figures, tables
+from repro.experiments.tables import render_table
+
+TINY = ExperimentScale.tiny()
+
+
+class TestTables:
+    def test_table4_rows_structure(self):
+        rows = tables.table4(scale=TINY, client_counts=(3,), models=("mlp",))
+        algorithms = {row["algorithm"] for row in rows}
+        assert "IPSS" in algorithms
+        assert "MC-Shapley" in algorithms
+        assert all(row["dataset"] == "femnist-like" for row in rows)
+        approx = [r for r in rows if r["algorithm"] != "MC-Shapley"]
+        assert all(r["error_l2"] is not None for r in approx)
+
+    def test_table5_xgb_excludes_gradient_baselines(self):
+        rows = tables.table5(scale=TINY, client_counts=(3,), models=("xgb",))
+        algorithms = {row["algorithm"] for row in rows}
+        assert "IPSS" in algorithms
+        assert "OR" not in algorithms
+        assert "GTG-Shapley" not in algorithms
+
+    def test_render_table_text(self):
+        rows = tables.table4(scale=TINY, client_counts=(3,), models=("mlp",))
+        text = render_table(rows, "Table IV (tiny)")
+        assert "Table IV" in text
+        assert "IPSS" in text
+
+
+class TestFigures:
+    def test_figure1b_points(self):
+        rows = figures.figure1b(scale=TINY, n_clients=4, model="logistic", seed=0)
+        assert all("time_s" in row and "error_l2" in row for row in rows)
+        assert any(row["algorithm"] == "IPSS" for row in rows)
+
+    def test_figure4_error_decreases_overall(self):
+        report = figures.figure4(scale=TINY, n_clients=5, model="logistic", seed=0)
+        assert report["k"] == [1, 2, 3, 4, 5]
+        assert report["relative_error"][-1] < 1e-6  # K = n recovers exact MC-SV
+        assert report["evaluations"] == sorted(report["evaluations"])
+
+    def test_figure6_covers_requested_setups(self):
+        rows = figures.figure6(
+            scale=TINY,
+            setups=("same-size-same-distribution",),
+            models=("logistic",),
+            n_clients=3,
+            seed=0,
+        )
+        assert {row["setup"] for row in rows} == {"same-size-same-distribution"}
+        assert any(row["algorithm"] == "IPSS" for row in rows)
+
+    def test_figure7_series_shapes(self):
+        report = figures.figure7(
+            scale=TINY, n_clients=4, model="logistic", gammas=(4, 8), repetitions=2, seed=0
+        )
+        assert report["gamma"] == [4, 8]
+        for series in report["series"].values():
+            assert len(series) == 2
+            assert all(np.isfinite(series))
+
+    def test_figure8_rows(self):
+        rows = figures.figure8(
+            scale=TINY, n_clients=4, model="logistic", gammas=(4, 8), seed=0
+        )
+        assert len(rows) == 8  # 4 algorithms x 2 gammas
+        assert all(row["error_l2"] >= 0 for row in rows)
+
+    def test_figure9_fairness_proxies(self):
+        rows = figures.figure9(
+            scale=TINY, client_counts=(8,), model="logistic", seed=0
+        )
+        assert all(row["n"] == 8 for row in rows)
+        assert all(np.isfinite(row["fairness_error"]) for row in rows)
+        assert {row["algorithm"] for row in rows} == {
+            "IPSS",
+            "Extended-TMC",
+            "Extended-GTB",
+            "CC-Shapley",
+        }
+
+    def test_figure10_variance_fields(self):
+        rows = figures.figure10(
+            scale=TINY,
+            client_counts=(4,),
+            gammas=(4, 8),
+            repetitions=4,
+            contribution_samples=40,
+            seed=0,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["mc_contribution_variance"] >= 0
+            assert row["cc_contribution_variance"] >= 0

@@ -1,0 +1,181 @@
+"""Tests for the FL simulator building blocks: config, client, aggregation, history."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, make_classification_blobs
+from repro.fl import (
+    ClientUpdate,
+    FLClient,
+    FLConfig,
+    RoundRecord,
+    TrainingHistory,
+    fedavg_aggregate,
+    weighted_average,
+)
+from repro.models import LogisticRegressionModel
+
+
+@pytest.fixture
+def small_dataset():
+    return make_classification_blobs(40, n_features=4, n_classes=2, seed=0)
+
+
+class TestFLConfig:
+    def test_defaults_valid(self):
+        config = FLConfig()
+        assert config.rounds == 5
+        assert config.algorithm == "fedavg"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rounds": 0},
+            {"local_epochs": 0},
+            {"algorithm": "fancy"},
+            {"proximal_mu": -1.0},
+            {"client_fraction": 0.0},
+            {"client_fraction": 1.5},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FLConfig(**kwargs)
+
+    def test_with_history_copy(self):
+        config = FLConfig(rounds=2, record_history=False)
+        copied = config.with_history()
+        assert copied.record_history
+        assert copied.rounds == 2
+        assert not config.record_history
+
+
+class TestAggregation:
+    def test_weighted_average_basic(self):
+        result = weighted_average([np.array([0.0, 0.0]), np.array([2.0, 4.0])], [1.0, 3.0])
+        assert np.allclose(result, [1.5, 3.0])
+
+    def test_zero_weights_fall_back_to_mean(self):
+        result = weighted_average([np.array([0.0]), np.array([2.0])], [0.0, 0.0])
+        assert np.allclose(result, [1.0])
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(ValueError):
+            weighted_average([np.zeros(2)], [-1.0])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average([], [])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average([np.zeros(2)], [1.0, 2.0])
+
+    def test_fedavg_weights_by_sample_count(self):
+        result = fedavg_aggregate([np.array([0.0]), np.array([10.0])], [10, 30])
+        assert np.allclose(result, [7.5])
+
+    def test_single_client_identity(self):
+        vector = np.array([1.0, -2.0, 3.0])
+        assert np.allclose(fedavg_aggregate([vector], [5]), vector)
+
+
+class TestFLClient:
+    def test_local_update_changes_parameters(self, small_dataset):
+        client = FLClient(0, small_dataset)
+        model = LogisticRegressionModel(n_features=4, n_classes=2, epochs=3)
+        model.initialize(0)
+        start = model.get_parameters()
+        updated = client.local_update(model, start, FLConfig(rounds=1, local_epochs=2), seed=0)
+        assert not np.allclose(updated, start)
+
+    def test_empty_client_returns_global_unchanged(self, small_dataset):
+        client = FLClient(1, Dataset.empty_like(small_dataset))
+        assert client.is_empty
+        model = LogisticRegressionModel(n_features=4, n_classes=2)
+        model.initialize(0)
+        start = model.get_parameters()
+        updated = client.local_update(model, start, FLConfig(), seed=0)
+        assert np.allclose(updated, start)
+
+    def test_fedsgd_takes_single_gradient_step(self, small_dataset):
+        client = FLClient(0, small_dataset)
+        model = LogisticRegressionModel(n_features=4, n_classes=2, learning_rate=0.1)
+        model.initialize(0)
+        start = model.get_parameters()
+        model.set_parameters(start)
+        gradient = model.gradient_on(small_dataset)
+        expected = start - 0.1 * gradient
+        updated = client.local_update(model, start, FLConfig(algorithm="fedsgd"), seed=0)
+        assert np.allclose(updated, expected)
+
+    def test_fedprox_stays_closer_to_global(self, small_dataset):
+        client = FLClient(0, small_dataset)
+        start = LogisticRegressionModel(n_features=4, n_classes=2).initialize(0).get_parameters()
+
+        def run(config):
+            model = LogisticRegressionModel(n_features=4, n_classes=2, epochs=10)
+            model.initialize(0)
+            return client.local_update(model, start, config, seed=0)
+
+        fedavg_update = run(FLConfig(algorithm="fedavg", local_epochs=10))
+        fedprox_update = run(FLConfig(algorithm="fedprox", proximal_mu=1.0, local_epochs=10))
+        assert np.linalg.norm(fedprox_update - start) < np.linalg.norm(fedavg_update - start)
+
+    def test_n_samples(self, small_dataset):
+        assert FLClient(0, small_dataset).n_samples == 40
+
+
+class TestTrainingHistory:
+    def _make_history(self):
+        history = TrainingHistory(initial_parameters=np.zeros(3))
+        record = RoundRecord(round_index=0, global_before=np.zeros(3))
+        record.add_update(ClientUpdate(client_id=0, parameters=np.array([1.0, 0.0, 0.0]), n_samples=10))
+        record.add_update(ClientUpdate(client_id=1, parameters=np.array([0.0, 2.0, 0.0]), n_samples=30))
+        record.global_after = record.aggregate_subset({0, 1})
+        history.add_round(record)
+        return history
+
+    def test_client_delta(self):
+        history = self._make_history()
+        delta = history.rounds[0].client_delta(0)
+        assert np.allclose(delta, [1.0, 0.0, 0.0])
+
+    def test_aggregate_subset_weighted(self):
+        history = self._make_history()
+        aggregated = history.rounds[0].aggregate_subset({0, 1})
+        assert np.allclose(aggregated, [0.25, 1.5, 0.0])
+
+    def test_aggregate_subset_missing_clients(self):
+        history = self._make_history()
+        aggregated = history.rounds[0].aggregate_subset({5})
+        assert np.allclose(aggregated, np.zeros(3))
+
+    def test_reconstruct_sequential_empty_coalition(self):
+        history = self._make_history()
+        assert np.allclose(history.reconstruct_sequential(frozenset()), np.zeros(3))
+
+    def test_reconstruct_sequential_single_client(self):
+        history = self._make_history()
+        reconstructed = history.reconstruct_sequential({1})
+        assert np.allclose(reconstructed, [0.0, 2.0, 0.0])
+
+    def test_reconstruct_sequential_full_matches_fedavg(self):
+        history = self._make_history()
+        reconstructed = history.reconstruct_sequential({0, 1})
+        assert np.allclose(reconstructed, history.rounds[0].global_after)
+
+    def test_reconstruct_round_bounds(self):
+        history = self._make_history()
+        with pytest.raises(IndexError):
+            history.reconstruct_round(3, {0})
+
+    def test_clients_and_sizes(self):
+        history = self._make_history()
+        assert history.clients() == [0, 1]
+        assert history.client_sizes[1] == 30
+        assert history.n_rounds == 1
+
+    def test_participating_clients(self):
+        history = self._make_history()
+        assert history.rounds[0].participating_clients() == [0, 1]

@@ -1,0 +1,129 @@
+"""End-to-end integration tests: full pipeline from data to valuation.
+
+These tests run real (but tiny) FL trainings, so they are the slowest part of
+the suite; everything is kept to a handful of clients and rounds.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import (
+    IPSS,
+    CCShapleySampling,
+    ExtendedTMC,
+    KGreedy,
+    MCShapley,
+    null_player_error,
+    rank_correlation,
+    relative_error_l2,
+    symmetry_error,
+)
+from repro.datasets import (
+    Dataset,
+    flip_labels,
+    make_classification_blobs,
+    partition_iid,
+    train_test_split,
+)
+from repro.fl import CoalitionUtility, FLConfig
+from repro.models import LogisticRegressionModel, MLPClassifier
+
+
+class TestQuickValuation:
+    def test_quick_valuation_runs(self):
+        result = repro.quick_valuation(n_clients=3, samples_per_client=30, total_rounds=6, seed=0)
+        assert result.values.shape == (3,)
+        assert result.utility_evaluations <= 6
+
+    def test_quick_valuation_deterministic(self):
+        a = repro.quick_valuation(n_clients=3, samples_per_client=30, total_rounds=6, seed=1)
+        b = repro.quick_valuation(n_clients=3, samples_per_client=30, total_rounds=6, seed=1)
+        assert np.allclose(a.values, b.values)
+
+
+class TestRealFederationValuation:
+    def test_ipss_close_to_exact_on_tiny_federation(self, tiny_fl_utility):
+        exact = MCShapley().run(tiny_fl_utility).values
+        estimate = IPSS(total_rounds=12, seed=0).run(tiny_fl_utility).values
+        assert relative_error_l2(estimate, exact) < 0.35
+
+    def test_exact_value_ordering_is_stable_across_schemes(self, tiny_fl_utility):
+        from repro.core import CCShapley
+
+        mc = MCShapley().run(tiny_fl_utility).values
+        cc = CCShapley().run(tiny_fl_utility).values
+        assert np.allclose(mc, cc, atol=1e-9)
+
+    def test_kgreedy_tracks_exact_with_k2(self, tiny_fl_utility):
+        exact = MCShapley().run(tiny_fl_utility).values
+        estimate = KGreedy(max_size=2).run(tiny_fl_utility).values
+        assert rank_correlation(estimate, exact) >= 0.5
+
+
+class TestNoisyClientScenario:
+    """A federation where one client has heavy label noise and one is empty."""
+
+    @pytest.fixture(scope="class")
+    def noisy_federation(self):
+        pooled = make_classification_blobs(
+            260,
+            n_features=8,
+            n_classes=3,
+            cluster_std=2.2,
+            class_separation=2.0,
+            seed=13,
+        )
+        train, test = train_test_split(pooled, test_fraction=0.25, seed=13)
+        clients = partition_iid(train, 4, seed=13)
+        clients[2] = flip_labels(clients[2], 0.7, seed=13)
+        clients.append(Dataset.empty_like(test, name="free-rider"))
+        return CoalitionUtility(
+            client_datasets=clients,
+            test_dataset=test,
+            model_factory=lambda: MLPClassifier(
+                n_features=8, n_classes=3, hidden_sizes=(12,), epochs=3
+            ),
+            config=FLConfig(rounds=3, local_epochs=1),
+            seed=13,
+        )
+
+    def test_exact_values_respect_axioms(self, noisy_federation):
+        exact = MCShapley().run(noisy_federation).values
+        # Free rider (client 4) is a null player.
+        assert abs(exact[4]) < 1e-9
+        # The heavily noisy client is worth less than the average clean client.
+        clean_mean = np.mean([exact[0], exact[1], exact[3]])
+        assert exact[2] < clean_mean
+
+    def test_ipss_preserves_free_rider_detection(self, noisy_federation):
+        estimate = IPSS(total_rounds=16, seed=0).run(noisy_federation).values
+        assert null_player_error(estimate, [4]) < 0.3
+
+    def test_sampling_baselines_run_on_real_federation(self, noisy_federation):
+        for algorithm in (
+            ExtendedTMC(total_rounds=12, seed=0),
+            CCShapleySampling(total_rounds=12, seed=0),
+        ):
+            values = algorithm.run(noisy_federation).values
+            assert values.shape == (5,)
+            assert np.all(np.isfinite(values))
+
+
+class TestDuplicateClientsScenario:
+    def test_exact_symmetry_for_identical_datasets(self):
+        pooled = make_classification_blobs(
+            200, n_features=6, n_classes=3, cluster_std=2.0, seed=21
+        )
+        train, test = train_test_split(pooled, test_fraction=0.3, seed=21)
+        clients = partition_iid(train, 3, seed=21)
+        clients.append(clients[0].copy())  # client 3 duplicates client 0
+        utility = CoalitionUtility(
+            client_datasets=clients,
+            test_dataset=test,
+            model_factory=lambda: LogisticRegressionModel(n_features=6, n_classes=3, epochs=3),
+            config=FLConfig(rounds=2, local_epochs=1),
+            seed=21,
+        )
+        exact = MCShapley().run(utility).values
+        assert symmetry_error(exact, [[0, 3]]) < 0.35

@@ -1,0 +1,87 @@
+"""Tests for the gradient-boosted-trees XGBoost stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, make_adult_like, make_classification_blobs
+from repro.models import GradientBoostedTrees
+
+
+class TestGradientBoostedTrees:
+    def test_learns_binary_task(self):
+        dataset = make_adult_like(400, seed=0)
+        model = GradientBoostedTrees(n_classes=2, n_rounds=10, max_depth=3)
+        model.fit(dataset, seed=0)
+        majority = max(dataset.label_distribution())
+        assert model.evaluate(dataset) > majority
+
+    def test_learns_multiclass_task(self):
+        dataset = make_classification_blobs(
+            300, n_features=5, n_classes=3, class_separation=4.0, cluster_std=0.6, seed=1
+        )
+        model = GradientBoostedTrees(n_classes=3, n_rounds=8, max_depth=3)
+        model.fit(dataset, seed=0)
+        assert model.evaluate(dataset) > 0.8
+
+    def test_more_rounds_do_not_hurt_training_fit(self):
+        dataset = make_adult_like(300, seed=2)
+        small = GradientBoostedTrees(n_classes=2, n_rounds=2).fit(dataset, seed=0)
+        large = GradientBoostedTrees(n_classes=2, n_rounds=15).fit(dataset, seed=0)
+        assert large.evaluate(dataset) >= small.evaluate(dataset) - 1e-9
+
+    def test_predict_proba_shape_and_simplex(self):
+        dataset = make_adult_like(100, seed=3)
+        model = GradientBoostedTrees(n_classes=2, n_rounds=4).fit(dataset, seed=0)
+        probabilities = model.predict_proba(dataset.features)
+        assert probabilities.shape == (100, 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_unfitted_model_predicts_something(self):
+        dataset = make_adult_like(20, seed=4)
+        model = GradientBoostedTrees(n_classes=2)
+        predictions = model.predict(dataset.features)
+        assert predictions.shape == (20,)
+
+    def test_fit_on_empty_dataset_is_safe(self):
+        dataset = make_adult_like(20, seed=5)
+        empty = Dataset.empty_like(dataset)
+        model = GradientBoostedTrees(n_classes=2).fit(empty, seed=0)
+        assert model.n_trees == 0
+        assert model.evaluate(dataset) >= 0.0
+
+    def test_evaluate_empty_test_set(self):
+        dataset = make_adult_like(50, seed=6)
+        model = GradientBoostedTrees(n_classes=2, n_rounds=2).fit(dataset, seed=0)
+        assert model.evaluate(Dataset.empty_like(dataset)) == 0.0
+
+    def test_n_trees_counts_rounds_and_outputs(self):
+        binary = GradientBoostedTrees(n_classes=2, n_rounds=5).fit(
+            make_adult_like(80, seed=7), seed=0
+        )
+        assert binary.n_trees == 5
+        multi = GradientBoostedTrees(n_classes=3, n_rounds=4).fit(
+            make_classification_blobs(80, n_classes=3, seed=7), seed=0
+        )
+        assert multi.n_trees == 12
+
+    def test_subsample_option(self):
+        dataset = make_adult_like(200, seed=8)
+        model = GradientBoostedTrees(n_classes=2, n_rounds=5, subsample=0.5)
+        model.fit(dataset, seed=0)
+        assert model.evaluate(dataset) > 0.5
+
+    def test_is_not_parametric(self):
+        assert GradientBoostedTrees(n_classes=2).is_parametric is False
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_classes=1)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_classes=2, subsample=0.0)
+
+    def test_deterministic_given_seed(self):
+        dataset = make_adult_like(150, seed=9)
+        a = GradientBoostedTrees(n_classes=2, n_rounds=3, subsample=0.8).fit(dataset, seed=5)
+        b = GradientBoostedTrees(n_classes=2, n_rounds=3, subsample=0.8).fit(dataset, seed=5)
+        assert np.array_equal(a.predict(dataset.features), b.predict(dataset.features))

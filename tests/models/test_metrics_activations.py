@@ -1,0 +1,98 @@
+"""Tests for model metrics and activation functions."""
+
+import numpy as np
+import pytest
+
+from repro.models.activations import (
+    get_activation,
+    relu,
+    relu_grad,
+    sigmoid,
+    softmax,
+    tanh_grad,
+)
+from repro.models.metrics import (
+    accuracy_score,
+    cross_entropy,
+    mean_absolute_error,
+    mean_squared_error,
+    negative_mse,
+)
+
+
+class TestMetrics:
+    def test_accuracy_perfect_and_zero(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+        assert accuracy_score([1, 2, 3], [0, 0, 0]) == 0.0
+
+    def test_accuracy_partial(self):
+        assert accuracy_score([1, 1, 0, 0], [1, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_accuracy_empty_is_zero(self):
+        assert accuracy_score([], []) == 0.0
+
+    def test_accuracy_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+    def test_mse_known_value(self):
+        assert mean_squared_error([0.0, 2.0], [1.0, 0.0]) == pytest.approx(2.5)
+
+    def test_mse_empty_is_inf(self):
+        assert mean_squared_error([], []) == float("inf")
+
+    def test_negative_mse_sign(self):
+        assert negative_mse([1.0], [0.0]) == pytest.approx(-1.0)
+
+    def test_mae_known_value(self):
+        assert mean_absolute_error([0.0, 2.0], [1.0, 0.0]) == pytest.approx(1.5)
+
+    def test_cross_entropy_confident_correct_is_small(self):
+        probabilities = np.array([[0.99, 0.01], [0.01, 0.99]])
+        assert cross_entropy(probabilities, [0, 1]) < 0.05
+
+    def test_cross_entropy_wrong_is_large(self):
+        probabilities = np.array([[0.01, 0.99]])
+        assert cross_entropy(probabilities, [0]) > 2.0
+
+    def test_cross_entropy_empty(self):
+        assert cross_entropy(np.zeros((0, 2)), []) == 0.0
+
+
+class TestActivations:
+    def test_relu_and_grad(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(relu(x), [0.0, 0.0, 2.0])
+        assert np.allclose(relu_grad(x), [0.0, 0.0, 1.0])
+
+    def test_tanh_grad_matches_numeric(self):
+        x = np.linspace(-2, 2, 9)
+        eps = 1e-6
+        numeric = (np.tanh(x + eps) - np.tanh(x - eps)) / (2 * eps)
+        assert np.allclose(tanh_grad(x), numeric, atol=1e-6)
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.array([-50.0, -1.0, 0.0, 1.0, 50.0])
+        s = sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        assert s[2] == pytest.approx(0.5)
+        assert np.allclose(s + sigmoid(-x), 1.0)
+
+    def test_sigmoid_extreme_values_stable(self):
+        assert np.isfinite(sigmoid(np.array([1000.0, -1000.0]))).all()
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [1000.0, 1000.0, 1000.0]])
+        probabilities = softmax(logits)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert np.isfinite(probabilities).all()
+
+    def test_softmax_orders_by_logit(self):
+        probabilities = softmax(np.array([[1.0, 3.0, 2.0]]))
+        assert np.argmax(probabilities) == 1
+
+    def test_get_activation_known_and_unknown(self):
+        function, grad = get_activation("relu")
+        assert function is relu
+        with pytest.raises(ValueError):
+            get_activation("gelu")

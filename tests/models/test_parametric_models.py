@@ -1,0 +1,285 @@
+"""Tests for the parametric models: linear, logistic, MLP, CNN.
+
+Includes finite-difference gradient checks for the neural networks — the FL
+simulator and every gradient-based baseline depend on those gradients being
+correct.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, make_classification_blobs, make_linear_regression, make_mnist_like
+from repro.models import (
+    LinearRegressionModel,
+    LogisticRegressionModel,
+    MLPClassifier,
+    SimpleCNN,
+)
+from repro.models.metrics import cross_entropy
+
+
+def numeric_gradient(model, parameters, features, targets, eps=1e-5):
+    """Central finite differences of the model's training loss."""
+
+    def loss(params):
+        if isinstance(model, LinearRegressionModel):
+            predictions = model._predict_with(params, features.reshape(len(features), -1))
+            return float(np.mean((predictions - targets) ** 2))
+        if isinstance(model, LogisticRegressionModel):
+            probabilities = model._probabilities(params, features.reshape(len(features), -1))
+            return cross_entropy(probabilities, targets)
+        if isinstance(model, MLPClassifier):
+            probabilities, _, _ = model._forward(params, features.reshape(len(features), -1))
+            return cross_entropy(probabilities, targets)
+        if isinstance(model, SimpleCNN):
+            probabilities, _ = model._forward(params, model._reshape_images(features))
+            return cross_entropy(probabilities, targets)
+        raise TypeError(type(model))
+
+    grad = np.zeros_like(parameters)
+    for index in range(len(parameters)):
+        plus = parameters.copy()
+        minus = parameters.copy()
+        plus[index] += eps
+        minus[index] -= eps
+        grad[index] = (loss(plus) - loss(minus)) / (2 * eps)
+    return grad
+
+
+class TestLinearRegressionModel:
+    def test_parameter_count(self):
+        assert LinearRegressionModel(n_features=4).num_parameters() == 5
+        assert LinearRegressionModel(n_features=4, fit_intercept=False).num_parameters() == 4
+
+    def test_sgd_recovers_coefficients(self):
+        coefficients = np.array([2.0, -1.0, 0.5])
+        dataset = make_linear_regression(
+            400, n_features=3, coefficients=coefficients, noise_std=0.01, seed=0
+        )
+        model = LinearRegressionModel(n_features=3, epochs=60, learning_rate=0.05)
+        model.fit(dataset, seed=0)
+        weights = model.get_parameters()[:3]
+        assert np.allclose(weights, coefficients, atol=0.1)
+
+    def test_closed_form_matches_lstsq(self):
+        dataset = make_linear_regression(100, n_features=4, noise_std=0.2, seed=1)
+        model = LinearRegressionModel(n_features=4)
+        model.fit_closed_form(dataset)
+        design = np.column_stack([dataset.features, np.ones(len(dataset))])
+        expected, *_ = np.linalg.lstsq(design, dataset.targets, rcond=None)
+        assert np.allclose(model.get_parameters(), expected, atol=1e-4)
+
+    def test_evaluate_is_negative_mse(self):
+        dataset = make_linear_regression(50, n_features=3, seed=2)
+        model = LinearRegressionModel(n_features=3)
+        model.fit_closed_form(dataset)
+        assert model.evaluate(dataset) <= 0.0
+
+    def test_evaluate_empty_dataset(self):
+        dataset = make_linear_regression(10, n_features=3, seed=3)
+        model = LinearRegressionModel(n_features=3)
+        assert model.evaluate(Dataset.empty_like(dataset)) == float("-inf")
+
+    def test_gradient_matches_numeric(self):
+        dataset = make_linear_regression(20, n_features=3, seed=4)
+        model = LinearRegressionModel(n_features=3)
+        model.initialize(0)
+        params = model.get_parameters() + 0.1
+        analytic = model._gradient(params, dataset.features, dataset.targets)
+        numeric = numeric_gradient(model, params, dataset.features, dataset.targets)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_set_parameters_shape_check(self):
+        model = LinearRegressionModel(n_features=3)
+        with pytest.raises(ValueError):
+            model.set_parameters(np.zeros(7))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LinearRegressionModel(n_features=0)
+        with pytest.raises(ValueError):
+            LinearRegressionModel(n_features=3, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LinearRegressionModel(n_features=3, batch_size=0)
+
+
+class TestLogisticRegressionModel:
+    def test_parameter_count(self):
+        model = LogisticRegressionModel(n_features=4, n_classes=3)
+        assert model.num_parameters() == 4 * 3 + 3
+
+    def test_learns_separable_task(self):
+        dataset = make_classification_blobs(
+            300, n_features=5, n_classes=3, class_separation=4.0, cluster_std=0.5, seed=0
+        )
+        model = LogisticRegressionModel(n_features=5, n_classes=3, epochs=25)
+        model.fit(dataset, seed=0)
+        assert model.evaluate(dataset) > 0.9
+
+    def test_predict_proba_rows_sum_to_one(self):
+        dataset = make_classification_blobs(30, n_features=4, n_classes=3, seed=1)
+        model = LogisticRegressionModel(n_features=4, n_classes=3)
+        model.fit(dataset, seed=0)
+        probabilities = model.predict_proba(dataset.features)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_gradient_matches_numeric(self):
+        dataset = make_classification_blobs(15, n_features=3, n_classes=3, seed=2)
+        model = LogisticRegressionModel(n_features=3, n_classes=3, init_scale=0.3)
+        model.initialize(1)
+        params = model.get_parameters()
+        analytic = model._gradient(params, dataset.features, dataset.targets)
+        numeric = numeric_gradient(model, params, dataset.features, dataset.targets)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_evaluate_empty_dataset_zero(self):
+        dataset = make_classification_blobs(10, n_features=4, n_classes=2, seed=3)
+        model = LogisticRegressionModel(n_features=4, n_classes=2)
+        assert model.evaluate(Dataset.empty_like(dataset)) == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionModel(n_features=3, n_classes=1)
+
+
+class TestMLPClassifier:
+    def test_parameter_count(self):
+        model = MLPClassifier(n_features=6, n_classes=3, hidden_sizes=(4,))
+        expected = 6 * 4 + 4 + 4 * 3 + 3
+        assert model.num_parameters() == expected
+
+    def test_two_hidden_layers_parameter_count(self):
+        model = MLPClassifier(n_features=5, n_classes=2, hidden_sizes=(4, 3))
+        expected = 5 * 4 + 4 + 4 * 3 + 3 + 3 * 2 + 2
+        assert model.num_parameters() == expected
+
+    def test_learns_separable_task(self):
+        dataset = make_classification_blobs(
+            300, n_features=6, n_classes=3, class_separation=4.0, cluster_std=0.7, seed=0
+        )
+        model = MLPClassifier(n_features=6, n_classes=3, hidden_sizes=(16,), epochs=25)
+        model.fit(dataset, seed=0)
+        assert model.evaluate(dataset) > 0.9
+
+    def test_gradient_matches_numeric(self):
+        dataset = make_classification_blobs(10, n_features=4, n_classes=3, seed=1)
+        model = MLPClassifier(n_features=4, n_classes=3, hidden_sizes=(5,), activation="tanh")
+        model.initialize(2)
+        params = model.get_parameters()
+        analytic = model._gradient(params, dataset.features, dataset.targets)
+        numeric = numeric_gradient(model, params, dataset.features, dataset.targets)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_relu_gradient_matches_numeric(self):
+        dataset = make_classification_blobs(10, n_features=4, n_classes=2, seed=5)
+        model = MLPClassifier(n_features=4, n_classes=2, hidden_sizes=(6,), activation="relu")
+        model.initialize(3)
+        params = model.get_parameters()
+        analytic = model._gradient(params, dataset.features, dataset.targets)
+        numeric = numeric_gradient(model, params, dataset.features, dataset.targets)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_pack_unpack_roundtrip(self):
+        model = MLPClassifier(n_features=3, n_classes=2, hidden_sizes=(4,))
+        model.initialize(0)
+        params = model.get_parameters()
+        layers = model._unpack(params)
+        assert np.allclose(model._pack(layers), params)
+
+    def test_invalid_hidden_sizes(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(n_features=3, n_classes=2, hidden_sizes=(0,))
+
+    def test_clone_is_unfitted_copy(self):
+        model = MLPClassifier(n_features=3, n_classes=2)
+        model.initialize(0)
+        clone = model.clone()
+        assert clone.num_parameters() == model.num_parameters()
+
+
+class TestSimpleCNN:
+    def test_parameter_count_consistency(self):
+        model = SimpleCNN(image_size=8, n_classes=4, n_filters=2, kernel_size=3)
+        model.initialize(0)
+        assert model.get_parameters().shape == (model.num_parameters(),)
+
+    def test_learns_image_task(self):
+        dataset = make_mnist_like(300, image_size=8, pixel_noise=0.15, seed=0)
+        model = SimpleCNN(image_size=8, n_classes=10, n_filters=4, epochs=10, learning_rate=0.3)
+        model.fit(dataset, seed=0)
+        assert model.evaluate(dataset) > 0.5
+
+    def test_gradient_matches_numeric(self):
+        dataset = make_mnist_like(6, image_size=6, seed=1)
+        model = SimpleCNN(image_size=6, n_classes=10, n_filters=2, kernel_size=3)
+        model.initialize(0)
+        params = model.get_parameters()
+        analytic = model._gradient(params, dataset.features, dataset.targets)
+        numeric = numeric_gradient(model, params, dataset.features, dataset.targets)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_accepts_flattened_input(self):
+        dataset = make_mnist_like(20, image_size=8, seed=2)
+        model = SimpleCNN(image_size=8, n_classes=10, n_filters=2, epochs=2)
+        flat = Dataset(dataset.flat_features, dataset.targets, num_classes=10)
+        model.fit(flat, seed=0)
+        predictions = model.predict(flat.features)
+        assert predictions.shape == (20,)
+
+    def test_image_too_small_raises(self):
+        with pytest.raises(ValueError):
+            SimpleCNN(image_size=3, n_classes=2, kernel_size=3)
+
+    def test_predict_proba_rows_sum_to_one(self):
+        dataset = make_mnist_like(10, image_size=8, seed=3)
+        model = SimpleCNN(image_size=8, n_classes=10, n_filters=2, epochs=1)
+        model.fit(dataset, seed=0)
+        probabilities = model.predict_proba(dataset.features)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+
+class TestParametricModelProtocol:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: LinearRegressionModel(n_features=4),
+            lambda: LogisticRegressionModel(n_features=4, n_classes=3),
+            lambda: MLPClassifier(n_features=4, n_classes=3, hidden_sizes=(5,)),
+            lambda: SimpleCNN(image_size=6, n_classes=3, n_filters=2),
+        ],
+    )
+    def test_get_set_parameters_roundtrip(self, factory):
+        model = factory()
+        model.initialize(0)
+        params = model.get_parameters()
+        model.set_parameters(params * 2.0)
+        assert np.allclose(model.get_parameters(), params * 2.0)
+
+    def test_initialization_is_deterministic_per_seed(self):
+        a = MLPClassifier(n_features=4, n_classes=2, seed=3)
+        b = MLPClassifier(n_features=4, n_classes=2, seed=3)
+        assert np.allclose(a.initialize(3).get_parameters(), b.initialize(3).get_parameters())
+
+    def test_train_epochs_on_empty_dataset_is_noop(self):
+        dataset = make_classification_blobs(10, n_features=4, n_classes=2, seed=0)
+        empty = Dataset.empty_like(dataset)
+        model = LogisticRegressionModel(n_features=4, n_classes=2)
+        model.initialize(0)
+        before = model.get_parameters()
+        after = model.train_epochs(empty, epochs=3, seed=0)
+        assert np.allclose(before, after)
+
+    def test_fedprox_proximal_term_pulls_towards_reference(self):
+        dataset = make_classification_blobs(100, n_features=4, n_classes=2, seed=1)
+        reference = np.zeros(LogisticRegressionModel(n_features=4, n_classes=2).num_parameters())
+
+        free = LogisticRegressionModel(n_features=4, n_classes=2, epochs=10)
+        free.initialize(0)
+        free_params = free.train_epochs(dataset, seed=0)
+
+        proximal = LogisticRegressionModel(n_features=4, n_classes=2, epochs=10)
+        proximal.initialize(0)
+        proximal_params = proximal.train_epochs(
+            dataset, seed=0, proximal_mu=1.0, reference_parameters=reference
+        )
+        assert np.linalg.norm(proximal_params) < np.linalg.norm(free_params)

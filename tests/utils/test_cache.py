@@ -1,0 +1,102 @@
+"""Tests for the coalition-utility cache."""
+
+import pytest
+
+from repro.utils.cache import CacheStats, UtilityCache
+
+
+def make_counting_evaluator():
+    calls = []
+
+    def evaluator(coalition):
+        calls.append(coalition)
+        return float(len(coalition))
+
+    return evaluator, calls
+
+
+class TestUtilityCache:
+    def test_first_lookup_is_a_miss(self):
+        evaluator, calls = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        assert cache.utility({0, 1}) == 2.0
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_second_lookup_is_a_hit(self):
+        evaluator, calls = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        cache.utility({0, 1})
+        cache.utility([1, 0])  # same coalition, different container/order
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+
+    def test_call_and_utility_are_equivalent(self):
+        evaluator, _ = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        assert cache({0}) == cache.utility({0})
+
+    def test_evaluations_counts_distinct_coalitions(self):
+        evaluator, _ = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        for coalition in [{0}, {1}, {0, 1}, {0}, {1}]:
+            cache.utility(coalition)
+        assert cache.evaluations == 3
+
+    def test_prefetch(self):
+        evaluator, calls = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        cache.prefetch([{0}, {1}, {0, 1}])
+        assert len(calls) == 3
+        assert cache.contains({0, 1})
+
+    def test_peek_does_not_evaluate(self):
+        evaluator, calls = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        assert cache.peek({0}) is None
+        assert len(calls) == 0
+        cache.utility({0})
+        assert cache.peek({0}) == 1.0
+
+    def test_clear_resets_everything(self):
+        evaluator, _ = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        cache.utility({0})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.evaluations == 0
+
+    def test_max_size_evicts_oldest(self):
+        evaluator, calls = make_counting_evaluator()
+        cache = UtilityCache(evaluator, max_size=2)
+        cache.utility({0})
+        cache.utility({1})
+        cache.utility({2})  # evicts {0}
+        assert len(cache) == 2
+        assert not cache.contains({0})
+        cache.utility({0})  # re-evaluated
+        assert len(calls) == 4
+
+    def test_hit_rate(self):
+        evaluator, _ = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        assert cache.stats.hit_rate == 0.0
+        cache.utility({0})
+        cache.utility({0})
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_empty_coalition_is_cacheable(self):
+        evaluator, calls = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        cache.utility(frozenset())
+        cache.utility(set())
+        assert len(calls) == 1
+
+
+class TestCacheStats:
+    def test_lookups_and_evaluations(self):
+        stats = CacheStats(hits=3, misses=2)
+        assert stats.lookups == 5
+        assert stats.evaluations == 2
+        assert stats.hit_rate == pytest.approx(0.6)
