@@ -1,0 +1,104 @@
+"""Benchmark E12: multi-worker scaling of the batched coalition engine.
+
+Per-coalition FL training (the paper's τ) dominates every algorithm, so the
+batched engine's speedup is measured against a synthetic 8-client task whose
+oracle carries an explicit modeled τ per coalition (a GIL-releasing sleep, the
+same shape as real multi-process FL training).  Claims checked:
+
+* ``n_workers=4`` yields >1.5× wall-clock speedup over serial execution for
+  both StratifiedSampling and IPSS under identical budgets;
+* the parallel values are bitwise-identical to the serial ones (the engine is
+  value-preserving by construction).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import IPSS, StratifiedSampling
+from repro.experiments.reporting import format_table
+from repro.parallel import BatchUtilityOracle
+
+from conftest import monotone_game, run_once, save_report
+
+N_CLIENTS = 8
+SEED = 5
+#: modeled per-coalition training cost τ (seconds); sleeping releases the GIL
+TAU = 0.02
+
+
+class ModeledCostGame:
+    """Synthetic 8-client utility with an explicit per-coalition cost τ."""
+
+    def __init__(self, n_clients: int, tau: float, seed: int) -> None:
+        self.n_clients = n_clients
+        self.tau = tau
+        self._game = monotone_game(n_clients, seed=seed)
+
+    def __call__(self, coalition) -> float:
+        time.sleep(self.tau)
+        return self._game(coalition)
+
+
+def _timed_run(algorithm, n_workers: int):
+    oracle = BatchUtilityOracle(
+        ModeledCostGame(N_CLIENTS, TAU, SEED),
+        n_clients=N_CLIENTS,
+        n_workers=n_workers,
+        executor="serial" if n_workers == 1 else "thread",
+    )
+    start = time.perf_counter()
+    values = algorithm.run(oracle, N_CLIENTS).values
+    elapsed = time.perf_counter() - start
+    return elapsed, values, oracle.evaluations
+
+
+def _scaling_rows(algorithm_factory, worker_counts=(1, 2, 4)):
+    rows = []
+    serial_time = None
+    serial_values = None
+    for n_workers in worker_counts:
+        elapsed, values, evaluations = _timed_run(algorithm_factory(), n_workers)
+        if n_workers == 1:
+            serial_time, serial_values = elapsed, values
+        assert np.array_equal(values, serial_values), "parallel run changed values"
+        rows.append(
+            {
+                "algorithm": algorithm_factory().name,
+                "n_workers": n_workers,
+                "time_s": elapsed,
+                "evaluations": evaluations,
+                "speedup": serial_time / elapsed,
+            }
+        )
+    return rows
+
+
+def _run_scaling():
+    rows = []
+    rows += _scaling_rows(
+        lambda: StratifiedSampling(total_rounds=24, scheme="mc", seed=SEED)
+    )
+    rows += _scaling_rows(lambda: IPSS(total_rounds=24, seed=SEED))
+    return rows
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_speedup(benchmark, results_dir):
+    rows = run_once(benchmark, _run_scaling)
+    save_report(
+        results_dir,
+        "parallel_scaling",
+        format_table(
+            rows,
+            columns=["algorithm", "n_workers", "time_s", "evaluations", "speedup"],
+            title=f"Batched-engine scaling — {N_CLIENTS} clients, modeled τ = {TAU}s",
+        ),
+    )
+    four_worker_speedups = [r["speedup"] for r in rows if r["n_workers"] == 4]
+    benchmark.extra_info["speedup_4_workers"] = four_worker_speedups
+    # Acceptance: >1.5× wall-clock speedup with 4 workers on the 8-client task.
+    assert all(s > 1.5 for s in four_worker_speedups)

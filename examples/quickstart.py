@@ -4,6 +4,14 @@ The script builds a small synthetic classification federation, computes the
 exact Shapley values (feasible for four clients), runs the paper's IPSS
 approximation under a tight sampling budget, and compares the two.
 
+Parallelism: ``CoalitionUtility`` accepts ``n_workers`` (and an ``executor``
+backend — ``"serial"``, ``"thread"`` or ``"process"``).  Algorithms hand their
+whole coalition plan to the oracle in one batch, so with ``n_workers > 1`` the
+per-coalition FL trainings run concurrently while the estimated values stay
+bitwise-identical to serial execution (per-coalition training seeds are
+derived from the coalition itself, independent of evaluation order or worker
+assignment).
+
 Run with::
 
     python examples/quickstart.py
@@ -42,6 +50,8 @@ def main() -> None:
 
     # 2. Wrap everything in a coalition-utility oracle: U(S) is the test
     #    accuracy of a model trained federatedly on the clients in S.
+    #    n_workers=2 trains the coalitions of each batch concurrently
+    #    (values are identical to n_workers=1, just faster on real tasks).
     utility = CoalitionUtility(
         client_datasets=client_datasets,
         test_dataset=test,
@@ -50,6 +60,7 @@ def main() -> None:
         ),
         config=FLConfig(rounds=3, local_epochs=1),
         seed=SEED,
+        n_workers=2,
     )
 
     # 3. Exact Shapley values (2^4 = 16 FL trainings).

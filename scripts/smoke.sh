@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Local mirror of the CI smoke gate: full test suite + benchmark collection.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest benchmarks/ --collect-only -q -o python_files='bench_*.py'

@@ -8,6 +8,8 @@ The package is organised in five layers:
 * :mod:`repro.fl` — FedAvg-style federated simulator and coalition utilities.
 * :mod:`repro.core` — the valuation algorithms: exact Shapley schemes, the
   unified stratified sampling framework, K-Greedy, IPSS and nine baselines.
+* :mod:`repro.parallel` — batched coalition-evaluation engine: a batch-capable
+  utility oracle with serial/thread/process executors (``n_workers``).
 * :mod:`repro.experiments` — the harness that regenerates every table and
   figure of the paper's evaluation section.
 
@@ -27,6 +29,7 @@ from repro.core import (
     relative_error_l2,
 )
 from repro.fl import CoalitionUtility, FLConfig
+from repro.parallel import BatchUtilityOracle
 from repro.version import __version__
 
 __all__ = [
@@ -37,6 +40,7 @@ __all__ = [
     "ValuationResult",
     "relative_error_l2",
     "CoalitionUtility",
+    "BatchUtilityOracle",
     "FLConfig",
     "quick_valuation",
     "__version__",

@@ -18,6 +18,7 @@ Support
 from repro.core.result import ValuationResult
 from repro.core.base import (
     GradientBasedValuation,
+    SupportsBatchEvaluation,
     UtilityFunction,
     ValuationAlgorithm,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "ValuationResult",
     "ValuationAlgorithm",
     "GradientBasedValuation",
+    "SupportsBatchEvaluation",
     "UtilityFunction",
     "MCShapley",
     "CCShapley",

@@ -19,6 +19,7 @@ from typing import Callable, Iterable, Optional, Protocol, runtime_checkable
 import numpy as np
 
 from repro.core.result import ValuationResult
+from repro.parallel.batch_oracle import coalition_batch_keys
 from repro.utils.rng import RandomState, SeedLike
 from repro.utils.timer import Timer
 
@@ -33,6 +34,22 @@ class UtilityOracle(Protocol):
 
     @property
     def evaluations(self) -> int: ...
+
+
+@runtime_checkable
+class SupportsBatchEvaluation(Protocol):
+    """Structural type for oracles that accept whole coalition batches.
+
+    ``evaluate_batch`` receives a sequence of coalitions and returns
+    ``{coalition: utility}`` with keys in first-appearance input order; see
+    :class:`repro.parallel.BatchUtilityOracle` for the reference
+    implementation (deduplication, caching, and an `n_workers`-configurable
+    serial/thread/process executor behind a single call).
+    """
+
+    def evaluate_batch(
+        self, coalitions: Iterable[Iterable[int]]
+    ) -> dict[frozenset, float]: ...
 
 
 def _evaluation_count(utility: UtilityFunction) -> int:
@@ -71,6 +88,30 @@ class ValuationAlgorithm(abc.ABC):
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Return the estimated data values for all clients."""
+
+    def _batch_utilities(
+        self,
+        utility: UtilityFunction,
+        coalitions: Iterable[Iterable[int]],
+    ) -> dict[frozenset, float]:
+        """Evaluate a planned batch of coalitions through the oracle.
+
+        This is the planning hook of the batch-oracle protocol: algorithms
+        that pre-enumerate the coalitions they need (the exact schemes,
+        stratified sampling, K-Greedy, IPSS) hand the whole plan over in one
+        call instead of invoking the oracle coalition by coalition.  Oracles
+        exposing ``evaluate_batch`` (:class:`repro.parallel.BatchUtilityOracle`,
+        :class:`repro.fl.CoalitionUtility`) may then deduplicate, cache and
+        train misses concurrently; plain callables fall back to sequential
+        calls in the same deduplicated order, so the returned mapping — and
+        hence every downstream floating-point reduction — is identical either
+        way.
+        """
+        ordered = coalition_batch_keys(coalitions)
+        if isinstance(utility, SupportsBatchEvaluation):
+            results = utility.evaluate_batch(ordered)
+            return {key: float(results[key]) for key in ordered}
+        return {key: float(utility(key)) for key in ordered}
 
     def run(
         self,

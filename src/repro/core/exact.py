@@ -51,9 +51,9 @@ class MCShapley(ValuationAlgorithm):
         self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
     ) -> np.ndarray:
         _check_tractable(n_clients, MAX_EXACT_COALITION_CLIENTS, "MC-SV")
-        # Evaluate every coalition once (the cache in the oracle makes repeat
-        # lookups free, but precomputing keeps the loop below readable).
-        utilities = {s: utility(s) for s in all_coalitions(n_clients)}
+        # Request every coalition as one batch: a batch-capable oracle trains
+        # them concurrently, a plain callable is fed them sequentially.
+        utilities = self._batch_utilities(utility, all_coalitions(n_clients))
         values = np.zeros(n_clients)
         for client in range(n_clients):
             for coalition, value in utilities.items():
@@ -78,7 +78,7 @@ class CCShapley(ValuationAlgorithm):
     ) -> np.ndarray:
         _check_tractable(n_clients, MAX_EXACT_COALITION_CLIENTS, "CC-SV")
         everyone = frozenset(range(n_clients))
-        utilities = {s: utility(s) for s in all_coalitions(n_clients)}
+        utilities = self._batch_utilities(utility, all_coalitions(n_clients))
         values = np.zeros(n_clients)
         for client in range(n_clients):
             for coalition in utilities:
@@ -109,14 +109,18 @@ class PermShapley(ValuationAlgorithm):
         self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
     ) -> np.ndarray:
         _check_tractable(n_clients, MAX_EXACT_PERMUTATION_CLIENTS, "Perm-SV")
+        # Every prefix of every permutation is some subset of N, so the whole
+        # n!-ordering sweep needs exactly the 2^n coalition utilities — fetch
+        # them as one batch instead of one oracle call per prefix.
+        utilities = self._batch_utilities(utility, all_coalitions(n_clients))
         values = np.zeros(n_clients)
         n_permutations = math.factorial(n_clients)
         for permutation in itertools.permutations(range(n_clients)):
             prefix: frozenset = frozenset()
-            previous_utility = utility(prefix)
+            previous_utility = utilities[prefix]
             for client in permutation:
                 prefix = prefix | {client}
-                current_utility = utility(prefix)
+                current_utility = utilities[prefix]
                 values[client] += current_utility - previous_utility
                 previous_utility = current_utility
         return values / n_permutations

@@ -78,14 +78,15 @@ class IPSS(ValuationAlgorithm):
             )
         self._last_k_star = k_star
 
-        # Phase 1 (lines 1-7): evaluate all coalitions of size <= k*.
-        utilities: dict[frozenset, float] = {}
-        for coalition in all_coalitions(n_clients):
-            if len(coalition) <= k_star:
-                utilities[coalition] = utility(coalition)
+        # Phase 1 (lines 1-7): evaluate all coalitions of size <= k* — one
+        # batch, trained concurrently by batch-capable oracles.
+        utilities = self._batch_utilities(
+            utility,
+            (c for c in all_coalitions(n_clients) if len(c) <= k_star),
+        )
 
         # Phase 2 (lines 8-14): spend the leftover budget on balanced samples
-        # from the (k*+1)-sized stratum.
+        # from the (k*+1)-sized stratum, again as a single batch.
         partial: list[frozenset] = []
         if self.include_partial_stratum and k_star + 1 <= n_clients:
             leftover = self.total_rounds - count_coalitions_up_to(n_clients, k_star)
@@ -93,8 +94,7 @@ class IPSS(ValuationAlgorithm):
                 partial = balanced_coalitions_of_size(
                     n_clients, k_star + 1, leftover, rng
                 )
-                for coalition in partial:
-                    utilities[coalition] = utility(coalition)
+                utilities.update(self._batch_utilities(utility, partial))
         self._last_partial_count = len(partial)
         partial_set = set(partial)
 

@@ -52,11 +52,12 @@ class KGreedy(ValuationAlgorithm):
         self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
     ) -> np.ndarray:
         max_size = min(self.max_size, n_clients)
-        # Phase 1: evaluate all coalitions of size <= K (lines 2-4 of Alg. 2).
-        utilities: dict[frozenset, float] = {}
-        for coalition in all_coalitions(n_clients):
-            if len(coalition) <= max_size:
-                utilities[coalition] = utility(coalition)
+        # Phase 1: evaluate all coalitions of size <= K (lines 2-4 of Alg. 2)
+        # as one batch, so batch-capable oracles can train them concurrently.
+        utilities = self._batch_utilities(
+            utility,
+            (c for c in all_coalitions(n_clients) if len(c) <= max_size),
+        )
 
         # Phase 2: MC-SV restricted to the evaluated coalitions.  Using the
         # exact MC-SV coefficient 1 / (n · C(n−1, |S|)) guarantees the estimate

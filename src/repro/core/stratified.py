@@ -22,10 +22,18 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.base import UtilityFunction, ValuationAlgorithm
-from repro.utils.combinatorics import n_choose_k, random_coalition_of_size
+from repro.utils.combinatorics import (
+    coalitions_of_size,
+    n_choose_k,
+    random_coalition_of_size,
+)
 from repro.utils.rng import SeedLike
 
 SCHEMES = ("mc", "cc")
+
+#: strata at most this large are enumerated exactly when sampling from them;
+#: larger strata fall back to (uncapped) rejection sampling to bound memory
+_ENUMERATION_LIMIT = 4096
 
 
 def allocate_rounds(
@@ -57,14 +65,19 @@ def allocate_rounds(
         remaining -= 1
 
     if strategy == "uniform":
-        index = 0
+        # Round-robin one extra sample per stratum per sweep; terminate as
+        # soon as a full sweep makes no progress (all strata saturated), so
+        # the whole budget is spent whenever capacity 2^n - 1 allows it.
         while remaining > 0:
-            stratum = index % n_clients
-            if rounds[stratum] < sizes[stratum]:
-                rounds[stratum] += 1
-                remaining -= 1
-            index += 1
-            if index > 10 * n_clients * (total_rounds + 1):
+            progressed = False
+            for stratum in range(n_clients):
+                if remaining == 0:
+                    break
+                if rounds[stratum] < sizes[stratum]:
+                    rounds[stratum] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
                 break
         return rounds
 
@@ -155,13 +168,46 @@ class StratifiedSampling(ValuationAlgorithm):
         for stratum_index, m_k in enumerate(rounds, start=1):
             stratum_size = n_choose_k(n_clients, stratum_index)
             target = min(m_k, stratum_size)
-            coalitions: set[frozenset] = set()
-            attempts = 0
-            while len(coalitions) < target and attempts < 50 * target + 50:
-                coalitions.add(random_coalition_of_size(n_clients, stratum_index, rng))
-                attempts += 1
+            if target == 0:
+                sampled[stratum_index] = []
+                continue
+            if stratum_size <= _ENUMERATION_LIMIT:
+                # Small stratum: enumerate it exactly and draw without
+                # replacement.  Rejection sampling with an attempt cap would
+                # under-fill here (duplicates dominate as m_k → C(n, k)).
+                population = list(coalitions_of_size(n_clients, stratum_index))
+                if target == stratum_size:
+                    coalitions = set(population)
+                else:
+                    picks = rng.choice(stratum_size, size=target, replace=False)
+                    coalitions = {population[int(i)] for i in picks}
+            else:
+                # Large stratum (memory-bounded path): uncapped rejection
+                # sampling, which terminates almost surely — expected draws
+                # are coupon-collector bounded, and any budget dense enough
+                # to make this slow would be infeasible to *evaluate* anyway
+                # (each sampled coalition costs one FL training).
+                coalitions = set()
+                while len(coalitions) < target:
+                    coalitions.add(
+                        random_coalition_of_size(n_clients, stratum_index, rng)
+                    )
             sampled[stratum_index] = sorted(coalitions, key=sorted)
         return sampled
+
+    def _paired(
+        self, coalition: frozenset, client: int, everyone: frozenset
+    ) -> frozenset:
+        """The coalition paired with a sampled one for a given member.
+
+        MC pairs ``S ∋ i`` with ``S \\ {i}``; CC pairs it with ``N \\ S``.
+        Both the prefetch plan and the estimation loop must use this single
+        definition, or prefetched pairs drift from the pairs the estimator
+        looks up.
+        """
+        if self.scheme == "mc":
+            return coalition - {client}
+        return everyone - coalition
 
     def _estimate(
         self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
@@ -169,12 +215,26 @@ class StratifiedSampling(ValuationAlgorithm):
         sampled = self._sample_strata(n_clients, rng)
         everyone = frozenset(range(n_clients))
 
-        # Evaluate every sampled coalition (lines 5-7 of Alg. 1).  The empty
-        # coalition is always available: it is the untrained initial model.
-        utilities: dict[frozenset, float] = {frozenset(): utility(frozenset())}
+        # Evaluate every sampled coalition (lines 5-7 of Alg. 1) as one batch
+        # — a batch-capable oracle trains the whole plan concurrently.  The
+        # empty coalition is always available: the untrained initial model.
+        plan: list[frozenset] = [frozenset()]
         for coalitions in sampled.values():
-            for coalition in coalitions:
-                utilities[coalition] = utility(coalition)
+            plan.extend(coalitions)
+        utilities = self._batch_utilities(utility, plan)
+
+        if self.pair_on_demand:
+            # The paired coalitions are fully determined by the sample, so
+            # the ones not already evaluated can join as a second batch.
+            pairs: list[frozenset] = []
+            for stratum_coalitions in sampled.values():
+                for coalition in stratum_coalitions:
+                    for client in sorted(coalition):
+                        paired = self._paired(coalition, client, everyone)
+                        if paired not in utilities:
+                            pairs.append(paired)
+            if pairs:
+                utilities.update(self._batch_utilities(utility, pairs))
 
         values = np.zeros(n_clients)
         for client in range(n_clients):
@@ -184,14 +244,12 @@ class StratifiedSampling(ValuationAlgorithm):
                 for coalition in coalitions:
                     if client not in coalition:
                         continue
-                    if self.scheme == "mc":
-                        paired = coalition - {client}
-                    else:
-                        paired = everyone - coalition
+                    paired = self._paired(coalition, client, everyone)
                     if paired not in utilities:
-                        if not self.pair_on_demand:
-                            continue
-                        utilities[paired] = utility(paired)
+                        # pair_on_demand=True prefetched every pair above, so
+                        # a miss here means the literal variant dropped an
+                        # unmatched sample (Alg. 1 as printed).
+                        continue
                     stratum_sums[stratum_index] += (
                         utilities[coalition] - utilities[paired]
                     )

@@ -23,6 +23,7 @@ from repro.experiments.tasks import (
 from repro.experiments.runner import (
     AlgorithmComparison,
     ComparisonRow,
+    SkippedAlgorithm,
     build_algorithm_suite,
     run_comparison,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "SYNTHETIC_SETUPS",
     "AlgorithmComparison",
     "ComparisonRow",
+    "SkippedAlgorithm",
     "build_algorithm_suite",
     "run_comparison",
     "format_table",

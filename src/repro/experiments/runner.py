@@ -28,7 +28,7 @@ from repro.core import (
     rank_correlation,
     relative_error_l2,
 )
-from repro.core.base import GradientBasedValuation
+from repro.core.base import GradientBasedValuation, SupportsBatchEvaluation
 from repro.core.result import ValuationResult
 from repro.experiments.config import sampling_rounds_for
 from repro.utils.rng import SeedLike
@@ -62,12 +62,35 @@ class ComparisonRow:
 
 
 @dataclass
+class SkippedAlgorithm:
+    """Record of an algorithm that was skipped during a comparison run.
+
+    Distinguishes the deliberate "\\" entries of the paper's Table V (e.g. a
+    gradient-based method on an XGBoost task) from genuine crashes: the
+    skipped algorithm's name, the exception type and its message are kept so
+    reports can explain *why* a cell is empty.
+    """
+
+    algorithm: str
+    reason: str
+    error_type: str
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "reason": self.reason,
+            "error_type": self.error_type,
+        }
+
+
+@dataclass
 class AlgorithmComparison:
     """All rows of one comparison plus the ground truth used for errors."""
 
     rows: list[ComparisonRow] = field(default_factory=list)
     exact_values: Optional[np.ndarray] = None
     task_label: str = ""
+    skipped: list[SkippedAlgorithm] = field(default_factory=list)
 
     def row(self, algorithm: str) -> ComparisonRow:
         for row in self.rows:
@@ -131,6 +154,7 @@ def run_comparison(
     exact_values: Optional[np.ndarray] = None,
     task_label: str = "",
     skip_failures: bool = True,
+    n_workers: Optional[int] = None,
 ) -> AlgorithmComparison:
     """Run every algorithm on the oracle and score it against the exact values.
 
@@ -138,28 +162,82 @@ def run_comparison(
     exact algorithm is part of the suite; otherwise errors are left ``None``.
     Gradient-based algorithms that are inapplicable to the task's model (e.g.
     XGBoost) are skipped when ``skip_failures`` is true, mirroring the "\\"
-    entries of the paper's Table V.
+    entries of the paper's Table V; each skip is recorded (algorithm, reason,
+    exception type) in :attr:`AlgorithmComparison.skipped` so empty cells stay
+    distinguishable from crashes.
+
+    ``n_workers`` configures batched parallel coalition evaluation: oracles
+    exposing ``set_n_workers`` (:class:`repro.fl.CoalitionUtility`) are
+    reconfigured for the duration of the comparison and restored afterwards,
+    and plain callables are wrapped in a memoising
+    :class:`repro.parallel.BatchUtilityOracle` (for *any* ``n_workers``, so
+    the reported evaluation counts do not depend on the concurrency level).
+    Values are unaffected — parallel evaluation is bitwise-identical to
+    serial.
     """
     n = n_clients if n_clients is not None else getattr(utility, "n_clients")
     comparison = AlgorithmComparison(task_label=task_label)
+    previous_n_workers: Optional[int] = None
+    previous_executor = None
+    wrapped_oracle = None
+    if n_workers is not None:
+        set_workers = getattr(utility, "set_n_workers", None)
+        if callable(set_workers):
+            previous_n_workers = int(getattr(utility, "n_workers", 1))
+            previous_executor = getattr(utility, "executor", None)
+            set_workers(n_workers)
+        elif not isinstance(utility, SupportsBatchEvaluation):
+            from repro.parallel import BatchUtilityOracle
+
+            wrapped_oracle = BatchUtilityOracle(
+                utility, n_clients=n, n_workers=n_workers
+            )
+            utility = wrapped_oracle
     reset_cache = getattr(utility, "reset_cache", None)
 
     results: list[tuple[object, ValuationResult]] = []
-    for algorithm in algorithms:
-        # Every algorithm pays its own FL-training cost, as in the paper's
-        # per-algorithm wall-clock measurements: warm cache entries left by a
-        # previously run algorithm are dropped first.
-        if callable(reset_cache):
-            reset_cache()
-        try:
-            result = algorithm.run(utility, n)
-        except (TypeError, ValueError) as error:
-            if skip_failures:
-                continue
-            raise error
-        results.append((algorithm, result))
-        if exact_values is None and isinstance(algorithm, MCShapley):
-            exact_values = result.values
+    try:
+        for algorithm in algorithms:
+            # Every algorithm pays its own FL-training cost, as in the paper's
+            # per-algorithm wall-clock measurements: warm cache entries left by
+            # a previously run algorithm are dropped first.
+            if callable(reset_cache):
+                reset_cache()
+            try:
+                result = algorithm.run(utility, n)
+            except (TypeError, ValueError) as error:
+                if skip_failures:
+                    comparison.skipped.append(
+                        SkippedAlgorithm(
+                            algorithm=getattr(
+                                algorithm, "name", type(algorithm).__name__
+                            ),
+                            reason=str(error),
+                            error_type=type(error).__name__,
+                        )
+                    )
+                    continue
+                raise error
+            results.append((algorithm, result))
+            if exact_values is None and isinstance(algorithm, MCShapley):
+                exact_values = result.values
+    finally:
+        # The caller's oracle must come back in its original configuration
+        # (count *and* backend: a pooled executor instance re-spawns its
+        # workers lazily if reused), and any worker pool we created must be
+        # torn down deterministically.
+        if previous_n_workers is not None:
+            if previous_executor is None:
+                set_workers(previous_n_workers)
+            else:
+                try:
+                    set_workers(previous_n_workers, previous_executor)
+                except TypeError:
+                    # Duck-typed oracles may implement the single-argument
+                    # set_n_workers(n) form even while exposing `executor`.
+                    set_workers(previous_n_workers)
+        if wrapped_oracle is not None:
+            wrapped_oracle.close()
 
     comparison.exact_values = (
         None if exact_values is None else np.asarray(exact_values, dtype=float)

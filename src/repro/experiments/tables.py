@@ -26,6 +26,7 @@ def _comparison_rows(
     include_gradient: bool,
     include_perm: bool,
     seed: SeedLike,
+    n_workers: Optional[int] = None,
 ) -> list[dict]:
     suite = build_algorithm_suite(
         n_clients,
@@ -36,7 +37,11 @@ def _comparison_rows(
         seed=seed,
     )
     comparison = run_comparison(
-        utility, suite, n_clients=n_clients, task_label=f"{dataset}/{model}/n={n_clients}"
+        utility,
+        suite,
+        n_clients=n_clients,
+        task_label=f"{dataset}/{model}/n={n_clients}",
+        n_workers=n_workers,
     )
     rows = []
     for row in comparison.rows:
@@ -60,12 +65,14 @@ def table4(
     models: Sequence[str] = ("mlp", "cnn"),
     include_perm: bool = False,
     seed: SeedLike = 0,
+    n_workers: Optional[int] = None,
 ) -> list[dict]:
     """Table IV: FEMNIST-style results for MLP and CNN FL models.
 
     Returns one row per (model, n, algorithm) with time, evaluation count and
     relative error.  ``include_perm`` adds the Perm-Shapley exact baseline
-    (very slow; disabled by default).
+    (very slow; disabled by default).  ``n_workers`` enables parallel batched
+    coalition training (values are unchanged; see :mod:`repro.parallel`).
     """
     scale = scale or ExperimentScale.small()
     rows: list[dict] = []
@@ -83,6 +90,7 @@ def table4(
                     include_gradient=True,
                     include_perm=include_perm,
                     seed=seed,
+                    n_workers=n_workers,
                 )
             )
     return rows
@@ -94,12 +102,13 @@ def table5(
     models: Sequence[str] = ("mlp", "xgb"),
     include_perm: bool = False,
     seed: SeedLike = 0,
+    n_workers: Optional[int] = None,
 ) -> list[dict]:
     """Table V: Adult-style results for MLP and XGBoost FL models.
 
     Gradient-based baselines are automatically excluded for the XGBoost model
     (they require parametric FL training), matching the "\\" cells in the
-    paper's table.
+    paper's table.  ``n_workers`` enables parallel batched coalition training.
     """
     scale = scale or ExperimentScale.small()
     rows: list[dict] = []
@@ -118,6 +127,7 @@ def table5(
                     include_gradient=include_gradient,
                     include_perm=include_perm,
                     seed=seed,
+                    n_workers=n_workers,
                 )
             )
     return rows

@@ -11,6 +11,7 @@ federation does not apply to tree models.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.datasets.base import Dataset
@@ -78,9 +79,21 @@ class FederatedTrainer:
         return len(self.client_datasets)
 
     def _coalition_seed(self, coalition: frozenset) -> int:
-        """Deterministic per-coalition seed (order-independent)."""
-        key = sum((member + 1) * 1_000_003 for member in sorted(coalition))
-        return (self._base_seed + key) % (2**63 - 1)
+        """Deterministic, collision-resistant per-coalition seed.
+
+        The seed is derived from a SHA-256 hash of the *sorted member tuple*
+        mixed with the base seed (truncated to 63 bits), so it is
+        order-independent, stable across processes (unlike ``hash()``) and —
+        unlike a sum of member indices, which systematically collided for
+        e.g. ``{0, 3}`` vs ``{1, 2}`` — collision-resistant: distinct
+        coalitions share a seed only with birthday probability ~``m²/2⁶³``.
+        This matters for parallel evaluation: utilities must not become
+        correlated across distinct coalitions regardless of which worker
+        trains them or in which order.
+        """
+        key = f"{self._base_seed}|{','.join(str(m) for m in sorted(coalition))}"
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % (2**63 - 1)
 
     def _effective_members(self, members: frozenset) -> frozenset:
         """Members that actually contribute training data.

@@ -7,6 +7,14 @@ memoisation (training the same coalition twice would be wasted work) and keep
 a count of how many FL trainings were actually performed — the
 hardware-independent cost model used in EXPERIMENTS.md alongside wall-clock
 times.
+
+Both oracles also speak the *batch-oracle protocol*
+(``evaluate_batch(coalitions) -> {coalition: utility}``): algorithms hand over
+their whole coalition plan at once and :class:`CoalitionUtility` trains the
+cache misses concurrently when ``n_workers > 1`` (see
+:mod:`repro.parallel`).  Per-coalition training seeds are content-derived and
+collision-resistant, so parallel evaluation returns bitwise-identical
+utilities to serial execution.
 """
 
 from __future__ import annotations
@@ -16,7 +24,8 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 from repro.datasets.base import Dataset
 from repro.fl.config import FLConfig
 from repro.fl.federation import FederatedTrainer, ModelFactory
-from repro.utils.cache import UtilityCache
+from repro.parallel.batch_oracle import BatchUtilityOracle, coalition_batch_keys
+from repro.parallel.executors import ExecutorLike
 from repro.utils.rng import SeedLike
 
 
@@ -39,6 +48,15 @@ class CoalitionUtility:
         Optional per-evaluation time (seconds) that experiments can use to
         model the paper's much larger per-coalition training cost τ without
         actually sleeping; exposed via :attr:`modeled_time`.
+    n_workers:
+        Concurrency level for batched evaluations (``evaluate_batch``): with
+        ``n_workers > 1`` cache misses inside a batch are trained in parallel
+        on the chosen executor.  ``1`` (default) stays strictly sequential.
+    executor:
+        Backend for parallel evaluation: ``"serial"``, ``"thread"``,
+        ``"process"``, an existing executor instance, or ``None`` to choose
+        automatically.  The process backend requires the model factory and
+        datasets to be picklable (no lambdas).
     """
 
     def __init__(
@@ -49,6 +67,8 @@ class CoalitionUtility:
         config: Optional[FLConfig] = None,
         seed: SeedLike = 0,
         artificial_cost: float = 0.0,
+        n_workers: int = 1,
+        executor: ExecutorLike = None,
     ) -> None:
         self.trainer = FederatedTrainer(
             client_datasets=client_datasets,
@@ -57,7 +77,12 @@ class CoalitionUtility:
             config=config,
             seed=seed,
         )
-        self._cache = UtilityCache(evaluator=self.trainer.utility)
+        self._oracle = BatchUtilityOracle(
+            evaluator=self.trainer.utility,
+            n_clients=self.trainer.n_clients,
+            n_workers=n_workers,
+            executor=executor,
+        )
         self.artificial_cost = float(artificial_cost)
 
     # ------------------------------------------------------------------ #
@@ -68,22 +93,48 @@ class CoalitionUtility:
         return self.trainer.n_clients
 
     def __call__(self, coalition: Iterable[int]) -> float:
-        return self._cache.utility(coalition)
+        return self._oracle.utility(coalition)
 
     def utility(self, coalition: Iterable[int]) -> float:
-        return self._cache.utility(coalition)
+        return self._oracle.utility(coalition)
+
+    def evaluate_batch(
+        self, coalitions: Iterable[Iterable[int]]
+    ) -> dict[frozenset, float]:
+        """Batch-oracle protocol: evaluate a coalition set, misses in parallel."""
+        return self._oracle.evaluate_batch(coalitions)
+
+    # ------------------------------------------------------------------ #
+    # Parallelism
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        return self._oracle.n_workers
+
+    @property
+    def executor(self):
+        """The active :class:`~repro.parallel.executors.CoalitionExecutor`."""
+        return self._oracle.executor
+
+    def set_n_workers(self, n_workers: int, executor: ExecutorLike = None) -> None:
+        """Reconfigure batch-evaluation concurrency (and optionally backend)."""
+        self._oracle.set_n_workers(n_workers, executor)
+
+    def close(self) -> None:
+        """Release the executor's worker pool (it re-spawns lazily if reused)."""
+        self._oracle.close()
 
     # ------------------------------------------------------------------ #
     # Cost accounting
     # ------------------------------------------------------------------ #
     @property
     def evaluations(self) -> int:
-        """Number of distinct coalitions trained so far."""
-        return self._cache.evaluations
+        """Number of coalition FL trainings performed so far."""
+        return self._oracle.evaluations
 
     @property
     def cache_hits(self) -> int:
-        return self._cache.stats.hits
+        return self._oracle.cache_hits
 
     @property
     def modeled_time(self) -> float:
@@ -91,7 +142,7 @@ class CoalitionUtility:
         return self.evaluations * self.artificial_cost
 
     def reset_cache(self) -> None:
-        self._cache.clear()
+        self._oracle.reset_cache()
 
     def snapshot_evaluations(self) -> int:
         """Convenience for measuring the evaluations used by one algorithm run."""
@@ -130,6 +181,12 @@ class TabularUtility:
 
     def utility(self, coalition: Iterable[int]) -> float:
         return self(coalition)
+
+    def evaluate_batch(
+        self, coalitions: Iterable[Iterable[int]]
+    ) -> dict[frozenset, float]:
+        """Batch-oracle protocol: deduplicated sequential table lookups."""
+        return {key: self(key) for key in coalition_batch_keys(coalitions)}
 
     @property
     def evaluations(self) -> int:

@@ -1,0 +1,39 @@
+"""Batched, parallel coalition-evaluation engine.
+
+Per-coalition FL training (the paper's cost τ) dominates every valuation
+algorithm, yet the algorithms themselves mostly *pre-enumerate* the coalitions
+they need.  This package turns that structure into throughput:
+
+* :class:`BatchUtilityOracle` — a utility oracle that accepts whole coalition
+  batches, deduplicates them against a concurrency-safe cache and trains the
+  misses concurrently;
+* :mod:`repro.parallel.executors` — the pluggable serial / thread / process
+  backends behind it, all order-deterministic.
+
+The valuation algorithms request their coalition batches through
+:meth:`repro.core.base.ValuationAlgorithm._batch_utilities`, which detects
+``evaluate_batch`` on the oracle and falls back to sequential calls for plain
+callables — so the engine is opt-in and value-preserving: ``n_workers=4``
+produces bitwise-identical results to serial execution.
+"""
+
+from repro.parallel.batch_oracle import BatchUtilityOracle, coalition_batch_keys
+from repro.parallel.executors import (
+    EXECUTOR_BACKENDS,
+    CoalitionExecutor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    make_executor,
+)
+
+__all__ = [
+    "BatchUtilityOracle",
+    "coalition_batch_keys",
+    "CoalitionExecutor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+    "EXECUTOR_BACKENDS",
+]

@@ -1,0 +1,205 @@
+"""Batched coalition-utility evaluation.
+
+:class:`BatchUtilityOracle` is the library's batch-oracle protocol in one
+class: it is a drop-in utility oracle (``oracle(coalition) -> float`` with
+``evaluations`` / ``n_clients``) that additionally accepts whole *sets* of
+coalitions at once through :meth:`evaluate_batch`.  A batch is deduplicated,
+checked against a concurrency-safe :class:`~repro.utils.cache.UtilityCache`,
+and the misses are trained concurrently on a pluggable executor (serial,
+thread pool or process pool — see :mod:`repro.parallel.executors`).
+
+Batch-oracle protocol
+---------------------
+Valuation algorithms probe their oracle for an ``evaluate_batch`` attribute
+(via :meth:`repro.core.base.ValuationAlgorithm._batch_utilities`).  An oracle
+that provides
+
+``evaluate_batch(coalitions) -> dict[frozenset, float]``
+
+(keys in first-appearance input order) gets handed every pre-enumerated
+coalition set in one call and may parallelise freely; a plain callable is fed
+the same coalitions one at a time, in the same order — so results are
+bitwise-identical either way.  Parallel evaluation is only sound because
+per-coalition training seeds are content-derived and collision-resistant
+(:meth:`repro.fl.federation.FederatedTrainer._coalition_seed`): no matter
+which worker trains a coalition, or in which order, it trains the same model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.parallel.executors import (
+    CoalitionExecutor,
+    ExecutorLike,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    make_executor,
+)
+from repro.utils.cache import UtilityCache
+
+
+def coalition_batch_keys(coalitions: Iterable[Iterable[int]]) -> list[frozenset]:
+    """Canonicalise a batch: frozenset keys, deduplicated, input order kept."""
+    ordered: dict[frozenset, None] = {}
+    for coalition in coalitions:
+        ordered.setdefault(frozenset(int(c) for c in coalition), None)
+    return list(ordered)
+
+
+class BatchUtilityOracle:
+    """Cached, batch-capable, optionally parallel utility oracle ``U(S)``.
+
+    Parameters
+    ----------
+    evaluator:
+        Callable mapping a coalition (``frozenset``) to its utility — e.g.
+        ``FederatedTrainer.utility`` or any plain game function.  May itself
+        be another oracle; its own caching is simply never hit twice for the
+        same coalition thanks to this oracle's cache.
+    n_clients:
+        Number of clients; inferred from ``evaluator.n_clients`` when absent.
+    n_workers:
+        Concurrency level for cache misses inside a batch.  ``1`` (default)
+        keeps evaluation strictly sequential.
+    executor:
+        Backend name (``"serial"``/``"thread"``/``"process"``), an existing
+        :class:`~repro.parallel.executors.CoalitionExecutor`, or ``None`` to
+        choose automatically from ``n_workers``.  Process pools require a
+        picklable evaluator.
+    cache:
+        Optional pre-existing :class:`UtilityCache` to share; by default the
+        oracle owns a fresh unbounded one.
+    """
+
+    def __init__(
+        self,
+        evaluator: Callable[[Iterable[int]], float],
+        n_clients: Optional[int] = None,
+        n_workers: int = 1,
+        executor: ExecutorLike = None,
+        cache: Optional[UtilityCache] = None,
+    ) -> None:
+        if n_clients is None:
+            n_clients = getattr(evaluator, "n_clients", None)
+        self._n_clients = None if n_clients is None else int(n_clients)
+        self._evaluator = evaluator
+        self._cache = cache if cache is not None else UtilityCache(evaluator=evaluator)
+        self.set_n_workers(n_workers, executor)
+
+    # ------------------------------------------------------------------ #
+    # Oracle interface (single coalition)
+    # ------------------------------------------------------------------ #
+    @property
+    def n_clients(self) -> int:
+        if self._n_clients is None:
+            raise AttributeError(
+                "n_clients is unknown: pass it to BatchUtilityOracle or expose "
+                "it on the evaluator"
+            )
+        return self._n_clients
+
+    def __call__(self, coalition: Iterable[int]) -> float:
+        return self._cache.utility(coalition)
+
+    def utility(self, coalition: Iterable[int]) -> float:
+        return self._cache.utility(coalition)
+
+    # ------------------------------------------------------------------ #
+    # Batch interface
+    # ------------------------------------------------------------------ #
+    def evaluate_batch(
+        self, coalitions: Iterable[Iterable[int]]
+    ) -> dict[frozenset, float]:
+        """Evaluate a set of coalitions, training cache misses concurrently.
+
+        Returns ``{coalition: utility}`` with keys in first-appearance input
+        order, so callers that fold the results into floating-point sums see
+        the same ordering — hence bitwise-identical values — regardless of
+        ``n_workers`` or backend.
+        """
+        keys = coalition_batch_keys(coalitions)
+        if not keys:
+            return {}
+        if self._executor.shares_memory:
+            # The cache is concurrency-safe and single-flight, so workers can
+            # evaluate straight through it: hits are counted, concurrent
+            # misses of the same coalition (e.g. two overlapping batches)
+            # still train only once.
+            values = self._executor.map_utilities(self._cache.utility, keys)
+            return dict(zip(keys, values))
+        # Process backend: workers cannot see the cache, so partition here
+        # and deposit the computed utilities back into it.
+        results: dict[frozenset, float] = {}
+        pending: list[frozenset] = []
+        for key in keys:
+            cached = self._cache.lookup(key)
+            if cached is None:
+                pending.append(key)
+            else:
+                results[key] = cached
+        if pending:
+            values = self._executor.map_utilities(self._evaluator, pending)
+            for key, value in zip(pending, values):
+                results[key] = self._cache.store(key, value)
+        return {key: results[key] for key in keys}
+
+    def prefetch(self, coalitions: Iterable[Iterable[int]]) -> None:
+        """Warm the cache for a batch of coalitions (parallel when enabled)."""
+        self.evaluate_batch(coalitions)
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def set_n_workers(self, n_workers: int, executor: ExecutorLike = None) -> None:
+        """Reconfigure the concurrency level (and optionally the backend).
+
+        With ``executor=None`` the current backend is preserved: a process
+        pool stays a process pool (resized), a custom executor instance is
+        kept as-is, and only a serial backend auto-upgrades to threads when
+        ``n_workers > 1``.
+        """
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        previous = getattr(self, "_executor", None)
+        if executor is None:
+            if type(previous) in (ThreadPoolExecutor, ProcessPoolExecutor):
+                executor = type(previous)(n_workers)
+            elif previous is not None and type(previous) is not SerialExecutor:
+                executor = previous  # custom instance: keep verbatim
+        self._n_workers = int(n_workers)
+        self._executor = make_executor(executor, self._n_workers)
+        if previous is not None and previous is not self._executor:
+            previous.close()  # release any worker pool the old backend held
+
+    def close(self) -> None:
+        """Release the executor's worker pool (it re-spawns lazily if reused)."""
+        self._executor.close()
+
+    @property
+    def executor(self) -> CoalitionExecutor:
+        return self._executor
+
+    # ------------------------------------------------------------------ #
+    # Cost accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def cache(self) -> UtilityCache:
+        return self._cache
+
+    @property
+    def evaluations(self) -> int:
+        """Number of evaluator calls (FL trainings) performed so far."""
+        return self._cache.evaluations
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache.stats.hits
+
+    def reset_cache(self) -> None:
+        self._cache.clear()

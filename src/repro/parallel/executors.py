@@ -1,0 +1,156 @@
+"""Pluggable execution backends for batched coalition evaluation.
+
+A coalition executor maps an evaluator over a list of coalitions and returns
+the utilities *in input order*.  Three backends are provided:
+
+* :class:`SerialExecutor` — plain loop; the reference semantics.
+* :class:`ThreadPoolExecutor` — concurrent evaluation in threads.  The right
+  choice when the evaluator releases the GIL (NumPy linear algebra, I/O,
+  sleeping cost models) or holds non-picklable state such as lambda model
+  factories.
+* :class:`ProcessPoolExecutor` — concurrent evaluation in worker processes.
+  Requires the evaluator to be picklable; buys true CPU parallelism for
+  pure-Python training loops.
+
+All backends are deterministic in *values*: utilities depend only on the
+coalition (per-coalition seeds are content-derived, see
+:meth:`repro.fl.federation.FederatedTrainer._coalition_seed`), and results are
+re-associated with their coalitions by position, so the evaluation order and
+worker assignment cannot change what any algorithm computes.
+"""
+
+from __future__ import annotations
+
+import abc
+import concurrent.futures
+from typing import Callable, Sequence, Union
+
+Evaluator = Callable[[frozenset], float]
+
+#: backend names accepted by :func:`make_executor`
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+class CoalitionExecutor(abc.ABC):
+    """Maps an evaluator over coalitions, preserving input order.
+
+    Attributes
+    ----------
+    shares_memory:
+        Whether workers see the caller's address space.  Shared-memory
+        backends (serial, thread) can evaluate through a
+        :class:`~repro.utils.cache.UtilityCache` directly and get
+        single-flight deduplication for free; process backends must have
+        results deposited back into the cache by the parent.
+    """
+
+    shares_memory: bool = True
+
+    @abc.abstractmethod
+    def map_utilities(
+        self, evaluator: Evaluator, coalitions: Sequence[frozenset]
+    ) -> list[float]:
+        """Return ``[evaluator(c) for c in coalitions]``, possibly in parallel."""
+
+    def close(self) -> None:
+        """Release any worker resources (no-op for stateless executors)."""
+
+
+class SerialExecutor(CoalitionExecutor):
+    """Sequential reference backend: a plain loop, no worker overhead."""
+
+    shares_memory = True
+
+    def map_utilities(
+        self, evaluator: Evaluator, coalitions: Sequence[frozenset]
+    ) -> list[float]:
+        return [float(evaluator(coalition)) for coalition in coalitions]
+
+
+class _PooledExecutor(CoalitionExecutor):
+    """Shared machinery for pool-backed executors.
+
+    The underlying worker pool is created lazily on first use and *reused*
+    across ``map_utilities`` calls — an algorithm run issues one batch per
+    phase, and paying pool startup (and, for processes, evaluator pickling)
+    per batch would dwarf the work being parallelised.  ``close`` releases
+    the pool; the next call transparently recreates it.
+    """
+
+    _pool_factory = None  # concurrent.futures executor class
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self._pool = None
+
+    def map_utilities(
+        self, evaluator: Evaluator, coalitions: Sequence[frozenset]
+    ) -> list[float]:
+        if len(coalitions) <= 1 or self.n_workers == 1:
+            return SerialExecutor().map_utilities(evaluator, coalitions)
+        if self._pool is None:
+            self._pool = self._pool_factory(max_workers=self.n_workers)
+        try:
+            return [float(v) for v in self._pool.map(evaluator, coalitions)]
+        except BaseException:
+            # A failed batch may leave the pool broken (e.g. an unpicklable
+            # evaluator in a process pool); discard it so the next call
+            # starts from a fresh one.
+            self.close()
+            raise
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadPoolExecutor(_PooledExecutor):
+    """Evaluates coalitions concurrently in a persistent thread pool."""
+
+    shares_memory = True
+    _pool_factory = concurrent.futures.ThreadPoolExecutor
+
+
+class ProcessPoolExecutor(_PooledExecutor):
+    """Evaluates coalitions concurrently in a persistent process pool.
+
+    The evaluator (and its closure — datasets, model factory, config) must be
+    picklable; lambdas are not.  Side effects performed by the evaluator in
+    the workers (counters, caches) stay in the workers — only the returned
+    utilities travel back.
+    """
+
+    shares_memory = False
+    _pool_factory = concurrent.futures.ProcessPoolExecutor
+
+
+ExecutorLike = Union[str, CoalitionExecutor, None]
+
+
+def make_executor(executor: ExecutorLike = None, n_workers: int = 1) -> CoalitionExecutor:
+    """Resolve an executor spec into a :class:`CoalitionExecutor` instance.
+
+    ``executor`` may be an existing instance (returned unchanged), a backend
+    name from :data:`EXECUTOR_BACKENDS`, or ``None`` — which picks
+    :class:`SerialExecutor` for ``n_workers <= 1`` and a thread pool
+    otherwise (the only backend that is always safe, since it needs no
+    picklability).
+    """
+    if isinstance(executor, CoalitionExecutor):
+        return executor
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if executor is None:
+        executor = "serial" if n_workers <= 1 else "thread"
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "thread":
+        return ThreadPoolExecutor(n_workers)
+    if executor == "process":
+        return ProcessPoolExecutor(n_workers)
+    raise ValueError(
+        f"unknown executor backend {executor!r}; choose from {EXECUTOR_BACKENDS}"
+    )

@@ -7,12 +7,24 @@ valuation algorithm (the paper denotes it τ).  The cache memoises the utility
 
 The cache also counts hits, misses and evaluations, which the experiment
 harness uses as a hardware-independent cost model (number of FL trainings).
+
+Concurrency
+-----------
+The cache is safe to share between threads: store and counters are guarded by
+a lock, and concurrent first lookups of the *same* coalition are single-flight
+(one thread evaluates, the others wait for the result), so a coalition is
+never trained twice just because two workers raced on it.  This is the
+foundation the :mod:`repro.parallel` batch-evaluation engine builds on.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional
+
+#: sentinel distinguishing "absent" from a cached value
+_MISSING = object()
 
 
 @dataclass
@@ -24,7 +36,13 @@ class CacheStats:
 
     @property
     def evaluations(self) -> int:
-        """Number of distinct coalition evaluations actually performed."""
+        """Number of evaluator calls actually performed.
+
+        Every miss triggers one evaluation.  Note that with a bounded
+        ``max_size`` a coalition evicted and later revisited is *re-evaluated*
+        and counts again — this counter models total FL-training cost, not the
+        number of distinct coalitions ever seen.
+        """
         return self.misses
 
     @property
@@ -57,24 +75,93 @@ class UtilityCache:
     max_size: Optional[int] = None
     _store: Dict[frozenset, float] = field(default_factory=dict)
     stats: CacheStats = field(default_factory=CacheStats)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+    _in_flight: Dict[frozenset, threading.Event] = field(
+        default_factory=dict, repr=False
+    )
 
     def __call__(self, coalition: Iterable[int]) -> float:
         return self.utility(coalition)
 
     def utility(self, coalition: Iterable[int]) -> float:
-        """Return ``U(M_S)``, evaluating and caching on first use."""
+        """Return ``U(M_S)``, evaluating and caching on first use.
+
+        Thread-safe and single-flight: when several threads miss on the same
+        coalition simultaneously, exactly one evaluates while the others block
+        until the value lands in the store.
+        """
         key = frozenset(int(c) for c in coalition)
+        while True:
+            with self._lock:
+                cached = self._store.get(key, _MISSING)
+                if cached is not _MISSING:
+                    self.stats.hits += 1
+                    return cached
+                event = self._in_flight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._in_flight[key] = event
+                    break  # this thread owns the evaluation
+            # Another thread is evaluating this coalition: wait and retry
+            # (retry rather than read directly, in case of eviction/failure).
+            event.wait()
+        try:
+            value = float(self.evaluator(key))
+        except BaseException:
+            with self._lock:
+                del self._in_flight[key]
+            event.set()
+            raise
+        with self._lock:
+            self._insert(key, value)
+            del self._in_flight[key]
+        event.set()
+        return value
+
+    def _insert(self, key: frozenset, value: float) -> None:
+        """Record a miss and store the value; caller must hold the lock.
+
+        Re-inserting a key that is already cached (e.g. two overlapping
+        process-backend batches both depositing the same coalition) only
+        refreshes the value: it must not evict an unrelated entry from a
+        full cache nor inflate the miss counter.
+        """
         if key in self._store:
-            self.stats.hits += 1
-            return self._store[key]
-        value = float(self.evaluator(key))
+            self._store[key] = value
+            return
         self.stats.misses += 1
         if self.max_size is not None and len(self._store) >= self.max_size:
             # Drop the oldest entry; insertion order is preserved by dict.
             oldest = next(iter(self._store))
             del self._store[oldest]
         self._store[key] = value
-        return value
+
+    def lookup(self, coalition: Iterable[int]) -> Optional[float]:
+        """Return the cached utility, counting a hit — or ``None`` if absent.
+
+        Unlike :meth:`peek` this participates in hit accounting; it is the
+        read half of the ``lookup``/``store`` pair used by batch evaluators
+        that compute misses externally (e.g. in a process pool).
+        """
+        key = frozenset(int(c) for c in coalition)
+        with self._lock:
+            cached = self._store.get(key, _MISSING)
+            if cached is _MISSING:
+                return None
+            self.stats.hits += 1
+            return cached
+
+    def store(self, coalition: Iterable[int], value: float) -> float:
+        """Insert an externally computed utility, counting it as a miss.
+
+        The write half of the ``lookup``/``store`` pair: a batch evaluator
+        that trained the coalition elsewhere (another process, a remote
+        worker) deposits the result here so later lookups hit.
+        """
+        key = frozenset(int(c) for c in coalition)
+        with self._lock:
+            self._insert(key, float(value))
+        return float(value)
 
     def prefetch(self, coalitions: Iterable[Iterable[int]]) -> None:
         """Evaluate (and cache) a batch of coalitions."""
@@ -82,20 +169,28 @@ class UtilityCache:
             self.utility(coalition)
 
     def contains(self, coalition: Iterable[int]) -> bool:
-        return frozenset(int(c) for c in coalition) in self._store
+        with self._lock:
+            return frozenset(int(c) for c in coalition) in self._store
 
     def peek(self, coalition: Iterable[int]) -> Optional[float]:
-        """Return a cached utility without triggering evaluation."""
-        return self._store.get(frozenset(int(c) for c in coalition))
+        """Return a cached utility without triggering evaluation or counting."""
+        with self._lock:
+            return self._store.get(frozenset(int(c) for c in coalition))
 
     def clear(self) -> None:
-        self._store.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._store.clear()
+            self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     @property
     def evaluations(self) -> int:
-        """Number of FL trainings performed through this cache."""
+        """Number of FL trainings performed through this cache.
+
+        Counts evaluator calls: a coalition evicted from a bounded cache and
+        evaluated again counts twice (see :attr:`CacheStats.evaluations`).
+        """
         return self.stats.evaluations

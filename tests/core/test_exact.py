@@ -108,10 +108,12 @@ class TestCostAccounting:
         result = MCShapley().run(monotone_game_5, 5)
         assert result.utility_evaluations == 2**5
 
-    def test_perm_shapley_reuses_cached_prefixes(self, table1_utility):
+    def test_perm_shapley_batches_distinct_coalitions(self, table1_utility):
         result = PermShapley().run(table1_utility, 3)
-        # 3! permutations × 4 prefix evaluations each = 24 oracle lookups.
-        assert result.utility_evaluations == 24
+        # Every permutation prefix is a subset of N, so the batched plan
+        # evaluates each of the 2^3 coalitions exactly once instead of the
+        # 3! × 4 = 24 per-prefix oracle calls of the sequential formulation.
+        assert result.utility_evaluations == 2**3
 
     def test_result_metadata_fields(self, table1_utility):
         result = MCShapley().run(table1_utility, 3)

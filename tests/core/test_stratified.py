@@ -38,6 +38,19 @@ class TestAllocateRounds:
         with pytest.raises(ValueError):
             allocate_rounds(4, 8, strategy="magic")
 
+    @pytest.mark.parametrize("strategy", ["uniform", "proportional"])
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    @pytest.mark.parametrize("gamma", [1, 3, 7, 15, 31, 100, 1000])
+    def test_budget_fully_spent_up_to_capacity(self, strategy, n, gamma):
+        """The whole budget is allocated whenever the 2^n − 1 coalitions can
+        absorb it; beyond capacity every stratum saturates (no silent drop)."""
+        rounds = allocate_rounds(n, gamma, strategy=strategy)
+        assert sum(rounds) == min(gamma, 2**n - 1)
+
+    def test_uniform_saturates_all_strata_on_oversized_budget(self):
+        rounds = allocate_rounds(3, 10**6, strategy="uniform")
+        assert rounds == [n_choose_k(3, k) for k in range(1, 4)]
+
 
 class TestStratifiedSampling:
     def test_full_budget_recovers_exact_mc(self, monotone_game_5):
@@ -82,6 +95,29 @@ class TestStratifiedSampling:
         result = StratifiedSampling(total_rounds=8, scheme="cc", seed=0).run(monotone_game_5, 5)
         assert result.algorithm == "Stratified-CC"
         assert result.metadata["scheme"] == "cc"
+
+    def test_dense_strata_are_filled_exactly(self):
+        """Requesting m_k = C(n, k) samples must fill the stratum completely
+        (the old rejection sampler could under-fill dense strata)."""
+        n = 6
+        full = [n_choose_k(n, k) for k in range(1, n + 1)]
+        algorithm = StratifiedSampling(rounds_per_stratum=full, seed=0)
+        sampled = algorithm._sample_strata(n, np.random.default_rng(0))
+        for stratum, coalitions in sampled.items():
+            assert len(coalitions) == n_choose_k(n, stratum)
+            assert len(set(coalitions)) == len(coalitions)
+
+    def test_near_full_strata_are_filled_without_replacement(self):
+        """m_k just below C(n, k) — the regime where rejection sampling's
+        attempt cap used to bite — now always yields m_k distinct sets."""
+        n = 7
+        targets = [max(1, n_choose_k(n, k) - 1) for k in range(1, n + 1)]
+        algorithm = StratifiedSampling(rounds_per_stratum=targets, seed=0)
+        sampled = algorithm._sample_strata(n, np.random.default_rng(3))
+        for stratum, coalitions in sampled.items():
+            assert len(coalitions) == targets[stratum - 1]
+            assert len(set(coalitions)) == len(coalitions)
+            assert all(len(c) == stratum for c in coalitions)
 
     def test_deterministic_given_seed(self, monotone_game_5):
         a = StratifiedSampling(total_rounds=10, seed=3).run(monotone_game_5, 5).values

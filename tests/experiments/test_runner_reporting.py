@@ -54,6 +54,96 @@ class TestRunComparison:
         assert "OR" not in names  # inapplicable -> skipped, like '\\' in Table V
         assert "IPSS" in names
 
+    def test_skipped_algorithms_are_recorded_with_reason(self):
+        """Table V's "\\" cells must be attributable: every skip keeps the
+        algorithm name, the exception type and a human-readable reason."""
+        game = monotone_game(4, seed=1)
+        suite = build_algorithm_suite(4, total_rounds=8, include_gradient=True)
+        comparison = run_comparison(game, suite, n_clients=4)
+        skipped_names = [s.algorithm for s in comparison.skipped]
+        assert "OR" in skipped_names
+        for skip in comparison.skipped:
+            assert skip.error_type in ("TypeError", "ValueError")
+            # All skips on a tabular oracle are gradient-based methods, and
+            # the reason must actually explain the inapplicability.
+            assert "gradient" in skip.reason
+        assert {"algorithm", "reason", "error_type"} <= set(
+            comparison.skipped[0].to_dict()
+        )
+
+    def test_no_skips_recorded_on_clean_run(self):
+        game = monotone_game(4, seed=2)
+        comparison = run_comparison(game, [IPSS(total_rounds=8, seed=0)], 4)
+        assert comparison.skipped == []
+
+    def test_skip_failures_false_still_raises(self):
+        game = monotone_game(4, seed=1)
+        suite = build_algorithm_suite(4, total_rounds=8, include_gradient=True)
+        with pytest.raises(TypeError):
+            run_comparison(game, suite, n_clients=4, skip_failures=False)
+
+    def test_n_workers_restored_on_callers_oracle(self):
+        """run_comparison must not permanently reconfigure the oracle it was
+        handed: later serial timings by the caller would silently run on a
+        worker pool otherwise."""
+
+        class ConfigurableOracle:
+            def __init__(self, game):
+                self._game = game
+                self.n_clients = game.n_clients
+                self.n_workers = 1
+
+            def __call__(self, coalition):
+                return self._game(coalition)
+
+            def set_n_workers(self, n_workers):
+                # Deliberately the single-argument form: run_comparison must
+                # not assume the two-argument (n_workers, executor) signature
+                # for oracles that expose no `executor` attribute.
+                self.n_workers = n_workers
+
+        oracle = ConfigurableOracle(monotone_game(4, seed=8))
+        run_comparison(oracle, [IPSS(total_rounds=8, seed=0)], 4, n_workers=6)
+        assert oracle.n_workers == 1
+
+    def test_executor_backend_restored_on_callers_oracle(self):
+        """The backend is restored too, not just the worker count: a serial
+        oracle must not come back holding a (one-worker) thread pool."""
+        from repro.parallel import BatchUtilityOracle, SerialExecutor
+
+        oracle = BatchUtilityOracle(monotone_game(4, seed=8), n_clients=4)
+        assert type(oracle.executor) is SerialExecutor
+        run_comparison(oracle, [IPSS(total_rounds=8, seed=0)], 4, n_workers=6)
+        assert oracle.n_workers == 1
+        assert type(oracle.executor) is SerialExecutor
+
+    def test_evaluation_counts_independent_of_n_workers(self):
+        """Plain callables are wrapped (memoised) for any explicit n_workers,
+        so the reported cost model does not depend on the concurrency level."""
+
+        def rows_with(n_workers):
+            comparison = run_comparison(
+                monotone_game(4, seed=9).utility,
+                [IPSS(total_rounds=8, seed=0), MCShapley(seed=0)],
+                n_clients=4,
+                n_workers=n_workers,
+            )
+            return {r.algorithm: r.utility_evaluations for r in comparison.rows}
+
+        assert rows_with(1) == rows_with(4)
+
+    def test_n_workers_threading_preserves_values(self):
+        """run_comparison(n_workers=4) wraps or reconfigures the oracle but
+        never changes the computed values."""
+        suite = [IPSS(total_rounds=8, seed=0), MCShapley(seed=0)]
+        serial = run_comparison(monotone_game(4, seed=6).utility, suite, n_clients=4)
+        parallel = run_comparison(
+            monotone_game(4, seed=6).utility, suite, n_clients=4, n_workers=4
+        )
+        for row_s, row_p in zip(serial.rows, parallel.rows):
+            assert row_s.algorithm == row_p.algorithm
+            assert np.array_equal(row_s.values, row_p.values)
+
     def test_explicit_exact_values_used(self):
         game = monotone_game(4, seed=2)
         exact = MCShapley().run(game, 4).values

@@ -1,0 +1,96 @@
+"""Regression tests for per-coalition training-seed derivation.
+
+The original seed derivation hashed only the *sum* of member indices, so
+distinct coalitions with equal index sums (e.g. ``{0, 3}`` and ``{1, 2}``)
+shared a training seed and their utilities were silently correlated.  Seeds
+are now derived from a SHA-256 hash of the sorted member tuple mixed with the
+base seed: order-independent, process-stable and collision-resistant.
+"""
+
+import itertools
+
+import pytest
+
+from repro.datasets import make_classification_blobs, partition_iid, train_test_split
+from repro.fl import FLConfig, FederatedTrainer
+from repro.models import LogisticRegressionModel
+from repro.utils.combinatorics import all_coalitions
+
+
+def make_trainer(n_clients: int, seed: int = 0) -> FederatedTrainer:
+    pooled = make_classification_blobs(
+        40 * n_clients, n_features=4, n_classes=2, seed=seed
+    )
+    train, test = train_test_split(pooled, test_fraction=0.25, seed=seed)
+    clients = partition_iid(train, n_clients, seed=seed)
+    return FederatedTrainer(
+        clients,
+        test,
+        lambda: LogisticRegressionModel(n_features=4, n_classes=2, epochs=2),
+        FLConfig(rounds=2),
+        seed=seed,
+    )
+
+
+class TestCoalitionSeedDerivation:
+    def test_equal_index_sums_get_different_seeds(self):
+        """The headline regression: {0, 3} vs {1, 2} (both sum to 3)."""
+        trainer = make_trainer(4)
+        assert trainer._coalition_seed(frozenset({0, 3})) != trainer._coalition_seed(
+            frozenset({1, 2})
+        )
+
+    def test_all_coalitions_get_distinct_seeds(self):
+        """No pair of the 2^8 coalitions of an 8-client federation collides."""
+        trainer = make_trainer(8)
+        seeds = [trainer._coalition_seed(c) for c in all_coalitions(8)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_seed_is_order_independent_and_deterministic(self):
+        trainer = make_trainer(4)
+        a = trainer._coalition_seed(frozenset([2, 0, 3]))
+        b = trainer._coalition_seed(frozenset([3, 2, 0]))
+        assert a == b
+        # A second trainer with the same base seed derives the same seeds.
+        again = make_trainer(4)
+        assert again._coalition_seed(frozenset([2, 0, 3])) == a
+
+    def test_different_base_seeds_decorrelate(self):
+        one = make_trainer(4, seed=1)
+        two = make_trainer(4, seed=2)
+        coalition = frozenset({0, 2})
+        assert one._coalition_seed(coalition) != two._coalition_seed(coalition)
+
+    def test_seed_in_generator_range(self):
+        trainer = make_trainer(4)
+        for coalition in all_coalitions(4):
+            seed = trainer._coalition_seed(coalition)
+            assert 0 <= seed < 2**63 - 1
+
+    @pytest.mark.parametrize("n", [5, 6])
+    def test_no_equal_sum_collisions_exhaustively(self, n):
+        """Every pair of distinct same-sum coalitions gets distinct seeds."""
+        trainer = make_trainer(n)
+        by_sum: dict[int, list[frozenset]] = {}
+        for coalition in all_coalitions(n, include_empty=False):
+            by_sum.setdefault(sum(coalition), []).append(coalition)
+        for group in by_sum.values():
+            for a, b in itertools.combinations(group, 2):
+                assert trainer._coalition_seed(a) != trainer._coalition_seed(b), (
+                    f"seed collision between {sorted(a)} and {sorted(b)}"
+                )
+
+    def test_utilities_of_equal_sum_coalitions_are_independent(self):
+        """End to end: training {0,3} is not forced to mirror {1,2}.
+
+        With the old sum-based seed both coalitions trained with identical
+        RNG streams; with per-coalition SHA-256 seeds the trainings are
+        independent (the values may still coincide numerically, but the
+        *seeds* driving them provably differ — asserted above — so we only
+        check the utilities are finite and reproducible here).
+        """
+        trainer = make_trainer(4)
+        u_a = trainer.utility({0, 3})
+        u_b = trainer.utility({1, 2})
+        assert u_a == trainer.utility({0, 3})
+        assert u_b == trainer.utility({1, 2})

@@ -122,8 +122,12 @@ class TestDuplicateClientsScenario:
             client_datasets=clients,
             test_dataset=test,
             model_factory=lambda: LogisticRegressionModel(n_features=6, n_classes=3, epochs=3),
-            config=FLConfig(rounds=2, local_epochs=1),
+            config=FLConfig(rounds=3, local_epochs=2),
             seed=21,
         )
         exact = MCShapley().run(utility).values
+        # Symmetry holds only up to per-coalition training noise: {S ∪ {0}}
+        # and {S ∪ {3}} are distinct coalitions training under independent
+        # seeds, so train long enough (3 rounds × 2 epochs) that runs
+        # converge and the noise stays well inside the tolerance.
         assert symmetry_error(exact, [[0, 3]]) < 0.35

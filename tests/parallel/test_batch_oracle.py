@@ -1,0 +1,210 @@
+"""Tests for the batched coalition-evaluation engine (repro.parallel)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel import (
+    BatchUtilityOracle,
+    EXECUTOR_BACKENDS,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    coalition_batch_keys,
+    make_executor,
+)
+
+from tests.helpers import monotone_game
+
+
+class CountingGame:
+    """Picklable counting evaluator: U(S) = |S| with a call log."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, coalition):
+        self.calls.append(frozenset(coalition))
+        return float(len(coalition))
+
+
+class TestCoalitionBatchKeys:
+    def test_dedupes_preserving_first_appearance_order(self):
+        keys = coalition_batch_keys([{1, 0}, {2}, [0, 1], (2,), frozenset()])
+        assert keys == [frozenset({0, 1}), frozenset({2}), frozenset()]
+
+    def test_empty(self):
+        assert coalition_batch_keys([]) == []
+
+
+class TestMakeExecutor:
+    def test_default_serial_for_one_worker(self):
+        assert isinstance(make_executor(None, 1), SerialExecutor)
+
+    def test_default_thread_for_many_workers(self):
+        executor = make_executor(None, 4)
+        assert isinstance(executor, ThreadPoolExecutor)
+        assert executor.n_workers == 4
+
+    @pytest.mark.parametrize("name", EXECUTOR_BACKENDS)
+    def test_named_backends(self, name):
+        assert make_executor(name, 2) is not None
+
+    def test_instance_passthrough(self):
+        executor = SerialExecutor()
+        assert make_executor(executor, 8) is executor
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            make_executor("gpu", 2)
+
+    def test_invalid_workers_raise(self):
+        with pytest.raises(ValueError):
+            make_executor(None, 0)
+        with pytest.raises(ValueError):
+            ThreadPoolExecutor(0)
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(-1)
+
+
+class TestBatchUtilityOracle:
+    def test_single_call_interface(self):
+        oracle = BatchUtilityOracle(CountingGame(), n_clients=4)
+        assert oracle({0, 1}) == 2.0
+        assert oracle.utility({0, 1}) == 2.0  # cached
+        assert oracle.evaluations == 1
+        assert oracle.cache_hits == 1
+        assert oracle.n_clients == 4
+
+    def test_n_clients_inferred_from_evaluator(self):
+        game = monotone_game(5)
+        oracle = BatchUtilityOracle(game)
+        assert oracle.n_clients == 5
+
+    def test_n_clients_unknown_raises(self):
+        oracle = BatchUtilityOracle(CountingGame())
+        with pytest.raises(AttributeError):
+            oracle.n_clients
+
+    def test_batch_dedupes_and_preserves_order(self):
+        game = CountingGame()
+        oracle = BatchUtilityOracle(game, n_clients=4)
+        results = oracle.evaluate_batch([{0}, {1, 2}, [0], frozenset()])
+        assert list(results) == [frozenset({0}), frozenset({1, 2}), frozenset()]
+        assert results[frozenset({1, 2})] == 2.0
+        assert oracle.evaluations == 3  # duplicate {0} trained once
+
+    def test_batch_uses_cache_across_calls(self):
+        game = CountingGame()
+        oracle = BatchUtilityOracle(game, n_clients=4)
+        oracle.evaluate_batch([{0}, {1}])
+        oracle.evaluate_batch([{0}, {2}])
+        assert oracle.evaluations == 3
+        assert oracle.cache_hits == 1
+
+    def test_empty_batch(self):
+        oracle = BatchUtilityOracle(CountingGame(), n_clients=2)
+        assert oracle.evaluate_batch([]) == {}
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_backends_agree(self, executor):
+        game = monotone_game(5, seed=3)
+        oracle = BatchUtilityOracle(game, n_clients=5, n_workers=3, executor=executor)
+        batch = [{0}, {1, 2}, {0, 1, 2, 3, 4}, frozenset(), {4}]
+        results = oracle.evaluate_batch(batch)
+        for coalition in batch:
+            key = frozenset(coalition)
+            assert results[key] == game._table[key]
+
+    def test_process_backend_deposits_into_parent_cache(self):
+        game = monotone_game(4, seed=1)
+        oracle = BatchUtilityOracle(game, n_clients=4, n_workers=2, executor="process")
+        oracle.evaluate_batch([{0}, {1}, {0, 1}])
+        assert oracle.evaluations == 3
+        # Second pass is all hits — nothing crosses a process boundary again.
+        oracle.evaluate_batch([{0}, {1}, {0, 1}])
+        assert oracle.evaluations == 3
+        assert oracle.cache_hits == 3
+
+    def test_set_n_workers_reconfigures(self):
+        oracle = BatchUtilityOracle(CountingGame(), n_clients=3)
+        assert oracle.n_workers == 1
+        oracle.set_n_workers(4)
+        assert oracle.n_workers == 4
+        assert isinstance(oracle.executor, ThreadPoolExecutor)  # serial upgrades
+        with pytest.raises(ValueError):
+            oracle.set_n_workers(0)
+
+    def test_set_n_workers_preserves_configured_backend(self):
+        """Resizing without naming a backend must keep a configured process
+        pool a process pool (and keep custom executor instances verbatim)."""
+        oracle = BatchUtilityOracle(
+            CountingGame(), n_clients=3, n_workers=4, executor="process"
+        )
+        oracle.set_n_workers(2)
+        assert isinstance(oracle.executor, ProcessPoolExecutor)
+        assert oracle.executor.n_workers == 2
+
+        class RecordingExecutor(SerialExecutor):
+            pass
+
+        custom = RecordingExecutor()
+        oracle = BatchUtilityOracle(CountingGame(), n_clients=3, executor=custom)
+        oracle.set_n_workers(2)
+        assert oracle.executor is custom
+        # An explicit backend name still overrides.
+        oracle.set_n_workers(3, "thread")
+        assert isinstance(oracle.executor, ThreadPoolExecutor)
+
+    def test_reset_cache(self):
+        oracle = BatchUtilityOracle(CountingGame(), n_clients=3)
+        oracle.evaluate_batch([{0}, {1}])
+        oracle.reset_cache()
+        assert oracle.evaluations == 0
+        oracle.evaluate_batch([{0}])
+        assert oracle.evaluations == 1
+
+    def test_prefetch_warms_cache(self):
+        game = CountingGame()
+        oracle = BatchUtilityOracle(game, n_clients=3, n_workers=2)
+        oracle.prefetch([{0, 1}, {2}])
+        assert oracle.evaluations == 2
+        assert oracle({0, 1}) == 2.0
+        assert oracle.evaluations == 2  # hit
+
+
+class TestConcurrentAccounting:
+    def test_hit_miss_accounting_under_concurrent_batches(self):
+        """Overlapping batches from many threads never double-train a
+        coalition, and hits + misses add up to total lookups."""
+        calls = []
+        lock = threading.Lock()
+
+        def evaluator(coalition):
+            with lock:
+                calls.append(frozenset(coalition))
+            time.sleep(0.002)  # widen the race window
+            return float(len(coalition))
+
+        oracle = BatchUtilityOracle(evaluator, n_clients=6, n_workers=4)
+        batches = [
+            [{0}, {1}, {0, 1}, {2}],
+            [{1}, {2}, {3}, {0, 1}],
+            [{3}, {4}, {0}, {5}],
+            [{5}, {4}, {2}, {1}],
+        ]
+        threads = [
+            threading.Thread(target=oracle.evaluate_batch, args=(batch,))
+            for batch in batches
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        distinct = {frozenset(c) for batch in batches for c in batch}
+        assert len(calls) == len(distinct)  # single-flight: one training each
+        assert oracle.evaluations == len(distinct)
+        lookups = sum(len(coalition_batch_keys(batch)) for batch in batches)
+        assert oracle.cache_hits + oracle.evaluations == lookups

@@ -94,6 +94,111 @@ class TestUtilityCache:
         assert len(calls) == 1
 
 
+class TestEvictionSemantics:
+    def test_re_evaluation_after_eviction_counts_again(self):
+        """``evaluations`` models FL-training cost, not distinct coalitions:
+        a coalition evicted from a bounded cache and revisited is retrained
+        and the counter reflects that."""
+        evaluator, calls = make_counting_evaluator()
+        cache = UtilityCache(evaluator, max_size=1)
+        cache.utility({0})
+        cache.utility({1})  # evicts {0}
+        cache.utility({0})  # re-trained
+        assert len(calls) == 3
+        assert cache.evaluations == 3  # counts evaluator calls, not distinct
+        distinct = {frozenset(c) for c in calls}
+        assert len(distinct) == 2  # ... which here exceed the distinct count
+
+
+class TestLookupStore:
+    def test_lookup_counts_hit_when_present(self):
+        evaluator, _ = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        assert cache.lookup({0}) is None
+        assert cache.stats.hits == 0
+        cache.utility({0})
+        assert cache.lookup({0}) == 1.0
+        assert cache.stats.hits == 1
+
+    def test_store_counts_miss_and_feeds_later_hits(self):
+        evaluator, calls = make_counting_evaluator()
+        cache = UtilityCache(evaluator)
+        cache.store({0, 1}, 0.75)
+        assert calls == []  # value came from outside, evaluator untouched
+        assert cache.evaluations == 1
+        assert cache.utility({0, 1}) == 0.75
+        assert cache.stats.hits == 1
+
+    def test_store_respects_max_size(self):
+        evaluator, _ = make_counting_evaluator()
+        cache = UtilityCache(evaluator, max_size=1)
+        cache.store({0}, 1.0)
+        cache.store({1}, 2.0)
+        assert len(cache) == 1
+        assert not cache.contains({0})
+
+    def test_restoring_existing_key_neither_evicts_nor_recounts(self):
+        """Two overlapping batches depositing the same coalition must not
+        evict an unrelated entry from a full cache or inflate the counter."""
+        evaluator, _ = make_counting_evaluator()
+        cache = UtilityCache(evaluator, max_size=2)
+        cache.store({0}, 1.0)
+        cache.store({1}, 2.0)
+        cache.store({1}, 2.0)  # duplicate deposit
+        assert cache.contains({0})  # {0} survived
+        assert cache.evaluations == 2
+        assert cache.utility({1}) == 2.0
+
+
+class TestThreadSafety:
+    def test_concurrent_misses_are_single_flight(self):
+        import threading
+        import time
+
+        calls = []
+        lock = threading.Lock()
+
+        def evaluator(coalition):
+            with lock:
+                calls.append(frozenset(coalition))
+            time.sleep(0.005)
+            return float(len(coalition))
+
+        cache = UtilityCache(evaluator)
+        results = []
+
+        def worker():
+            results.append(cache.utility({0, 1}))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1  # one training, seven waiters
+        assert results == [2.0] * 8
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 7
+
+    def test_failed_evaluation_releases_waiters(self):
+        import threading
+
+        attempts = []
+
+        def evaluator(coalition):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return 1.0
+
+        cache = UtilityCache(evaluator)
+        with pytest.raises(RuntimeError):
+            cache.utility({0})
+        # The in-flight marker was cleaned up: the next call retries fresh.
+        assert cache.utility({0}) == 1.0
+        assert cache.stats.misses == 1
+
+
 class TestCacheStats:
     def test_lookups_and_evaluations(self):
         stats = CacheStats(hits=3, misses=2)
