@@ -1,0 +1,108 @@
+"""Benchmark E13: cold-vs-warm campaigns through the persistent utility store.
+
+Per-coalition FL training (the paper's τ) dominates every campaign, and the
+:mod:`repro.store` tier is supposed to eliminate it entirely on reruns.  This
+benchmark runs the same single-task plan twice — a cold run into an empty
+SQLite store, then a warm run against the populated one — with a modeled τ
+per coalition, and checks the claims that matter:
+
+* the warm run performs **zero** FL trainings (all utilities served from the
+  store), and
+* the warm-run values are bitwise-identical to the cold run's.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import IPSS, MCShapley
+from repro.experiments.reporting import format_table
+from repro.parallel import BatchUtilityOracle
+from repro.store import SqliteUtilityStore
+
+from conftest import monotone_game, run_once, save_report
+
+N_CLIENTS = 8
+SEED = 7
+#: modeled per-coalition training cost τ (seconds)
+TAU = 0.005
+
+
+class ModeledCostGame:
+    """Synthetic utility with an explicit per-coalition cost τ (picklable)."""
+
+    def __init__(self, n_clients: int, tau: float, seed: int) -> None:
+        self.n_clients = n_clients
+        self.tau = tau
+        self._game = monotone_game(n_clients, seed=seed)
+
+    def __call__(self, coalition) -> float:
+        time.sleep(self.tau)
+        return self._game(coalition)
+
+
+def _campaign(store_path: str):
+    """One run of the MC-Shapley + IPSS line-up against the given store."""
+    algorithms = [MCShapley(seed=SEED), IPSS(total_rounds=24, seed=SEED)]
+    rows = []
+    all_values = {}
+    with SqliteUtilityStore(store_path) as store:
+        oracle = BatchUtilityOracle(
+            ModeledCostGame(N_CLIENTS, TAU, SEED),
+            n_clients=N_CLIENTS,
+            store=store,
+            store_namespace="bench-store",
+        )
+        for algorithm in algorithms:
+            oracle.reset_cache()
+            start = time.perf_counter()
+            result = algorithm.run(oracle, N_CLIENTS)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "algorithm": result.algorithm,
+                    "time_s": elapsed,
+                    "trainings": result.utility_evaluations,
+                    "store_hits": oracle.store_hits,
+                }
+            )
+            all_values[result.algorithm] = result.values
+    return rows, all_values
+
+
+def _run_cold_then_warm():
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = str(Path(tmp) / "store.sqlite")
+        cold_rows, cold_values = _campaign(store_path)
+        warm_rows, warm_values = _campaign(store_path)
+    rows = [{"run": "cold", **row} for row in cold_rows]
+    rows += [{"run": "warm", **row} for row in warm_rows]
+    for name, values in cold_values.items():
+        assert np.array_equal(values, warm_values[name]), "store changed values"
+    return rows
+
+
+@pytest.mark.benchmark(group="store")
+def test_store_rerun_is_training_free(benchmark, results_dir):
+    rows = run_once(benchmark, _run_cold_then_warm)
+    save_report(
+        results_dir,
+        "store_rerun",
+        format_table(
+            rows,
+            columns=["run", "algorithm", "time_s", "trainings", "store_hits"],
+            title=f"Persistent-store rerun — {N_CLIENTS} clients, modeled τ = {TAU}s",
+        ),
+    )
+    cold_trainings = sum(r["trainings"] for r in rows if r["run"] == "cold")
+    warm_trainings = sum(r["trainings"] for r in rows if r["run"] == "warm")
+    benchmark.extra_info["cold_trainings"] = cold_trainings
+    benchmark.extra_info["warm_trainings"] = warm_trainings
+    # Acceptance: the warm campaign never trains a coalition.
+    assert cold_trainings > 0
+    assert warm_trainings == 0

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Store smoke gate (shared by scripts/smoke.sh and CI): run a tiny task twice
+# via `repro run` against one persistent store and assert the second run is
+# served entirely from it — zero coalition FL trainings, identical errors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CLI="python -m repro.cli"
+TASK_FLAGS="--task adult --model logistic --n-clients 3 --scale tiny --seed 0"
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $CLI run \
+    --run-dir "$SMOKE_DIR/run1" --store "$SMOKE_DIR/store.sqlite" $TASK_FLAGS --json \
+    > "$SMOKE_DIR/first.json"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $CLI run \
+    --run-dir "$SMOKE_DIR/run2" --store "$SMOKE_DIR/store.sqlite" $TASK_FLAGS --json \
+    > "$SMOKE_DIR/second.json"
+
+python - "$SMOKE_DIR/first.json" "$SMOKE_DIR/second.json" <<'EOF'
+import json, sys
+first = json.load(open(sys.argv[1]))
+second = json.load(open(sys.argv[2]))
+assert first["fl_trainings"] > 0, f"cold run trained nothing: {first['fl_trainings']}"
+assert second["fl_trainings"] == 0, (
+    f"warm run retrained {second['fl_trainings']} coalitions; "
+    "the persistent store should have served them all"
+)
+errors = lambda report: {
+    row["algorithm"]: row["error_l2"]
+    for row in report["rows"]
+    if row.get("status") == "done"
+}
+assert errors(first) == errors(second), "store changed computed values"
+print(
+    f"store smoke ok: cold={first['fl_trainings']} trainings, "
+    f"warm=0 (store_hits={second['store_hits']})"
+)
+EOF

@@ -10,8 +10,11 @@ The package is organised in five layers:
   unified stratified sampling framework, K-Greedy, IPSS and nine baselines.
 * :mod:`repro.parallel` — batched coalition-evaluation engine: a batch-capable
   utility oracle with serial/thread/process executors (``n_workers``).
+* :mod:`repro.store` — persistent, content-addressed coalition-utility store
+  (SQLite / sharded JSONL) shared across processes and runs.
 * :mod:`repro.experiments` — the harness that regenerates every table and
-  figure of the paper's evaluation section.
+  figure of the paper's evaluation section, plus the declarative, resumable
+  experiment pipeline behind the ``repro`` CLI (see :mod:`repro.cli`).
 
 Quickstart
 ----------
@@ -30,6 +33,7 @@ from repro.core import (
 )
 from repro.fl import CoalitionUtility, FLConfig
 from repro.parallel import BatchUtilityOracle
+from repro.store import UtilityStore, open_store
 from repro.version import __version__
 
 __all__ = [
@@ -42,6 +46,8 @@ __all__ = [
     "CoalitionUtility",
     "BatchUtilityOracle",
     "FLConfig",
+    "UtilityStore",
+    "open_store",
     "quick_valuation",
     "__version__",
 ]

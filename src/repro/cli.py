@@ -1,0 +1,298 @@
+"""``repro`` — the command-line face of the experiment pipeline.
+
+Subcommands
+-----------
+``repro run``
+    Execute a campaign described either by CLI flags (one task) or a JSON
+    config file (any plan).  Each (task, algorithm) cell is recorded in a
+    manifest as it completes, results land beside it, and a persistent
+    utility store makes reruns retraining-free.
+``repro resume``
+    Finish an interrupted run from its manifest: only missing cells are
+    computed; with the same store attached their coalitions come from disk.
+``repro store stats`` / ``repro store gc``
+    Inspect or compact a utility store.
+``repro list-tasks``
+    Show the registered task kinds and algorithm names a plan may reference.
+
+Example
+-------
+::
+
+    repro run --run-dir runs/demo --store store.sqlite \\
+        --task adult --model logistic --n-clients 3 --scale tiny
+    repro resume --run-dir runs/demo --store store.sqlite
+
+A JSON config (``repro run --config plan.json``) carries a full plan::
+
+    {
+      "name": "table5-campaign",
+      "algorithms": ["MC-Shapley", "IPSS", "Extended-TMC"],
+      "tasks": [
+        {"kind": "adult", "model": "mlp", "n_clients": 3, "scale": "tiny"},
+        {"kind": "femnist", "model": "mlp", "n_clients": 6, "scale": "tiny"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.pipeline import (
+    DEFAULT_ALGORITHMS,
+    ExperimentPlan,
+    RunReport,
+    available_algorithms,
+    resume_run,
+    run_plan,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.specs import SYNTHETIC_SETUPS, TaskSpec, available_tasks
+from repro.store import STORE_BACKENDS, open_store
+from repro.version import __version__
+
+_SCALE_NAMES = ("tiny", "small", "paper")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resumable, store-backed FL data-valuation experiments.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="execute a campaign (flags or --config)")
+    run.add_argument("--run-dir", required=True, help="directory for manifest + results")
+    run.add_argument("--config", help="JSON plan file (overrides the task flags)")
+    run.add_argument("--task", choices=available_tasks(), default="adult")
+    run.add_argument("--setup", choices=SYNTHETIC_SETUPS, help="synthetic tasks only")
+    run.add_argument("--model", default="logistic")
+    run.add_argument("--n-clients", type=int, default=3)
+    run.add_argument("--scale", choices=_SCALE_NAMES, default="tiny")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--algorithms",
+        help=f"comma-separated names (default: {','.join(DEFAULT_ALGORITHMS)}; "
+        f"known: {','.join(available_algorithms())})",
+    )
+    run.add_argument("--n-workers", type=int, default=1)
+    run.add_argument("--resume", action="store_true", help="continue an existing run dir")
+    _add_store_arguments(run)
+    _add_output_arguments(run)
+
+    resume = subparsers.add_parser("resume", help="finish an interrupted run")
+    resume.add_argument("--run-dir", required=True)
+    _add_store_arguments(resume)
+    _add_output_arguments(resume)
+
+    store = subparsers.add_parser("store", help="inspect or compact a utility store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    stats = store_sub.add_parser("stats", help="entry counts per task namespace")
+    _add_store_arguments(stats, required=True)
+    _add_output_arguments(stats)
+    gc = store_sub.add_parser("gc", help="drop corrupt/duplicate/foreign entries")
+    _add_store_arguments(gc, required=True)
+    gc.add_argument(
+        "--keep-namespace",
+        help="also drop every entry outside this task fingerprint",
+    )
+    _add_output_arguments(gc)
+
+    list_tasks = subparsers.add_parser(
+        "list-tasks", help="registered task kinds and algorithms"
+    )
+    _add_output_arguments(list_tasks)
+    return parser
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser, required: bool = False) -> None:
+    parser.add_argument(
+        "--store",
+        required=required,
+        help="persistent utility store path (SQLite file or JSONL directory)",
+    )
+    parser.add_argument(
+        "--store-backend",
+        choices=STORE_BACKENDS,
+        help="force a backend instead of inferring it from the path",
+    )
+
+
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON on stdout"
+    )
+
+
+def _open_store_arg(args) -> Optional[object]:
+    if getattr(args, "store", None) is None:
+        return None
+    return open_store(args.store, backend=getattr(args, "store_backend", None))
+
+
+def _plan_from_args(args) -> ExperimentPlan:
+    if args.config:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            return ExperimentPlan.from_dict(json.load(handle))
+    spec = TaskSpec(
+        kind=args.task,
+        setup=args.setup if args.task == "synthetic" else None,
+        model=args.model,
+        n_clients=args.n_clients,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    algorithms = (
+        tuple(name.strip() for name in args.algorithms.split(",") if name.strip())
+        if args.algorithms
+        else DEFAULT_ALGORITHMS
+    )
+    return ExperimentPlan(
+        tasks=(spec,), algorithms=algorithms, n_workers=args.n_workers
+    )
+
+
+def _print_report(report: RunReport, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return
+    done_rows = [row for row in report.rows if row.get("status") == "done"]
+    if done_rows:
+        print(
+            format_table(
+                done_rows,
+                columns=[
+                    "task",
+                    "algorithm",
+                    "time_s",
+                    "evaluations",
+                    "store_hits",
+                    "error_l2",
+                ],
+                title=f"run: {report.run_dir}",
+            )
+        )
+    for row in report.rows:
+        if row.get("status") == "skipped":
+            print(f"skipped {row['task']} × {row['algorithm']}: {row['reason']}")
+    print(
+        f"cells: {report.cells_run} run, {report.cells_resumed} resumed, "
+        f"{report.cells_skipped} skipped | fl_trainings: {report.fl_trainings} "
+        f"| store_hits: {report.store_hits}"
+    )
+
+
+def _cmd_run(args) -> int:
+    plan = _plan_from_args(args)
+    store = _open_store_arg(args)
+    try:
+        report = run_plan(
+            plan,
+            args.run_dir,
+            store=store,
+            resume=args.resume,
+            log=None if args.json else lambda message: print(message, file=sys.stderr),
+        )
+    finally:
+        if store is not None:
+            store.close()
+    _print_report(report, args.json)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    store = _open_store_arg(args)
+    try:
+        report = resume_run(
+            args.run_dir,
+            store=store,
+            log=None if args.json else lambda message: print(message, file=sys.stderr),
+        )
+    finally:
+        if store is not None:
+            store.close()
+    _print_report(report, args.json)
+    return 0
+
+
+def _require_existing_store(args) -> None:
+    """Inspection commands must not conjure a fresh store from a typo'd path."""
+    if not os.path.exists(args.store):
+        raise FileNotFoundError(f"no store at {args.store!r}")
+
+
+def _cmd_store_stats(args) -> int:
+    _require_existing_store(args)
+    with _open_store_arg(args) as store:
+        summary = store.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"backend:  {summary['backend']}")
+    print(f"location: {summary['location']}")
+    print(f"entries:  {summary['entries']}  ({summary['size_bytes']} bytes)")
+    for namespace, count in sorted(summary["namespaces"].items()):
+        print(f"  {namespace}: {count} coalitions")
+    return 0
+
+
+def _cmd_store_gc(args) -> int:
+    _require_existing_store(args)
+    with _open_store_arg(args) as store:
+        result = store.gc(keep_namespace=args.keep_namespace)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"kept {result.kept} entries; dropped {result.dropped_corrupt} corrupt, "
+        f"{result.dropped_duplicates} duplicate, "
+        f"{result.dropped_namespaces} out-of-namespace"
+    )
+    return 0
+
+
+def _cmd_list_tasks(args) -> int:
+    payload = {
+        "tasks": available_tasks(),
+        "synthetic_setups": list(SYNTHETIC_SETUPS),
+        "scales": list(_SCALE_NAMES),
+        "algorithms": available_algorithms(),
+        "default_algorithms": list(DEFAULT_ALGORITHMS),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print("task kinds:      " + ", ".join(payload["tasks"]))
+    print("synthetic setups:" + "".join(f"\n  {s}" for s in payload["synthetic_setups"]))
+    print("scales:          " + ", ".join(payload["scales"]))
+    print("algorithms:      " + ", ".join(payload["algorithms"]))
+    print("defaults:        " + ", ".join(payload["default_algorithms"]))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "resume": _cmd_resume,
+        "list-tasks": _cmd_list_tasks,
+    }
+    try:
+        if args.command == "store":
+            handler = {"stats": _cmd_store_stats, "gc": _cmd_store_gc}[args.store_command]
+            return handler(args)
+        return handlers[args.command](args)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

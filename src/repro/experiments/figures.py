@@ -2,8 +2,11 @@
 
 Each function runs the experiment behind one figure and returns the numeric
 series the figure plots; :func:`repro.experiments.reporting.format_series`
-renders them as text.  Dataset/model sizes are controlled by
-:class:`~repro.experiments.config.ExperimentScale`.
+renders them as text.  Tasks are described declaratively
+(:class:`~repro.experiments.specs.TaskSpec`), dataset/model sizes are
+controlled by :class:`~repro.experiments.config.ExperimentScale`, and every
+figure accepts ``store=`` to persist trained coalition utilities across
+invocations (regenerating a figure against a warm store retrains nothing).
 """
 
 from __future__ import annotations
@@ -25,15 +28,32 @@ from repro.core import (
 )
 from repro.core.variance import contribution_variance
 from repro.experiments.config import ExperimentScale, sampling_rounds_for
-from repro.experiments.runner import build_algorithm_suite, run_comparison
-from repro.experiments.tasks import (
-    SYNTHETIC_SETUPS,
-    build_femnist_task,
-    build_synthetic_task,
-)
+from repro.experiments.runner import run_spec
+from repro.experiments.specs import TaskSpec, scale_preset_name
+from repro.experiments.tasks import SYNTHETIC_SETUPS
+from repro.store import StoreLike
 from repro.utils.combinatorics import count_coalitions_up_to
-from repro.utils.rng import RandomState, SeedLike, spawn_rng
+from repro.utils.rng import RandomState, spawn_rng
 from repro.utils.timer import Timer
+
+
+def _femnist_spec(
+    scale: ExperimentScale,
+    n_clients: int,
+    model: str,
+    seed: int,
+    n_null_clients: int = 0,
+    n_duplicate_clients: int = 0,
+) -> TaskSpec:
+    return TaskSpec(
+        kind="femnist",
+        n_clients=n_clients,
+        model=model,
+        scale=scale_preset_name(scale),
+        seed=seed,
+        n_null_clients=n_null_clients,
+        n_duplicate_clients=n_duplicate_clients,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -43,13 +63,13 @@ def figure1b(
     scale: Optional[ExperimentScale] = None,
     n_clients: int = 10,
     model: str = "mlp",
-    seed: SeedLike = 0,
+    seed: int = 0,
+    store: StoreLike = None,
 ) -> list[dict]:
     """Motivating scatter: each algorithm's (time, error) point."""
     scale = scale or ExperimentScale.small()
-    utility, _ = build_femnist_task(n_clients=n_clients, model=model, scale=scale, seed=seed)
-    suite = build_algorithm_suite(n_clients, seed=seed)
-    comparison = run_comparison(utility, suite, n_clients=n_clients, task_label="fig1b")
+    spec = _femnist_spec(scale, n_clients, model, seed)
+    comparison = run_spec(spec, store=store)
     return [
         {
             "algorithm": row.algorithm,
@@ -69,20 +89,21 @@ def figure4(
     n_clients: int = 10,
     model: str = "mlp",
     max_k: Optional[int] = None,
-    seed: SeedLike = 0,
+    seed: int = 0,
+    store: StoreLike = None,
 ) -> dict:
     """Key-combinations probe: relative error of K-Greedy as K grows."""
     scale = scale or ExperimentScale.small()
     max_k = max_k or n_clients
-    utility, _ = build_femnist_task(n_clients=n_clients, model=model, scale=scale, seed=seed)
-    exact = MCShapley(seed=seed).run(utility, n_clients).values
+    with _femnist_spec(scale, n_clients, model, seed).build(store) as utility:
+        exact = MCShapley(seed=seed).run(utility, n_clients).values
 
-    ks, errors, evaluations = [], [], []
-    for k in range(1, max_k + 1):
-        result = KGreedy(max_size=k, seed=seed).run(utility, n_clients)
-        ks.append(k)
-        errors.append(relative_error_l2(result.values, exact))
-        evaluations.append(count_coalitions_up_to(n_clients, k))
+        ks, errors, evaluations = [], [], []
+        for k in range(1, max_k + 1):
+            result = KGreedy(max_size=k, seed=seed).run(utility, n_clients)
+            ks.append(k)
+            errors.append(relative_error_l2(result.values, exact))
+            evaluations.append(count_coalitions_up_to(n_clients, k))
     return {"k": ks, "relative_error": errors, "evaluations": evaluations}
 
 
@@ -94,20 +115,23 @@ def figure6(
     setups: Sequence[str] = SYNTHETIC_SETUPS,
     models: Sequence[str] = ("mlp", "cnn"),
     n_clients: int = 10,
-    seed: SeedLike = 0,
+    seed: int = 0,
+    store: StoreLike = None,
 ) -> list[dict]:
     """Time and error of every algorithm on the synthetic setups (a)–(e)."""
     scale = scale or ExperimentScale.small()
     rows: list[dict] = []
     for setup in setups:
         for model in models:
-            utility = build_synthetic_task(
-                setup, n_clients=n_clients, model=model, scale=scale, seed=seed
+            spec = TaskSpec(
+                kind="synthetic",
+                setup=setup,
+                n_clients=n_clients,
+                model=model,
+                scale=scale_preset_name(scale),
+                seed=seed,
             )
-            suite = build_algorithm_suite(n_clients, seed=seed)
-            comparison = run_comparison(
-                utility, suite, n_clients=n_clients, task_label=f"fig6/{setup}/{model}"
-            )
+            comparison = run_spec(spec, store=store)
             for row in comparison.rows:
                 rows.append(
                     {
@@ -130,35 +154,36 @@ def figure7(
     model: str = "mlp",
     gammas: Sequence[int] = (8, 16, 32, 64, 128),
     repetitions: int = 3,
-    seed: SeedLike = 0,
+    seed: int = 0,
+    store: StoreLike = None,
 ) -> dict:
     """Mean relative error of the sampling algorithms as γ grows."""
     scale = scale or ExperimentScale.small()
-    utility, _ = build_femnist_task(n_clients=n_clients, model=model, scale=scale, seed=seed)
-    exact = MCShapley(seed=seed).run(utility, n_clients).values
-    rng = RandomState(seed)
-
     series: dict[str, list[float]] = {
         "IPSS": [],
         "Extended-TMC": [],
         "Extended-GTB": [],
         "CC-Shapley": [],
     }
-    for gamma in gammas:
-        errors = {name: [] for name in series}
-        for rep_rng in spawn_rng(rng, repetitions):
-            rep_seed = int(rep_rng.integers(0, 2**31 - 1))
-            algorithms = {
-                "IPSS": IPSS(total_rounds=gamma, seed=rep_seed),
-                "Extended-TMC": ExtendedTMC(total_rounds=gamma, seed=rep_seed),
-                "Extended-GTB": ExtendedGTB(total_rounds=gamma, seed=rep_seed),
-                "CC-Shapley": CCShapleySampling(total_rounds=gamma, seed=rep_seed),
-            }
-            for name, algorithm in algorithms.items():
-                result = algorithm.run(utility, n_clients)
-                errors[name].append(relative_error_l2(result.values, exact))
-        for name in series:
-            series[name].append(float(np.mean(errors[name])))
+    with _femnist_spec(scale, n_clients, model, seed).build(store) as utility:
+        exact = MCShapley(seed=seed).run(utility, n_clients).values
+        rng = RandomState(seed)
+
+        for gamma in gammas:
+            errors = {name: [] for name in series}
+            for rep_rng in spawn_rng(rng, repetitions):
+                rep_seed = int(rep_rng.integers(0, 2**31 - 1))
+                algorithms = {
+                    "IPSS": IPSS(total_rounds=gamma, seed=rep_seed),
+                    "Extended-TMC": ExtendedTMC(total_rounds=gamma, seed=rep_seed),
+                    "Extended-GTB": ExtendedGTB(total_rounds=gamma, seed=rep_seed),
+                    "CC-Shapley": CCShapleySampling(total_rounds=gamma, seed=rep_seed),
+                }
+                for name, algorithm in algorithms.items():
+                    result = algorithm.run(utility, n_clients)
+                    errors[name].append(relative_error_l2(result.values, exact))
+            for name in series:
+                series[name].append(float(np.mean(errors[name])))
     return {"gamma": list(gammas), "series": series}
 
 
@@ -170,38 +195,41 @@ def figure8(
     n_clients: int = 6,
     model: str = "mlp",
     gammas: Sequence[int] = (6, 12, 24, 48),
-    seed: SeedLike = 0,
+    seed: int = 0,
+    store: StoreLike = None,
 ) -> list[dict]:
     """Per-(algorithm, γ) points tracing the efficiency/effectiveness trade-off."""
     scale = scale or ExperimentScale.small()
-    utility, _ = build_femnist_task(n_clients=n_clients, model=model, scale=scale, seed=seed)
-    exact = MCShapley(seed=seed).run(utility, n_clients).values
-
     rows: list[dict] = []
-    for gamma in gammas:
-        algorithms = {
-            "IPSS": IPSS(total_rounds=gamma, seed=seed),
-            "Extended-TMC": ExtendedTMC(total_rounds=gamma, seed=seed),
-            "Extended-GTB": ExtendedGTB(total_rounds=gamma, seed=seed),
-            "CC-Shapley": CCShapleySampling(total_rounds=gamma, seed=seed),
-        }
-        for name, algorithm in algorithms.items():
-            # Use a fresh cache per point so the measured time reflects the
-            # budget actually spent at this γ rather than earlier warm-up.
-            utility.reset_cache()
-            with Timer() as timer:
-                result = algorithm.run(utility, n_clients)
-            rows.append(
-                {
-                    "algorithm": name,
-                    "gamma": gamma,
-                    "n": n_clients,
-                    "model": model,
-                    "time_s": timer.elapsed,
-                    "evaluations": result.utility_evaluations,
-                    "error_l2": relative_error_l2(result.values, exact),
-                }
-            )
+    with _femnist_spec(scale, n_clients, model, seed).build(store) as utility:
+        exact = MCShapley(seed=seed).run(utility, n_clients).values
+
+        for gamma in gammas:
+            algorithms = {
+                "IPSS": IPSS(total_rounds=gamma, seed=seed),
+                "Extended-TMC": ExtendedTMC(total_rounds=gamma, seed=seed),
+                "Extended-GTB": ExtendedGTB(total_rounds=gamma, seed=seed),
+                "CC-Shapley": CCShapleySampling(total_rounds=gamma, seed=seed),
+            }
+            for name, algorithm in algorithms.items():
+                # Use a fresh cache per point so the measured time reflects the
+                # budget actually spent at this γ rather than earlier warm-up.
+                # (With store= given, coalitions persisted by earlier points
+                # still serve from disk — pass no store for pure timings.)
+                utility.reset_cache()
+                with Timer() as timer:
+                    result = algorithm.run(utility, n_clients)
+                rows.append(
+                    {
+                        "algorithm": name,
+                        "gamma": gamma,
+                        "n": n_clients,
+                        "model": model,
+                        "time_s": timer.elapsed,
+                        "evaluations": result.utility_evaluations,
+                        "error_l2": relative_error_l2(result.values, exact),
+                    }
+                )
     return rows
 
 
@@ -214,7 +242,8 @@ def figure9(
     model: str = "logistic",
     null_fraction: float = 0.05,
     duplicate_fraction: float = 0.05,
-    seed: SeedLike = 0,
+    seed: int = 0,
+    store: StoreLike = None,
 ) -> list[dict]:
     """Running time and fairness-proxy error for 20–100 clients.
 
@@ -228,14 +257,15 @@ def figure9(
     for n_clients in client_counts:
         n_null = max(1, int(round(null_fraction * n_clients)))
         n_duplicate = max(1, int(round(duplicate_fraction * n_clients)))
-        utility, info = build_femnist_task(
-            n_clients=n_clients,
-            model=model,
-            scale=scale,
+        spec = _femnist_spec(
+            scale,
+            n_clients,
+            model,
+            seed,
             n_null_clients=n_null,
             n_duplicate_clients=n_duplicate,
-            seed=seed,
         )
+        utility, info = spec.build_with_info(store)
         gamma = sampling_rounds_for(n_clients)
         algorithms = {
             "IPSS": IPSS(total_rounds=gamma, seed=seed),
@@ -243,23 +273,24 @@ def figure9(
             "Extended-GTB": ExtendedGTB(total_rounds=gamma, seed=seed),
             "CC-Shapley": CCShapleySampling(total_rounds=gamma, seed=seed),
         }
-        for name, algorithm in algorithms.items():
-            utility.reset_cache()
-            with Timer() as timer:
-                result = algorithm.run(utility, info["n_clients"])
-            proxy = fairness_proxy_error(
-                result.values, info["null_clients"], info["duplicate_groups"]
-            )
-            rows.append(
-                {
-                    "n": info["n_clients"],
-                    "gamma": gamma,
-                    "algorithm": name,
-                    "time_s": timer.elapsed,
-                    "evaluations": result.utility_evaluations,
-                    "fairness_error": proxy,
-                }
-            )
+        with utility:
+            for name, algorithm in algorithms.items():
+                utility.reset_cache()
+                with Timer() as timer:
+                    result = algorithm.run(utility, info["n_clients"])
+                proxy = fairness_proxy_error(
+                    result.values, info["null_clients"], info["duplicate_groups"]
+                )
+                rows.append(
+                    {
+                        "n": info["n_clients"],
+                        "gamma": gamma,
+                        "algorithm": name,
+                        "time_s": timer.elapsed,
+                        "evaluations": result.utility_evaluations,
+                        "fairness_error": proxy,
+                    }
+                )
     return rows
 
 
@@ -273,7 +304,8 @@ def figure10(
     gammas: Sequence[int] = (4, 8, 16, 32),
     repetitions: int = 10,
     contribution_samples: int = 120,
-    seed: SeedLike = 0,
+    seed: int = 0,
+    store: StoreLike = None,
 ) -> list[dict]:
     """Variance comparison of the MC-SV and CC-SV schemes (Fig. 10).
 
@@ -289,31 +321,29 @@ def figure10(
     scale = scale or ExperimentScale.tiny()
     rows: list[dict] = []
     for n_clients in client_counts:
-        utility, _ = build_femnist_task(
-            n_clients=n_clients, model=model, scale=scale, seed=seed
-        )
-        per_sample = contribution_variance(
-            utility, n_clients, n_samples=contribution_samples, seed=seed
-        )
-        for gamma in gammas:
-            comparison = empirical_scheme_variance(
-                utility,
-                n_clients=n_clients,
-                total_rounds=gamma,
-                repetitions=repetitions,
-                seed=seed,
+        with _femnist_spec(scale, n_clients, model, seed).build(store) as utility:
+            per_sample = contribution_variance(
+                utility, n_clients, n_samples=contribution_samples, seed=seed
             )
-            rows.append(
-                {
-                    "n": n_clients,
-                    "model": model,
-                    "gamma": gamma,
-                    "mc_variance": comparison.mean_mc_variance,
-                    "cc_variance": comparison.mean_cc_variance,
-                    "mc_is_lower": comparison.mc_is_lower,
-                    "mc_contribution_variance": per_sample["mc_variance"],
-                    "cc_contribution_variance": per_sample["cc_variance"],
-                    "contribution_mc_is_lower": per_sample["mc_is_lower"],
-                }
-            )
+            for gamma in gammas:
+                comparison = empirical_scheme_variance(
+                    utility,
+                    n_clients=n_clients,
+                    total_rounds=gamma,
+                    repetitions=repetitions,
+                    seed=seed,
+                )
+                rows.append(
+                    {
+                        "n": n_clients,
+                        "model": model,
+                        "gamma": gamma,
+                        "mc_variance": comparison.mean_mc_variance,
+                        "cc_variance": comparison.mean_cc_variance,
+                        "mc_is_lower": comparison.mc_is_lower,
+                        "mc_contribution_variance": per_sample["mc_variance"],
+                        "cc_contribution_variance": per_sample["cc_variance"],
+                        "contribution_mc_is_lower": per_sample["mc_is_lower"],
+                    }
+                )
     return rows

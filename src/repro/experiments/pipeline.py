@@ -1,0 +1,454 @@
+"""Config-driven, resumable experiment pipeline.
+
+A benchmark campaign is a grid of *cells* — one (task, algorithm) pair each —
+described declaratively by an :class:`ExperimentPlan` (a list of
+:class:`~repro.experiments.specs.TaskSpec` plus algorithm names).  The
+pipeline executes cells one at a time and records each completed cell in a
+JSON *manifest* under the run directory, with the raw
+:class:`~repro.core.result.ValuationResult` persisted next to it.  That makes
+long campaigns:
+
+* **interruptible** — kill the process at any point; only the in-flight cell
+  is lost, every finished cell is already on disk;
+* **resumable** — :func:`resume_run` (or ``repro resume``) re-reads the
+  manifest and computes only the missing cells; and
+* **retraining-free** — with a persistent :class:`~repro.store.UtilityStore`
+  attached, even the re-computed cells serve their coalition utilities from
+  disk, so a full rerun of a finished campaign performs **zero** FL trainings
+  and produces bitwise-identical values.
+
+Cost-accounting caveat: the in-memory cache is cleared before every cell, but
+the persistent store deliberately survives, so with a store attached each
+cell's ``evaluations`` counts only its *incremental* trainings — coalitions
+already trained by an earlier cell (or an earlier run) are served from disk
+and cost nothing.  Values and error columns are unaffected.  For the paper's
+every-algorithm-pays-its-own-cost accounting (Tables IV/V timings), run
+without a store; see ``docs/store.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import (
+    CCShapleySampling,
+    DIGFL,
+    ExtendedGTB,
+    ExtendedTMC,
+    GTGShapley,
+    IPSS,
+    LambdaMR,
+    MCShapley,
+    ORBaseline,
+    PermShapley,
+    rank_correlation,
+    relative_error_l2,
+)
+from repro.experiments.config import sampling_rounds_for
+from repro.experiments.specs import TaskSpec
+from repro.store import StoreLike, fingerprint, resolve_store
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+RESULTS_DIR = "results"
+
+#: algorithm registry: name -> factory(n_clients, gamma, seed).  Names match
+#: the ``ValuationAlgorithm.name`` identifiers used throughout the reports.
+ALGORITHM_BUILDERS: Dict[str, Callable] = {
+    "Perm-Shapley": lambda n, gamma, seed: PermShapley(seed=seed),
+    "MC-Shapley": lambda n, gamma, seed: MCShapley(seed=seed),
+    "Extended-TMC": lambda n, gamma, seed: ExtendedTMC(total_rounds=gamma, seed=seed),
+    "Extended-GTB": lambda n, gamma, seed: ExtendedGTB(total_rounds=gamma, seed=seed),
+    "CC-Shapley": lambda n, gamma, seed: CCShapleySampling(
+        total_rounds=gamma, seed=seed
+    ),
+    "IPSS": lambda n, gamma, seed: IPSS(total_rounds=gamma, seed=seed),
+    "DIG-FL": lambda n, gamma, seed: DIGFL(seed=seed),
+    "GTG-Shapley": lambda n, gamma, seed: GTGShapley(seed=seed),
+    "OR": lambda n, gamma, seed: ORBaseline(seed=seed),
+    "lambda-MR": lambda n, gamma, seed: LambdaMR(seed=seed),
+}
+
+#: default cell line-up: the exact reference plus all sampling-based methods.
+#: Gradient-based baselines retrain the grand coalition outside the utility
+#: store on every run, so they are opt-in for store-backed campaigns.
+DEFAULT_ALGORITHMS = (
+    "MC-Shapley",
+    "Extended-TMC",
+    "Extended-GTB",
+    "CC-Shapley",
+    "IPSS",
+)
+
+
+def available_algorithms() -> list[str]:
+    """Registered algorithm names, in registry order."""
+    return list(ALGORITHM_BUILDERS)
+
+
+def _slug(name: str) -> str:
+    return "".join(c if c.isalnum() else "-" for c in name.lower()).strip("-")
+
+
+def cell_id(task_fingerprint: str, algorithm: str) -> str:
+    """Manifest id of one (task, algorithm) cell.
+
+    The single definition — plan enumeration and the executor must agree, or
+    a resume would silently recompute every already-finished cell.
+    """
+    return f"{task_fingerprint[:12]}-{_slug(algorithm)}"
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """Declarative description of one benchmark campaign.
+
+    ``algorithms`` are registry names (:func:`available_algorithms`); every
+    algorithm runs on every task, and each (task, algorithm) pair is one
+    resumable cell.
+    """
+
+    tasks: tuple
+    algorithms: tuple = DEFAULT_ALGORITHMS
+    name: str = "run"
+    n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("an ExperimentPlan needs at least one task")
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        unknown = [a for a in self.algorithms if a not in ALGORITHM_BUILDERS]
+        if unknown:
+            raise ValueError(
+                f"unknown algorithms {unknown}; choose from {available_algorithms()}"
+            )
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+
+    def fingerprint(self) -> str:
+        """Content address of the plan (tasks + algorithms, not concurrency).
+
+        ``n_workers`` and ``name`` are deliberately excluded: resuming a
+        campaign on a beefier machine, or under a different label, must not
+        invalidate its completed cells — parallelism does not change values.
+        """
+        return fingerprint(
+            {
+                "version": MANIFEST_VERSION,
+                "tasks": [spec.to_dict() for spec in self.tasks],
+                "algorithms": list(self.algorithms),
+            }
+        )
+
+    def cells(self) -> List[tuple]:
+        """All (task_spec, algorithm_name, cell_id) triples, in run order."""
+        triples = []
+        for spec in self.tasks:
+            task_fp = spec.fingerprint()
+            for algorithm in self.algorithms:
+                triples.append((spec, algorithm, cell_id(task_fp, algorithm)))
+        return triples
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tasks": [spec.to_dict() for spec in self.tasks],
+            "algorithms": list(self.algorithms),
+            "n_workers": self.n_workers,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentPlan":
+        unknown = set(payload) - {"name", "tasks", "algorithms", "n_workers"}
+        if unknown:
+            # A typo in a plan file ("algorithm" for "algorithms") must fail
+            # loudly, not silently run hours of the default campaign.
+            raise ValueError(f"unknown ExperimentPlan fields: {sorted(unknown)}")
+        if "tasks" not in payload:
+            raise ValueError("an ExperimentPlan requires a 'tasks' list")
+        return cls(
+            tasks=tuple(TaskSpec.from_dict(t) for t in payload["tasks"]),
+            algorithms=tuple(payload.get("algorithms", DEFAULT_ALGORITHMS)),
+            name=payload.get("name", "run"),
+            n_workers=int(payload.get("n_workers", 1)),
+        )
+
+
+@dataclass
+class RunReport:
+    """Outcome of one :func:`run_plan` invocation."""
+
+    run_dir: str
+    plan: ExperimentPlan
+    rows: List[dict] = field(default_factory=list)
+    cells_run: int = 0
+    cells_resumed: int = 0
+    cells_skipped: int = 0
+    fl_trainings: int = 0
+    store_hits: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "run_dir": self.run_dir,
+            "plan_fingerprint": self.plan.fingerprint(),
+            "cells_run": self.cells_run,
+            "cells_resumed": self.cells_resumed,
+            "cells_skipped": self.cells_skipped,
+            "fl_trainings": self.fl_trainings,
+            "store_hits": self.store_hits,
+            "rows": self.rows,
+        }
+
+
+def _write_json(path: str, payload: dict) -> None:
+    """Atomic JSON write: a crash mid-dump must not corrupt the manifest."""
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    os.replace(tmp_path, path)
+
+
+def load_manifest(run_dir: str) -> Optional[dict]:
+    """Read the run manifest, or ``None`` for a fresh directory."""
+    path = os.path.join(run_dir, MANIFEST_NAME)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _fresh_manifest(plan: ExperimentPlan) -> dict:
+    return {
+        "version": MANIFEST_VERSION,
+        "name": plan.name,
+        "plan": plan.to_dict(),
+        "plan_fingerprint": plan.fingerprint(),
+        "created_at": time.time(),
+        "updated_at": time.time(),
+        "cells": {},
+    }
+
+
+def run_plan(
+    plan: ExperimentPlan,
+    run_dir: str,
+    store: StoreLike = None,
+    resume: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> RunReport:
+    """Execute (or finish) a campaign, one manifest-tracked cell at a time.
+
+    With ``resume=False`` the run directory must be fresh — an existing
+    manifest is refused rather than silently overwritten.  With
+    ``resume=True`` an existing manifest is honoured: cells recorded as done
+    (or deliberately skipped) are loaded from disk and *not* recomputed, and
+    the manifest's plan must fingerprint-match ``plan`` so a resumed campaign
+    cannot silently compute different cells than it started.
+
+    The report's ``fl_trainings`` counts only trainings paid by *this*
+    invocation — the number the acceptance bar requires to be zero when a
+    finished campaign is rerun against its persistent store.
+    """
+    say = log if log is not None else (lambda message: None)
+    os.makedirs(os.path.join(run_dir, RESULTS_DIR), exist_ok=True)
+    manifest = load_manifest(run_dir)
+    if manifest is None:
+        manifest = _fresh_manifest(plan)
+        _write_json(os.path.join(run_dir, MANIFEST_NAME), manifest)
+    elif not resume:
+        raise ValueError(
+            f"run directory {run_dir!r} already contains a manifest; "
+            "resume it (repro resume / resume=True) or use a fresh directory"
+        )
+    elif manifest.get("plan_fingerprint") != plan.fingerprint():
+        raise ValueError(
+            "manifest plan does not match the requested plan "
+            f"({manifest.get('plan_fingerprint')} != {plan.fingerprint()}); "
+            "a resumed run must continue the campaign it started"
+        )
+
+    report = RunReport(run_dir=run_dir, plan=plan)
+    opened_store, owns_store = resolve_store(store)
+    try:
+        for spec in plan.tasks:
+            _run_task_cells(plan, spec, manifest, run_dir, opened_store, report, say)
+    finally:
+        manifest["updated_at"] = time.time()
+        _write_json(os.path.join(run_dir, MANIFEST_NAME), manifest)
+        _write_json(os.path.join(run_dir, "summary.json"), report.to_dict())
+        if owns_store and opened_store is not None:
+            opened_store.close()
+    return report
+
+
+def resume_run(
+    run_dir: str,
+    store: StoreLike = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> RunReport:
+    """Finish an interrupted campaign from its manifest alone."""
+    manifest = load_manifest(run_dir)
+    if manifest is None:
+        raise ValueError(f"no manifest found in {run_dir!r}; nothing to resume")
+    plan = ExperimentPlan.from_dict(manifest["plan"])
+    return run_plan(plan, run_dir, store=store, resume=True, log=log)
+
+
+# --------------------------------------------------------------------------- #
+# Cell execution
+# --------------------------------------------------------------------------- #
+def _run_task_cells(
+    plan: ExperimentPlan,
+    spec: TaskSpec,
+    manifest: dict,
+    run_dir: str,
+    store,
+    report: RunReport,
+    say: Callable[[str], None],
+) -> None:
+    task_fp = spec.fingerprint()
+    cell_ids = {
+        algorithm: cell_id(task_fp, algorithm) for algorithm in plan.algorithms
+    }
+    pending = [
+        algorithm
+        for algorithm, cid in cell_ids.items()
+        if manifest["cells"].get(cid, {}).get("status") not in ("done", "skipped")
+    ]
+
+    utility = None
+    results: Dict[str, dict] = {}
+    try:
+        if pending:
+            utility = spec.build(store)
+            if plan.n_workers > 1:
+                utility.set_n_workers(plan.n_workers)
+        for algorithm_name in plan.algorithms:
+            this_cell = cell_ids[algorithm_name]
+            recorded = manifest["cells"].get(this_cell)
+            if recorded is not None and recorded.get("status") in ("done", "skipped"):
+                if recorded["status"] == "done":
+                    results[algorithm_name] = _load_cell(run_dir, recorded)
+                    report.cells_resumed += 1
+                else:
+                    report.cells_skipped += 1
+                    report.rows.append(_skip_row(spec, algorithm_name, recorded))
+                continue
+
+            gamma = sampling_rounds_for(utility.n_clients)
+            algorithm = ALGORITHM_BUILDERS[algorithm_name](
+                utility.n_clients, gamma, spec.seed
+            )
+            # Fresh memory tier per cell, so one cell's hits never count for
+            # another; the persistent store deliberately serves across cells,
+            # making `evaluations` the cell's *incremental* training cost.
+            utility.reset_cache()
+            store_hits_before = utility.store_hits
+            say(f"running {spec.label()} × {algorithm_name}")
+            try:
+                result = algorithm.run(utility, utility.n_clients)
+            except (TypeError, ValueError) as error:
+                cell = {
+                    "status": "skipped",
+                    "algorithm": algorithm_name,
+                    "task": spec.label(),
+                    "task_fingerprint": task_fp,
+                    "reason": str(error),
+                    "error_type": type(error).__name__,
+                }
+                manifest["cells"][this_cell] = cell
+                _write_json(os.path.join(run_dir, MANIFEST_NAME), manifest)
+                report.cells_skipped += 1
+                report.rows.append(_skip_row(spec, algorithm_name, cell))
+                continue
+            payload = {
+                "algorithm": algorithm_name,
+                "task": spec.label(),
+                "task_fingerprint": task_fp,
+                "result": result.to_dict(),
+                "store_hits": utility.store_hits - store_hits_before,
+                "completed_at": time.time(),
+            }
+            result_file = os.path.join(RESULTS_DIR, f"{this_cell}.json")
+            _write_json(os.path.join(run_dir, result_file), payload)
+            manifest["cells"][this_cell] = {
+                "status": "done",
+                "algorithm": algorithm_name,
+                "task": spec.label(),
+                "task_fingerprint": task_fp,
+                "result_file": result_file,
+            }
+            manifest["updated_at"] = time.time()
+            _write_json(os.path.join(run_dir, MANIFEST_NAME), manifest)
+            report.cells_run += 1
+            report.fl_trainings += int(result.utility_evaluations)
+            report.store_hits += int(payload["store_hits"])
+            results[algorithm_name] = payload
+    finally:
+        if utility is not None:
+            utility.close()
+
+    report.rows.extend(_score_task_rows(spec, plan, results))
+
+
+def _load_cell(run_dir: str, recorded: dict) -> dict:
+    with open(os.path.join(run_dir, recorded["result_file"]), "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _skip_row(spec: TaskSpec, algorithm: str, cell: dict) -> dict:
+    return {
+        "task": spec.label(),
+        "n": spec.n_clients,
+        "algorithm": algorithm,
+        "status": "skipped",
+        "reason": cell.get("reason", ""),
+    }
+
+
+def _score_task_rows(
+    spec: TaskSpec, plan: ExperimentPlan, results: Dict[str, dict]
+) -> List[dict]:
+    """Turn a task's cell payloads into report rows, scored against MC-SV.
+
+    Errors are recomputed from the persisted value vectors, so resumed and
+    fresh cells score identically — the error column never depends on which
+    invocation happened to execute a cell.
+    """
+    exact_values = None
+    if "MC-Shapley" in results:
+        exact_values = np.asarray(results["MC-Shapley"]["result"]["values"], dtype=float)
+    rows = []
+    for algorithm_name in plan.algorithms:
+        payload = results.get(algorithm_name)
+        if payload is None:
+            continue
+        result = payload["result"]
+        values = np.asarray(result["values"], dtype=float)
+        is_exact = algorithm_name in ("MC-Shapley", "Perm-Shapley")
+        error = None
+        correlation = None
+        if exact_values is not None and not is_exact:
+            error = relative_error_l2(values, exact_values)
+            correlation = rank_correlation(values, exact_values)
+        rows.append(
+            {
+                "task": payload["task"],
+                "n": int(result["n_clients"]),
+                "algorithm": algorithm_name,
+                "status": "done",
+                "time_s": float(result["elapsed_seconds"]),
+                "evaluations": int(result["utility_evaluations"]),
+                "store_hits": int(payload.get("store_hits", 0)),
+                "error_l2": error,
+                "rank_correlation": correlation,
+            }
+        )
+    return rows

@@ -175,7 +175,17 @@ def run_comparison(
     Values are unaffected — parallel evaluation is bitwise-identical to
     serial.
     """
-    n = n_clients if n_clients is not None else getattr(utility, "n_clients")
+    if n_clients is not None:
+        n = int(n_clients)
+    else:
+        n = getattr(utility, "n_clients", None)
+        if n is None:
+            raise ValueError(
+                "n_clients was not provided and the utility oracle does not "
+                "expose an n_clients attribute; pass n_clients=... to "
+                "run_comparison (plain game functions cannot be introspected)"
+            )
+        n = int(n)
     comparison = AlgorithmComparison(task_label=task_label)
     previous_n_workers: Optional[int] = None
     previous_executor = None
@@ -243,21 +253,66 @@ def run_comparison(
         None if exact_values is None else np.asarray(exact_values, dtype=float)
     )
     for algorithm, result in results:
-        is_exact = isinstance(algorithm, (MCShapley, PermShapley))
-        error = None
-        correlation = None
-        if comparison.exact_values is not None and not is_exact:
-            error = relative_error_l2(result.values, comparison.exact_values)
-            correlation = rank_correlation(result.values, comparison.exact_values)
-        comparison.rows.append(
-            ComparisonRow(
-                algorithm=result.algorithm,
-                values=result.values,
-                elapsed_seconds=result.elapsed_seconds,
-                utility_evaluations=result.utility_evaluations,
-                relative_error=error,
-                rank_corr=correlation,
-                is_exact=is_exact,
-            )
-        )
+        _append_row(comparison, algorithm, result)
     return comparison
+
+
+def _append_row(comparison: AlgorithmComparison, algorithm, result) -> None:
+    """Score one algorithm's result against the comparison's exact values."""
+    is_exact = isinstance(algorithm, (MCShapley, PermShapley))
+    error = None
+    correlation = None
+    if comparison.exact_values is not None and not is_exact:
+        error = relative_error_l2(result.values, comparison.exact_values)
+        correlation = rank_correlation(result.values, comparison.exact_values)
+    comparison.rows.append(
+        ComparisonRow(
+            algorithm=result.algorithm,
+            values=result.values,
+            elapsed_seconds=result.elapsed_seconds,
+            utility_evaluations=result.utility_evaluations,
+            relative_error=error,
+            rank_corr=correlation,
+            is_exact=is_exact,
+        )
+    )
+
+
+def run_spec(
+    spec,
+    algorithms: Optional[Sequence] = None,
+    store=None,
+    exact_values: Optional[np.ndarray] = None,
+    include_perm: bool = False,
+    include_gradient: bool = True,
+    n_workers: Optional[int] = None,
+    skip_failures: bool = True,
+) -> AlgorithmComparison:
+    """Run a comparison on a declaratively specified task.
+
+    The spec-consuming face of :func:`run_comparison`: builds the utility
+    oracle from a :class:`~repro.experiments.specs.TaskSpec` (store-backed
+    when ``store`` is given, so trained coalitions persist across runs),
+    derives the default algorithm suite from the task's client count and the
+    paper's budget table, and tears the oracle down deterministically.
+    """
+    utility, info = spec.build_with_info(store)
+    n = int(info.get("n_clients", spec.n_clients))
+    if algorithms is None:
+        algorithms = build_algorithm_suite(
+            n,
+            total_rounds=sampling_rounds_for(n),
+            include_perm=include_perm,
+            include_gradient=include_gradient,
+            seed=spec.seed,
+        )
+    with utility:
+        return run_comparison(
+            utility,
+            algorithms,
+            n_clients=n,
+            exact_values=exact_values,
+            task_label=spec.label(),
+            skip_failures=skip_failures,
+            n_workers=n_workers,
+        )

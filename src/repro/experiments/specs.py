@@ -1,0 +1,269 @@
+"""Declarative, registry-based experiment task specifications.
+
+A :class:`TaskSpec` is the serialisable description of one benchmark task —
+everything :mod:`repro.experiments.tasks` needs to build its utility oracle,
+as plain data.  Specs are what the config-driven pipeline
+(:mod:`repro.experiments.pipeline`) and the ``repro`` CLI consume: they can be
+written in a JSON config, fingerprinted deterministically (the same content
+address that namespaces the persistent utility store), and rebuilt bit-for-bit
+in another process — which is what makes runs resumable and shardable.
+
+The registry maps task kinds to builders; downstream code never hard-codes a
+builder call, so adding a task kind is one :func:`register_task` away.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.tasks import (
+    MODEL_NAMES,
+    SYNTHETIC_SETUPS,
+    build_adult_task,
+    build_femnist_task,
+    build_synthetic_task,
+    task_fingerprint,
+)
+from repro.store import StoreLike
+
+#: builder signature: (spec, store) -> (utility, info-dict)
+TaskBuilder = Callable[["TaskSpec", StoreLike], tuple]
+
+TASK_REGISTRY: Dict[str, TaskBuilder] = {}
+
+
+def register_task(kind: str) -> Callable[[TaskBuilder], TaskBuilder]:
+    """Register a builder for a task kind (decorator)."""
+
+    def decorator(builder: TaskBuilder) -> TaskBuilder:
+        TASK_REGISTRY[kind] = builder
+        return builder
+
+    return decorator
+
+
+def available_tasks() -> list[str]:
+    """Registered task kinds, sorted."""
+    return sorted(TASK_REGISTRY)
+
+
+def scale_preset_name(scale: ExperimentScale) -> str:
+    """Validate that a scale is a named preset a spec can carry.
+
+    Specs are plain data, so they hold scales *by name* — an ad-hoc
+    ``ExperimentScale(fl_rounds=20)`` would silently degrade to the preset of
+    the same name when rebuilt.  Refuse loudly instead.
+    """
+    if ExperimentScale.from_name(scale.name) != scale:
+        raise ValueError(
+            f"scale {scale.name!r} differs from the registered preset of that "
+            "name; declarative TaskSpecs carry scales by name, so ad-hoc "
+            "ExperimentScale instances cannot be used here"
+        )
+    return scale.name
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Declarative description of one benchmark task.
+
+    Parameters
+    ----------
+    kind:
+        Registered task kind: ``"synthetic"``, ``"femnist"`` or ``"adult"``
+        (extensible via :func:`register_task`).
+    n_clients / model / scale / seed:
+        Shared across all kinds.  ``scale`` is the *name* of an
+        :class:`ExperimentScale` so specs stay plain data.
+    setup / noise_level:
+        Synthetic tasks only: one of :data:`SYNTHETIC_SETUPS` and the paper's
+        noise knob.
+    n_null_clients / n_duplicate_clients:
+        FEMNIST tasks only: the Fig. 9 free-rider/duplicate construction.
+    """
+
+    kind: str
+    n_clients: int = 10
+    model: str = "mlp"
+    scale: str = "small"
+    seed: int = 0
+    setup: Optional[str] = None
+    noise_level: float = 0.2
+    n_null_clients: int = 0
+    n_duplicate_clients: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_REGISTRY:
+            raise ValueError(
+                f"unknown task kind {self.kind!r}; choose from {available_tasks()}"
+            )
+        if self.model not in MODEL_NAMES:
+            raise ValueError(f"unknown model {self.model!r}; choose from {MODEL_NAMES}")
+        if self.n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {self.n_clients}")
+        if not isinstance(self.seed, numbers.Integral) or isinstance(self.seed, bool):
+            raise ValueError(
+                f"a TaskSpec seed must be an integer (it is part of the "
+                f"content fingerprint), got {self.seed!r}"
+            )
+        ExperimentScale.from_name(self.scale)  # validates the name
+        if self.kind == "synthetic":
+            if self.setup not in SYNTHETIC_SETUPS:
+                raise ValueError(
+                    f"synthetic tasks need setup in {SYNTHETIC_SETUPS}, got {self.setup!r}"
+                )
+        elif self.setup is not None:
+            raise ValueError(f"setup is only valid for synthetic tasks, got kind={self.kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    @property
+    def experiment_scale(self) -> ExperimentScale:
+        return ExperimentScale.from_name(self.scale)
+
+    def label(self) -> str:
+        """Short human-readable identity, e.g. ``femnist/mlp/n=10``."""
+        parts = [self.kind]
+        if self.setup:
+            parts.append(self.setup)
+        parts.append(self.model)
+        parts.append(f"n={self.n_clients}")
+        return "/".join(parts)
+
+    def fingerprint(self) -> str:
+        """Stable content address of this task.
+
+        Identical (by construction) to the fingerprint the task builders
+        compute, so a spec and the oracle built from it always agree on the
+        store namespace — across processes, machines and months.
+        """
+        fp = task_fingerprint(self.kind, self.experiment_scale, self.seed, **self._params())
+        assert fp is not None  # seed is declared int, so always computable
+        return fp
+
+    def _params(self) -> dict:
+        if self.kind == "synthetic":
+            return {
+                "setup": self.setup,
+                "n_clients": self.n_clients,
+                "model": self.model,
+                "noise_level": float(self.noise_level),
+            }
+        if self.kind == "femnist":
+            return {
+                "n_clients": self.n_clients,
+                "model": self.model,
+                "n_null_clients": self.n_null_clients,
+                "n_duplicate_clients": self.n_duplicate_clients,
+            }
+        return {"n_clients": self.n_clients, "model": self.model}
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-dict form for manifests and JSON configs (defaults elided)."""
+        payload = {
+            "kind": self.kind,
+            "n_clients": self.n_clients,
+            "model": self.model,
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+        if self.setup is not None:
+            payload["setup"] = self.setup
+            payload["noise_level"] = self.noise_level
+        if self.n_null_clients:
+            payload["n_null_clients"] = self.n_null_clients
+        if self.n_duplicate_clients:
+            payload["n_duplicate_clients"] = self.n_duplicate_clients
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TaskSpec":
+        allowed = {
+            "kind",
+            "n_clients",
+            "model",
+            "scale",
+            "seed",
+            "setup",
+            "noise_level",
+            "n_null_clients",
+            "n_duplicate_clients",
+        }
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(f"unknown TaskSpec fields: {sorted(unknown)}")
+        if "kind" not in payload:
+            raise ValueError("TaskSpec requires a 'kind' field")
+        return cls(**payload)
+
+    def with_(self, **changes) -> "TaskSpec":
+        """Functional update, e.g. ``spec.with_(n_clients=6)``."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+    def build(self, store: StoreLike = None):
+        """Build the task's utility oracle (store-backed when given)."""
+        utility, _ = self.build_with_info(store)
+        return utility
+
+    def build_with_info(self, store: StoreLike = None) -> tuple:
+        """Build the oracle plus the task's info dict.
+
+        The info dict always carries ``n_clients`` (which for FEMNIST tasks
+        with null/duplicate clients exceeds the spec's regular count) and,
+        for FEMNIST, the ``null_clients`` / ``duplicate_groups`` needed by
+        the fairness-proxy metrics.
+        """
+        builder = TASK_REGISTRY[self.kind]
+        return builder(self, store)
+
+
+# --------------------------------------------------------------------------- #
+# Built-in task kinds
+# --------------------------------------------------------------------------- #
+@register_task("synthetic")
+def _build_synthetic(spec: TaskSpec, store: StoreLike) -> tuple:
+    utility = build_synthetic_task(
+        spec.setup,
+        n_clients=spec.n_clients,
+        model=spec.model,
+        scale=spec.experiment_scale,
+        noise_level=spec.noise_level,
+        seed=spec.seed,
+        store=store,
+    )
+    return utility, {"n_clients": spec.n_clients}
+
+
+@register_task("femnist")
+def _build_femnist(spec: TaskSpec, store: StoreLike) -> tuple:
+    return build_femnist_task(
+        n_clients=spec.n_clients,
+        model=spec.model,
+        scale=spec.experiment_scale,
+        n_null_clients=spec.n_null_clients,
+        n_duplicate_clients=spec.n_duplicate_clients,
+        seed=spec.seed,
+        store=store,
+    )
+
+
+@register_task("adult")
+def _build_adult(spec: TaskSpec, store: StoreLike) -> tuple:
+    utility = build_adult_task(
+        n_clients=spec.n_clients,
+        model=spec.model,
+        scale=spec.experiment_scale,
+        seed=spec.seed,
+        store=store,
+    )
+    return utility, {"n_clients": spec.n_clients}

@@ -2,45 +2,41 @@
 
 Both tables compare all ten algorithms across client counts {3, 6, 10} on a
 real-style dataset, reporting wall-clock time and the relative ℓ2 error
-against the exact MC-SV values.  The functions here return a structured
-report (list of dict rows) and can render it as text; EXPERIMENTS.md records
-the outputs next to the paper's numbers.
+against the exact MC-SV values.  Each (dataset, model, n) combination is a
+declarative :class:`~repro.experiments.specs.TaskSpec` run through
+:func:`~repro.experiments.runner.run_spec`; passing ``store=`` persists every
+trained coalition so regenerating the *same* table later retrains nothing
+(reuse is per task fingerprint, so a different client count or scale shares
+nothing — and timings/evaluation counts then reflect incremental cost, not
+the paper's per-algorithm accounting; see ``docs/store.md``).  The functions
+return a structured report (list of dict rows) and can render it as text;
+EXPERIMENTS.md records the outputs next to the paper's numbers.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.config import ExperimentScale, sampling_rounds_for
+from repro.experiments.config import ExperimentScale
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import build_algorithm_suite, run_comparison
-from repro.experiments.tasks import build_adult_task, build_femnist_task
-from repro.utils.rng import SeedLike
+from repro.experiments.runner import run_spec
+from repro.experiments.specs import TaskSpec, scale_preset_name as _scale_name
+from repro.store import StoreLike
 
 
 def _comparison_rows(
-    utility,
-    n_clients: int,
-    model: str,
+    spec: TaskSpec,
     dataset: str,
     include_gradient: bool,
     include_perm: bool,
-    seed: SeedLike,
+    store: StoreLike = None,
     n_workers: Optional[int] = None,
 ) -> list[dict]:
-    suite = build_algorithm_suite(
-        n_clients,
-        total_rounds=sampling_rounds_for(n_clients),
-        include_exact=True,
+    comparison = run_spec(
+        spec,
+        store=store,
         include_perm=include_perm,
         include_gradient=include_gradient,
-        seed=seed,
-    )
-    comparison = run_comparison(
-        utility,
-        suite,
-        n_clients=n_clients,
-        task_label=f"{dataset}/{model}/n={n_clients}",
         n_workers=n_workers,
     )
     rows = []
@@ -48,8 +44,8 @@ def _comparison_rows(
         rows.append(
             {
                 "dataset": dataset,
-                "model": model,
-                "n": n_clients,
+                "model": spec.model,
+                "n": spec.n_clients,
                 "algorithm": row.algorithm,
                 "time_s": row.elapsed_seconds,
                 "evaluations": row.utility_evaluations,
@@ -64,32 +60,36 @@ def table4(
     client_counts: Sequence[int] = (3, 6, 10),
     models: Sequence[str] = ("mlp", "cnn"),
     include_perm: bool = False,
-    seed: SeedLike = 0,
+    seed: int = 0,
     n_workers: Optional[int] = None,
+    store: StoreLike = None,
 ) -> list[dict]:
     """Table IV: FEMNIST-style results for MLP and CNN FL models.
 
     Returns one row per (model, n, algorithm) with time, evaluation count and
     relative error.  ``include_perm`` adds the Perm-Shapley exact baseline
     (very slow; disabled by default).  ``n_workers`` enables parallel batched
-    coalition training (values are unchanged; see :mod:`repro.parallel`).
+    coalition training and ``store`` persists trained coalition utilities
+    across invocations (values are unchanged in both cases).
     """
     scale = scale or ExperimentScale.small()
     rows: list[dict] = []
     for model in models:
         for n_clients in client_counts:
-            utility, _ = build_femnist_task(
-                n_clients=n_clients, model=model, scale=scale, seed=seed
+            spec = TaskSpec(
+                kind="femnist",
+                n_clients=n_clients,
+                model=model,
+                scale=_scale_name(scale),
+                seed=seed,
             )
             rows.extend(
                 _comparison_rows(
-                    utility,
-                    n_clients,
-                    model,
+                    spec,
                     dataset="femnist-like",
                     include_gradient=True,
                     include_perm=include_perm,
-                    seed=seed,
+                    store=store,
                     n_workers=n_workers,
                 )
             )
@@ -101,32 +101,36 @@ def table5(
     client_counts: Sequence[int] = (3, 6, 10),
     models: Sequence[str] = ("mlp", "xgb"),
     include_perm: bool = False,
-    seed: SeedLike = 0,
+    seed: int = 0,
     n_workers: Optional[int] = None,
+    store: StoreLike = None,
 ) -> list[dict]:
     """Table V: Adult-style results for MLP and XGBoost FL models.
 
     Gradient-based baselines are automatically excluded for the XGBoost model
     (they require parametric FL training), matching the "\\" cells in the
-    paper's table.  ``n_workers`` enables parallel batched coalition training.
+    paper's table.  ``n_workers`` enables parallel batched coalition training
+    and ``store`` persists trained coalition utilities across invocations.
     """
     scale = scale or ExperimentScale.small()
     rows: list[dict] = []
     for model in models:
         include_gradient = model != "xgb"
         for n_clients in client_counts:
-            utility = build_adult_task(
-                n_clients=n_clients, model=model, scale=scale, seed=seed
+            spec = TaskSpec(
+                kind="adult",
+                n_clients=n_clients,
+                model=model,
+                scale=_scale_name(scale),
+                seed=seed,
             )
             rows.extend(
                 _comparison_rows(
-                    utility,
-                    n_clients,
-                    model,
+                    spec,
                     dataset="adult-like",
                     include_gradient=include_gradient,
                     include_perm=include_perm,
-                    seed=seed,
+                    store=store,
                     n_workers=n_workers,
                 )
             )

@@ -8,10 +8,19 @@ builders here produce :class:`~repro.fl.utility.CoalitionUtility` objects for
 * the five synthetic MNIST-style setups (Fig. 6 a–e),
 * the FEMNIST-style experiments (Table IV, Fig. 1b, 4, 7, 8, 9, 10), and
 * the Adult-style experiments (Table V).
+
+Every builder has a deterministic *fingerprint*: the stable content address
+of the task it builds (:func:`task_fingerprint`), covering the task kind, all
+structural parameters, the full :class:`ExperimentScale` and the seed.  The
+fingerprint namespaces the task's coalitions in a persistent
+:class:`~repro.store.UtilityStore` — pass ``store=`` to any builder and its
+trained utilities survive the process, keyed so that no other task (or other
+seed/scale of the same task) can alias them.
 """
 
 from __future__ import annotations
 
+import numbers
 from typing import Callable, Optional, Sequence
 
 from repro.datasets import (
@@ -35,6 +44,7 @@ from repro.models import (
     MLPClassifier,
     SimpleCNN,
 )
+from repro.store import FINGERPRINT_SCHEMA_VERSION, StoreLike, fingerprint
 from repro.utils.rng import RandomState, SeedLike, spawn_rng
 
 #: identifiers of the paper's five synthetic setups (Fig. 6 a–e)
@@ -91,6 +101,33 @@ def _fl_config(scale: ExperimentScale) -> FLConfig:
     return FLConfig(rounds=scale.fl_rounds, local_epochs=scale.local_epochs)
 
 
+def task_fingerprint(
+    kind: str,
+    scale: ExperimentScale,
+    seed: SeedLike,
+    **params,
+) -> Optional[str]:
+    """Stable content address of a task built by this module.
+
+    Covers everything that determines a coalition's trained utility: the task
+    kind, its structural parameters (client count, model, setup, noise,
+    special clients), the *full* scale (dataset sizes, FL rounds, model
+    widths) and the seed.  Returns ``None`` when the seed is a live RNG
+    rather than an integer — such a task is not reproducible, so it has no
+    content address (and must not be persisted).
+    """
+    if seed is None or not isinstance(seed, numbers.Integral):
+        return None
+    payload = {
+        "schema": FINGERPRINT_SCHEMA_VERSION,
+        "task": kind,
+        "scale": scale,
+        "seed": int(seed),
+        "params": params,
+    }
+    return fingerprint(payload)
+
+
 def _wrap(
     clients: Sequence[Dataset],
     test: Dataset,
@@ -99,7 +136,14 @@ def _wrap(
     image_size: int,
     n_classes: int,
     seed: SeedLike,
+    store: StoreLike = None,
+    task_key: Optional[str] = None,
 ) -> CoalitionUtility:
+    if store is not None and task_key is None:
+        raise ValueError(
+            "a persistent store requires a reproducible task: pass an integer "
+            "seed so the task has a deterministic fingerprint"
+        )
     factory = _model_factory(
         model,
         n_features=test.n_features,
@@ -107,13 +151,17 @@ def _wrap(
         image_size=image_size,
         scale=scale,
     )
-    return CoalitionUtility(
+    utility = CoalitionUtility(
         client_datasets=list(clients),
         test_dataset=test,
         model_factory=factory,
         config=_fl_config(scale),
         seed=seed,
+        store=store,
+        store_namespace=task_key,
     )
+    utility.task_fingerprint = task_key
+    return utility
 
 
 # --------------------------------------------------------------------------- #
@@ -126,6 +174,7 @@ def build_synthetic_task(
     scale: Optional[ExperimentScale] = None,
     noise_level: float = 0.2,
     seed: SeedLike = 0,
+    store: StoreLike = None,
 ) -> CoalitionUtility:
     """Build the coalition-utility oracle for one of the five synthetic setups.
 
@@ -136,10 +185,23 @@ def build_synthetic_task(
     noise_level:
         Label-flip fraction (setup d) or feature-noise scale (setup e); the
         paper sweeps 0.00–0.20.  Ignored by the other setups.
+    store:
+        Optional persistent utility store (instance or path); trained
+        coalition utilities are shared across processes and runs under this
+        task's fingerprint.
     """
     if setup not in SYNTHETIC_SETUPS:
         raise ValueError(f"unknown setup {setup!r}; choose from {SYNTHETIC_SETUPS}")
     scale = scale or ExperimentScale.small()
+    task_key = task_fingerprint(
+        "synthetic",
+        scale,
+        seed,
+        setup=setup,
+        n_clients=n_clients,
+        model=model,
+        noise_level=float(noise_level),
+    )
     rng = RandomState(seed)
     data_rng, split_rng, noise_rng, utility_rng = spawn_rng(rng, 4)
 
@@ -185,6 +247,8 @@ def build_synthetic_task(
         image_size=scale.image_size,
         n_classes=pooled.num_classes,
         seed=utility_rng,
+        store=store,
+        task_key=task_key,
     )
 
 
@@ -198,6 +262,7 @@ def build_femnist_task(
     n_null_clients: int = 0,
     n_duplicate_clients: int = 0,
     seed: SeedLike = 0,
+    store: StoreLike = None,
 ) -> tuple[CoalitionUtility, dict]:
     """Writer-partitioned FEMNIST-style task.
 
@@ -210,6 +275,15 @@ def build_femnist_task(
     indices and ``duplicate_groups`` needed by the proxy metrics.
     """
     scale = scale or ExperimentScale.small()
+    task_key = task_fingerprint(
+        "femnist",
+        scale,
+        seed,
+        n_clients=n_clients,
+        model=model,
+        n_null_clients=n_null_clients,
+        n_duplicate_clients=n_duplicate_clients,
+    )
     rng = RandomState(seed)
     data_rng, split_rng, utility_rng = spawn_rng(rng, 3)
 
@@ -252,6 +326,8 @@ def build_femnist_task(
         image_size=scale.image_size,
         n_classes=pooled.num_classes,
         seed=utility_rng,
+        store=store,
+        task_key=task_key,
     )
     info = {
         "null_clients": null_clients,
@@ -269,9 +345,13 @@ def build_adult_task(
     model: str = "mlp",
     scale: Optional[ExperimentScale] = None,
     seed: SeedLike = 0,
+    store: StoreLike = None,
 ) -> CoalitionUtility:
     """Occupation-partitioned Adult-style tabular task (MLP or XGBoost model)."""
     scale = scale or ExperimentScale.small()
+    task_key = task_fingerprint(
+        "adult", scale, seed, n_clients=n_clients, model=model
+    )
     rng = RandomState(seed)
     data_rng, split_rng, utility_rng = spawn_rng(rng, 3)
 
@@ -294,4 +374,6 @@ def build_adult_task(
         image_size=scale.image_size,
         n_classes=2,
         seed=utility_rng,
+        store=store,
+        task_key=task_key,
     )

@@ -26,6 +26,7 @@ from repro.fl.config import FLConfig
 from repro.fl.federation import FederatedTrainer, ModelFactory
 from repro.parallel.batch_oracle import BatchUtilityOracle, coalition_batch_keys
 from repro.parallel.executors import ExecutorLike
+from repro.store import StoreLike, UtilityStore
 from repro.utils.rng import SeedLike
 
 
@@ -57,6 +58,17 @@ class CoalitionUtility:
         ``"process"``, an existing executor instance, or ``None`` to choose
         automatically.  The process backend requires the model factory and
         datasets to be picklable (no lambdas).
+    store:
+        Optional persistent utility store (instance or path) beneath the
+        cache: trained utilities are written through and survive the process,
+        so a rerun — or a sibling worker process — serves them with zero FL
+        trainings.  See :mod:`repro.store`.
+    store_namespace:
+        Content-address namespace (a task fingerprint) for this oracle's
+        coalitions.  The experiment task builders
+        (:mod:`repro.experiments.tasks`) compute and pass it automatically;
+        when attaching a store by hand the caller must guarantee it uniquely
+        identifies the (datasets, model, config, seed) combination.
     """
 
     def __init__(
@@ -69,6 +81,8 @@ class CoalitionUtility:
         artificial_cost: float = 0.0,
         n_workers: int = 1,
         executor: ExecutorLike = None,
+        store: StoreLike = None,
+        store_namespace: Optional[str] = None,
     ) -> None:
         self.trainer = FederatedTrainer(
             client_datasets=client_datasets,
@@ -82,6 +96,8 @@ class CoalitionUtility:
             n_clients=self.trainer.n_clients,
             n_workers=n_workers,
             executor=executor,
+            store=store,
+            store_namespace=store_namespace,
         )
         self.artificial_cost = float(artificial_cost)
 
@@ -120,9 +136,35 @@ class CoalitionUtility:
         """Reconfigure batch-evaluation concurrency (and optionally backend)."""
         self._oracle.set_n_workers(n_workers, executor)
 
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> Optional[UtilityStore]:
+        """The attached persistent utility store, if any."""
+        return self._oracle.store
+
+    def attach_store(self, store: StoreLike, namespace: Optional[str] = None) -> None:
+        """Attach (or detach, with ``None``) a persistent utility store."""
+        self._oracle.attach_store(store, namespace)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release the executor's worker pool (it re-spawns lazily if reused)."""
+        """Release worker pools and any store handle this oracle opened.
+
+        Deterministic teardown matters for the persistent store (a SQLite
+        WAL checkpoint, JSONL file handles) and process pools; prefer the
+        context-manager form ``with CoalitionUtility(...) as u: ...``.
+        """
         self._oracle.close()
+
+    def __enter__(self) -> "CoalitionUtility":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Cost accounting
@@ -135,6 +177,11 @@ class CoalitionUtility:
     @property
     def cache_hits(self) -> int:
         return self._oracle.cache_hits
+
+    @property
+    def store_hits(self) -> int:
+        """Utilities served by the persistent store (zero trainings each)."""
+        return self._oracle.store_hits
 
     @property
     def modeled_time(self) -> float:

@@ -37,6 +37,7 @@ from repro.parallel.executors import (
     ThreadPoolExecutor,
     make_executor,
 )
+from repro.store import StoreLike, UtilityStore, resolve_store
 from repro.utils.cache import UtilityCache
 
 
@@ -71,6 +72,16 @@ class BatchUtilityOracle:
     cache:
         Optional pre-existing :class:`UtilityCache` to share; by default the
         oracle owns a fresh unbounded one.
+    store:
+        Optional persistent tier beneath the cache: a
+        :class:`~repro.store.UtilityStore` instance (caller keeps ownership)
+        or a path (opened here, closed by :meth:`close`).  Memory misses
+        consult it before training and evaluated utilities are written
+        through, so separate processes sharing a store never train the same
+        coalition twice.
+    store_namespace:
+        Content-address namespace (task fingerprint) for this oracle's
+        coalitions; required to be collision-free across different tasks.
     """
 
     def __init__(
@@ -80,12 +91,17 @@ class BatchUtilityOracle:
         n_workers: int = 1,
         executor: ExecutorLike = None,
         cache: Optional[UtilityCache] = None,
+        store: StoreLike = None,
+        store_namespace: Optional[str] = None,
     ) -> None:
         if n_clients is None:
             n_clients = getattr(evaluator, "n_clients", None)
         self._n_clients = None if n_clients is None else int(n_clients)
         self._evaluator = evaluator
         self._cache = cache if cache is not None else UtilityCache(evaluator=evaluator)
+        self._owns_store = False
+        if store is not None or store_namespace is not None:
+            self.attach_store(store, store_namespace)
         self.set_n_workers(n_workers, executor)
 
     # ------------------------------------------------------------------ #
@@ -178,12 +194,51 @@ class BatchUtilityOracle:
             previous.close()  # release any worker pool the old backend held
 
     def close(self) -> None:
-        """Release the executor's worker pool (it re-spawns lazily if reused)."""
+        """Release worker pools and any store handle this oracle opened.
+
+        The executor re-spawns its pool lazily if the oracle is used again;
+        a store that was passed in as a path (and therefore opened — and
+        owned — by this oracle) is closed for good.  Stores passed in as
+        instances belong to the caller and are left open.
+        """
         self._executor.close()
+        if self._owns_store and self._cache.persistent is not None:
+            self._cache.persistent.close()
+            self._cache.attach_store(None)
+            self._owns_store = False
+
+    def __enter__(self) -> "BatchUtilityOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def executor(self) -> CoalitionExecutor:
         return self._executor
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> Optional[UtilityStore]:
+        """The persistent tier beneath the cache, if one is attached."""
+        return self._cache.persistent
+
+    def attach_store(
+        self, store: StoreLike, namespace: Optional[str] = None
+    ) -> None:
+        """Attach (or detach, with ``None``) a persistent utility store.
+
+        ``store`` may be a :class:`~repro.store.UtilityStore` instance or a
+        path; paths are opened here and closed by :meth:`close`.  Any
+        previously attached store this oracle owned is closed first.
+        """
+        if self._owns_store and self._cache.persistent is not None:
+            self._cache.persistent.close()
+        resolved, owned = resolve_store(store)
+        self._owns_store = owned
+        self._cache.attach_store(resolved, namespace)
 
     # ------------------------------------------------------------------ #
     # Cost accounting
@@ -201,5 +256,11 @@ class BatchUtilityOracle:
     def cache_hits(self) -> int:
         return self._cache.stats.hits
 
+    @property
+    def store_hits(self) -> int:
+        """Lookups served by the persistent tier (zero trainings each)."""
+        return self._cache.stats.store_hits
+
     def reset_cache(self) -> None:
+        """Drop the in-memory tier (the persistent store, if any, survives)."""
         self._cache.clear()

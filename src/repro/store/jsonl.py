@@ -1,0 +1,204 @@
+"""Sharded, append-only JSONL store backend.
+
+Layout: a directory of up to 256 shard files ``shard-XX.jsonl`` where ``XX``
+is the first byte of the key's SHA-256 (so keys spread evenly and a large
+store never funnels all appends through one file).  Each record is one JSON
+line ``{"key": ..., "value": ..., "ts": ...}``; the *last* valid record for a
+key wins, which makes writes a single O_APPEND syscall — atomic enough that
+concurrent writers from different processes interleave whole lines rather
+than corrupt each other (POSIX guarantees this for small appends).
+
+Reading keeps a per-shard in-memory index plus the byte offset scanned so
+far; a miss re-scans only the tail appended since, so entries written by a
+sibling worker process become visible without re-reading the whole shard.
+Unparseable lines (a crash mid-append, disk corruption) are counted and
+skipped — never fatal — and :meth:`gc` rewrites shards to shed them along
+with superseded duplicates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.store.base import GCResult, UtilityStore
+from repro.store.fingerprint import key_namespace
+
+_SHARD_PREFIX = "shard-"
+_SHARD_SUFFIX = ".jsonl"
+
+
+def _shard_name(key: str) -> str:
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+    return f"{_SHARD_PREFIX}{digest[:2]}{_SHARD_SUFFIX}"
+
+
+def _parse_record(line: bytes) -> Optional[tuple[str, float]]:
+    """Parse one JSONL record line; ``None`` marks a corrupt record.
+
+    The single definition of record validity — the live scan path and gc
+    must never disagree on which records are corrupt.
+    """
+    try:
+        record = json.loads(line)
+        key = record["key"]
+        value = record["value"]
+        if not isinstance(key, str) or not isinstance(value, (int, float)):
+            return None
+        if isinstance(value, bool):
+            return None
+    except (ValueError, KeyError, TypeError):
+        return None
+    return key, float(value)
+
+
+class _Shard:
+    """Index + scan offset of one shard file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.index: Dict[str, float] = {}
+        self.offset = 0  # bytes of the file already folded into the index
+
+
+class JsonlUtilityStore(UtilityStore):
+    """Disk store backed by sharded JSONL files in a directory."""
+
+    def __init__(self, directory: str) -> None:
+        super().__init__()
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._shards: Dict[str, _Shard] = {}
+
+    @property
+    def location(self) -> str:
+        return self.directory
+
+    # ------------------------------------------------------------------ #
+    # Shard handling
+    # ------------------------------------------------------------------ #
+    def _shard_for(self, key: str) -> _Shard:
+        name = _shard_name(key)
+        shard = self._shards.get(name)
+        if shard is None:
+            shard = _Shard(os.path.join(self.directory, name))
+            self._shards[name] = shard
+        return shard
+
+    def _all_shards(self) -> List[_Shard]:
+        for entry in sorted(os.listdir(self.directory)):
+            if entry.startswith(_SHARD_PREFIX) and entry.endswith(_SHARD_SUFFIX):
+                if entry not in self._shards:
+                    self._shards[entry] = _Shard(os.path.join(self.directory, entry))
+        return list(self._shards.values())
+
+    def _scan(self, shard: _Shard) -> None:
+        """Fold records appended since the last scan into the shard index.
+
+        Only whole lines (up to the last newline) are consumed: a partial
+        line is a concurrent writer mid-append, not corruption, and will be
+        complete by the next scan.
+        """
+        try:
+            size = os.path.getsize(shard.path)
+        except OSError:
+            return
+        if size <= shard.offset:
+            return
+        with open(shard.path, "rb") as handle:
+            handle.seek(shard.offset)
+            chunk = handle.read(size - shard.offset)
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return
+        for line in chunk[: end + 1].splitlines():
+            if not line.strip():
+                continue
+            parsed = _parse_record(line)
+            if parsed is None:
+                self.stats.corrupt_entries += 1
+                continue
+            key, value = parsed
+            shard.index[key] = value
+        shard.offset += end + 1
+
+    # ------------------------------------------------------------------ #
+    # Backend hooks
+    # ------------------------------------------------------------------ #
+    def _read(self, key: str) -> Optional[float]:
+        shard = self._shard_for(key)
+        value = shard.index.get(key)
+        if value is None:
+            self._scan(shard)  # pick up appends from sibling processes
+            value = shard.index.get(key)
+        return value
+
+    def _write(self, key: str, value: float) -> None:
+        shard = self._shard_for(key)
+        line = json.dumps(
+            {"key": key, "value": value, "ts": time.time()}, separators=(",", ":")
+        )
+        with open(shard.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        shard.index[key] = float(value)
+
+    def _count(self) -> int:
+        return len(self._full_index())
+
+    def _keys(self) -> Iterable[str]:
+        return list(self._full_index())
+
+    def _full_index(self) -> Dict[str, float]:
+        merged: Dict[str, float] = {}
+        for shard in self._all_shards():
+            self._scan(shard)
+            merged.update(shard.index)
+        return merged
+
+    def _size_bytes(self) -> int:
+        total = 0
+        for shard in self._all_shards():
+            try:
+                total += os.path.getsize(shard.path)
+            except OSError:
+                pass
+        return total
+
+    def _gc(self, keep_namespace: Optional[str]) -> GCResult:
+        result = GCResult()
+        for shard in self._all_shards():
+            try:
+                with open(shard.path, "rb") as handle:
+                    raw = handle.read()
+            except OSError:
+                continue
+            survivors: Dict[str, str] = {}
+            for line in raw.splitlines():
+                if not line.strip():
+                    continue
+                parsed = _parse_record(line)
+                if parsed is None:
+                    result.dropped_corrupt += 1
+                    continue
+                key = parsed[0]
+                if key in survivors:
+                    result.dropped_duplicates += 1
+                if keep_namespace is not None and key_namespace(key) != keep_namespace:
+                    result.dropped_namespaces += 1
+                    survivors.pop(key, None)
+                    continue
+                survivors[key] = line.decode("utf-8")
+            tmp_path = shard.path + ".gc-tmp"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for line_text in survivors.values():
+                    handle.write(line_text + "\n")
+            os.replace(tmp_path, shard.path)
+            shard.index = {
+                k: float(json.loads(v)["value"]) for k, v in survivors.items()
+            }
+            shard.offset = os.path.getsize(shard.path)
+            result.kept += len(survivors)
+        return result

@@ -1,0 +1,116 @@
+"""SQLite store backend.
+
+One file, one table, WAL journaling: the right default for a shared store
+that several runner processes on one machine read and write concurrently.
+SQLite REAL columns are IEEE-754 doubles, so utilities round-trip bitwise;
+``INSERT OR REPLACE`` makes racing writers idempotent (both write the value
+the content-address determines).
+
+A row whose ``value`` is not a REAL (e.g. hand-edited, or torn by a crash on
+a non-journaling filesystem) reads as a miss and is swept out by :meth:`gc`.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import time
+from typing import Iterable, List, Optional
+
+from repro.store.base import GCResult, UtilityStore
+from repro.store.fingerprint import key_namespace
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS utilities (
+    key        TEXT PRIMARY KEY,
+    namespace  TEXT NOT NULL,
+    value      REAL NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_utilities_namespace ON utilities (namespace);
+"""
+
+
+class SqliteUtilityStore(UtilityStore):
+    """Disk store backed by a single SQLite database file."""
+
+    def __init__(self, path: str, timeout: float = 30.0) -> None:
+        super().__init__()
+        self.path = str(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        # The base-class lock serialises all access from this handle, so the
+        # connection may safely hop between threads.
+        self._connection = sqlite3.connect(
+            self.path, timeout=timeout, check_same_thread=False
+        )
+        try:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.DatabaseError:
+            pass  # WAL is an optimisation; read-only media still work
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    @property
+    def location(self) -> str:
+        return self.path
+
+    # ------------------------------------------------------------------ #
+    # Backend hooks
+    # ------------------------------------------------------------------ #
+    def _read(self, key: str) -> Optional[float]:
+        row = self._connection.execute(
+            "SELECT value FROM utilities WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        value = row[0]
+        if not isinstance(value, float):
+            # Torn or hand-edited row: surface it as a miss, never a crash.
+            self.stats.corrupt_entries += 1
+            return None
+        return value
+
+    def _write(self, key: str, value: float) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO utilities (key, namespace, value, created_at) "
+            "VALUES (?, ?, ?, ?)",
+            (key, key_namespace(key), float(value), time.time()),
+        )
+        self._connection.commit()
+
+    def _count(self) -> int:
+        row = self._connection.execute("SELECT COUNT(*) FROM utilities").fetchone()
+        return int(row[0])
+
+    def _keys(self) -> Iterable[str]:
+        rows: List[tuple] = self._connection.execute(
+            "SELECT key FROM utilities"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def _size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def _gc(self, keep_namespace: Optional[str]) -> GCResult:
+        result = GCResult()
+        cursor = self._connection.execute(
+            "DELETE FROM utilities WHERE typeof(value) != 'real'"
+        )
+        result.dropped_corrupt = cursor.rowcount if cursor.rowcount > 0 else 0
+        if keep_namespace is not None:
+            cursor = self._connection.execute(
+                "DELETE FROM utilities WHERE namespace != ?", (keep_namespace,)
+            )
+            result.dropped_namespaces = cursor.rowcount if cursor.rowcount > 0 else 0
+        self._connection.commit()
+        self._connection.execute("VACUUM")
+        result.kept = self._count()
+        return result
+
+    def _close(self) -> None:
+        self._connection.close()

@@ -15,13 +15,26 @@ a lock, and concurrent first lookups of the *same* coalition are single-flight
 (one thread evaluates, the others wait for the result), so a coalition is
 never trained twice just because two workers raced on it.  This is the
 foundation the :mod:`repro.parallel` batch-evaluation engine builds on.
+
+Persistence
+-----------
+The cache optionally sits on top of a persistent, content-addressed
+:class:`~repro.store.UtilityStore` (see :meth:`UtilityCache.attach_store`):
+memory misses consult the disk tier before evaluating, and freshly evaluated
+values are written through.  A persistent hit costs zero FL trainings and is
+counted separately (``stats.store_hits``) — the ``evaluations`` cost model
+still reports only genuine evaluator calls, which is what lets a resumed
+benchmark campaign report exactly how much training it actually re-paid.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import UtilityStore
 
 #: sentinel distinguishing "absent" from a cached value
 _MISSING = object()
@@ -33,6 +46,7 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    store_hits: int = 0
 
     @property
     def evaluations(self) -> int:
@@ -41,19 +55,21 @@ class CacheStats:
         Every miss triggers one evaluation.  Note that with a bounded
         ``max_size`` a coalition evicted and later revisited is *re-evaluated*
         and counts again — this counter models total FL-training cost, not the
-        number of distinct coalitions ever seen.
+        number of distinct coalitions ever seen.  Hits served by a persistent
+        store tier (``store_hits``) perform no evaluation and are not misses.
         """
         return self.misses
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.store_hits
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served without an evaluation (either tier)."""
         if self.lookups == 0:
             return 0.0
-        return self.hits / self.lookups
+        return (self.hits + self.store_hits) / self.lookups
 
 
 @dataclass
@@ -69,16 +85,54 @@ class UtilityCache:
         Optional bound on the number of cached entries.  ``None`` (default)
         keeps everything, which is appropriate because the number of distinct
         coalitions evaluated by any approximation algorithm is small.
+    persistent:
+        Optional :class:`~repro.store.UtilityStore` disk tier consulted on
+        memory misses and written through on evaluation (see
+        :meth:`attach_store`).
+    namespace:
+        Content-address namespace (a task fingerprint) under which this
+        cache's coalitions are keyed in the persistent tier.
     """
 
     evaluator: Callable[[frozenset], float]
     max_size: Optional[int] = None
+    persistent: Optional["UtilityStore"] = None
+    namespace: str = "default"
     _store: Dict[frozenset, float] = field(default_factory=dict)
     stats: CacheStats = field(default_factory=CacheStats)
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
     _in_flight: Dict[frozenset, threading.Event] = field(
         default_factory=dict, repr=False
     )
+
+    def attach_store(
+        self, persistent: Optional["UtilityStore"], namespace: Optional[str] = None
+    ) -> None:
+        """Plug a persistent tier beneath the in-memory cache.
+
+        The namespace must fingerprint *everything* that determines the
+        utility (task spec, FL config, model, seed) — see
+        :func:`repro.experiments.tasks.task_fingerprint` — otherwise two
+        different tasks would alias each other's training results.
+        """
+        with self._lock:
+            self.persistent = persistent
+            if namespace is not None:
+                self.namespace = namespace
+
+    def _persistent_key(self, key: frozenset) -> str:
+        from repro.store.fingerprint import utility_key
+
+        return utility_key(self.namespace, key)
+
+    def _persistent_get(self, key: frozenset) -> Optional[float]:
+        if self.persistent is None:
+            return None
+        return self.persistent.get(self._persistent_key(key))
+
+    def _persistent_put(self, key: frozenset, value: float) -> None:
+        if self.persistent is not None:
+            self.persistent.put(self._persistent_key(key), value)
 
     def __call__(self, coalition: Iterable[int]) -> float:
         return self.utility(coalition)
@@ -106,7 +160,22 @@ class UtilityCache:
             # (retry rather than read directly, in case of eviction/failure).
             event.wait()
         try:
+            stored = self._persistent_get(key)
+            if stored is not None:
+                # Disk-tier hit: no evaluation happened, so it is neither a
+                # hit (memory) nor a miss (evaluator call) — it has its own
+                # counter and is promoted into the memory tier for free.
+                with self._lock:
+                    self.stats.store_hits += 1
+                    self._insert(key, stored, count_miss=False)
+                    del self._in_flight[key]
+                event.set()
+                return stored
             value = float(self.evaluator(key))
+            # Inside the try: a failing store write (disk full, lock timeout)
+            # must still release the in-flight entry, or every later lookup
+            # of this coalition would block forever on the unset event.
+            self._persistent_put(key, value)
         except BaseException:
             with self._lock:
                 del self._in_flight[key]
@@ -118,18 +187,21 @@ class UtilityCache:
         event.set()
         return value
 
-    def _insert(self, key: frozenset, value: float) -> None:
+    def _insert(self, key: frozenset, value: float, count_miss: bool = True) -> None:
         """Record a miss and store the value; caller must hold the lock.
 
         Re-inserting a key that is already cached (e.g. two overlapping
         process-backend batches both depositing the same coalition) only
         refreshes the value: it must not evict an unrelated entry from a
-        full cache nor inflate the miss counter.
+        full cache nor inflate the miss counter.  ``count_miss=False`` is the
+        promotion path for values served by the persistent tier, which cost
+        no evaluation.
         """
         if key in self._store:
             self._store[key] = value
             return
-        self.stats.misses += 1
+        if count_miss:
+            self.stats.misses += 1
         if self.max_size is not None and len(self._store) >= self.max_size:
             # Drop the oldest entry; insertion order is preserved by dict.
             oldest = next(iter(self._store))
@@ -146,19 +218,28 @@ class UtilityCache:
         key = frozenset(int(c) for c in coalition)
         with self._lock:
             cached = self._store.get(key, _MISSING)
-            if cached is _MISSING:
-                return None
-            self.stats.hits += 1
-            return cached
+            if cached is not _MISSING:
+                self.stats.hits += 1
+                return cached
+        stored = self._persistent_get(key)
+        if stored is None:
+            return None
+        with self._lock:
+            self.stats.store_hits += 1
+            self._insert(key, stored, count_miss=False)
+        return stored
 
     def store(self, coalition: Iterable[int], value: float) -> float:
         """Insert an externally computed utility, counting it as a miss.
 
         The write half of the ``lookup``/``store`` pair: a batch evaluator
         that trained the coalition elsewhere (another process, a remote
-        worker) deposits the result here so later lookups hit.
+        worker) deposits the result here so later lookups hit.  The value is
+        written through to the persistent tier, so the external training is
+        never repeated by any process sharing the store.
         """
         key = frozenset(int(c) for c in coalition)
+        self._persistent_put(key, float(value))
         with self._lock:
             self._insert(key, float(value))
         return float(value)
@@ -178,6 +259,14 @@ class UtilityCache:
             return self._store.get(frozenset(int(c) for c in coalition))
 
     def clear(self) -> None:
+        """Drop the in-memory tier and reset counters.
+
+        The persistent tier is deliberately left untouched: clearing is how
+        the experiment runner isolates per-algorithm cost accounting, not a
+        request to forget training results (use ``persistent.gc()`` for
+        that).  With a store attached, cleared entries therefore reload as
+        ``store_hits`` rather than re-evaluations.
+        """
         with self._lock:
             self._store.clear()
             self.stats = CacheStats()
@@ -192,5 +281,12 @@ class UtilityCache:
 
         Counts evaluator calls: a coalition evicted from a bounded cache and
         evaluated again counts twice (see :attr:`CacheStats.evaluations`).
+        Values served by the persistent tier do not count — they cost no
+        training.
         """
         return self.stats.evaluations
+
+    @property
+    def store_hits(self) -> int:
+        """Number of lookups served by the persistent disk tier."""
+        return self.stats.store_hits

@@ -206,3 +206,56 @@ class TestTabularUtility:
         oracle = TabularUtility.from_function(3, lambda s: float(len(s)))
         assert oracle(frozenset({0, 1, 2})) == 3.0
         assert oracle(frozenset()) == 0.0
+
+
+class TestCoalitionUtilityLifecycle:
+    def test_context_manager_closes_owned_store(self, federation, tmp_path):
+        clients, test = federation
+        store_path = str(tmp_path / "utilities.sqlite")
+        with CoalitionUtility(
+            clients,
+            test,
+            logistic_factory,
+            FLConfig(rounds=2),
+            seed=0,
+            store=store_path,
+            store_namespace="lifecycle-test",
+        ) as utility:
+            fresh = utility(frozenset({0, 1}))
+            handle = utility.store
+            assert handle is not None
+        assert handle.closed  # owned path store released deterministically
+
+        # A second oracle over the same store serves the value bitwise without
+        # training (the trainer would produce it identically, but the counter
+        # proves no training ran).
+        with CoalitionUtility(
+            clients,
+            test,
+            logistic_factory,
+            FLConfig(rounds=2),
+            seed=0,
+            store=store_path,
+            store_namespace="lifecycle-test",
+        ) as utility:
+            assert utility(frozenset({0, 1})) == fresh
+            assert utility.evaluations == 0
+            assert utility.store_hits == 1
+
+    def test_close_is_idempotent(self, federation):
+        clients, test = federation
+        utility = CoalitionUtility(clients, test, logistic_factory, seed=0)
+        utility.close()
+        utility.close()
+
+    def test_attach_store_requires_unique_namespace_from_caller(self, federation):
+        from repro.store import MemoryUtilityStore
+
+        clients, test = federation
+        store = MemoryUtilityStore()
+        utility = CoalitionUtility(clients, test, logistic_factory, seed=0)
+        utility.attach_store(store, "handpicked-namespace")
+        utility(frozenset({0}))
+        assert len(store) == 1
+        utility.close()
+        assert not store.closed  # instance stores belong to the caller

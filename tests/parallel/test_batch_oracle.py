@@ -208,3 +208,28 @@ class TestConcurrentAccounting:
         assert oracle.evaluations == len(distinct)
         lookups = sum(len(coalition_batch_keys(batch)) for batch in batches)
         assert oracle.cache_hits + oracle.evaluations == lookups
+
+
+class TestOracleContextManager:
+    def test_with_statement_closes_executor_pool(self):
+        with BatchUtilityOracle(
+            CountingGame(), n_clients=4, n_workers=2, executor="thread"
+        ) as oracle:
+            oracle.evaluate_batch([{0}, {1}, {0, 1}])
+            assert oracle.evaluations == 3
+        assert oracle.executor._pool is None  # pool released on exit
+
+    def test_exception_inside_with_still_closes(self):
+        oracle = BatchUtilityOracle(
+            CountingGame(), n_clients=4, n_workers=2, executor="thread"
+        )
+        with pytest.raises(RuntimeError):
+            with oracle:
+                oracle.evaluate_batch([{0}, {1}])
+                raise RuntimeError("boom")
+        assert oracle.executor._pool is None
+
+    def test_reusable_after_close(self):
+        with BatchUtilityOracle(CountingGame(), n_clients=4) as oracle:
+            oracle.utility({0})
+        assert oracle.utility({0}) == 1.0  # cache survives; pool re-spawns lazily

@@ -1,0 +1,111 @@
+"""Tests for the content-fingerprint scheme keying the persistent store."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentScale, TaskSpec, task_fingerprint
+from repro.store import (
+    canonical_json,
+    canonicalize,
+    coalition_token,
+    fingerprint,
+    key_namespace,
+    utility_key,
+)
+
+
+class TestCanonicalize:
+    def test_dict_key_order_is_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_sets_are_sorted(self):
+        assert canonicalize({3, 1, 2}) == [1, 2, 3]
+        assert canonicalize(frozenset({2, 1})) == [1, 2]
+
+    def test_tuples_and_lists_agree(self):
+        assert fingerprint((1, 2, 3)) == fingerprint([1, 2, 3])
+
+    def test_numpy_scalars_reduce_to_python(self):
+        assert canonicalize(np.int64(7)) == 7
+        assert fingerprint({"x": np.int64(7)}) == fingerprint({"x": 7})
+
+    def test_dataclasses_become_dicts(self):
+        scale = ExperimentScale.tiny()
+        assert canonicalize(scale) == canonicalize(
+            {f: getattr(scale, f) for f in scale.__dataclass_fields__}
+        )
+
+    def test_unstable_values_are_rejected(self):
+        with pytest.raises(TypeError):
+            canonicalize(lambda: None)
+        with pytest.raises(TypeError):
+            fingerprint({"f": object()})
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+
+class TestUtilityKey:
+    def test_coalition_token_sorts_members(self):
+        assert coalition_token([3, 1, 2]) == "1,2,3"
+        assert coalition_token(frozenset({2, 0})) == "0,2"
+
+    def test_key_roundtrip(self):
+        key = utility_key("deadbeef", [4, 1])
+        assert key == "deadbeef:1,4"
+        assert key_namespace(key) == "deadbeef"
+
+    def test_namespace_must_not_collide_with_separator(self):
+        with pytest.raises(ValueError):
+            utility_key("a:b", [0])
+
+    def test_distinct_payloads_distinct_fingerprints(self):
+        base = {"task": "adult", "n": 3, "seed": 0}
+        assert fingerprint(base) != fingerprint({**base, "seed": 1})
+        assert fingerprint(base) != fingerprint({**base, "n": 4})
+
+
+class TestTaskFingerprints:
+    def test_spec_matches_builder_fingerprint(self):
+        """The spec and the builder must agree on the store namespace."""
+        spec = TaskSpec(kind="adult", n_clients=3, model="logistic", scale="tiny", seed=7)
+        direct = task_fingerprint(
+            "adult", ExperimentScale.tiny(), 7, n_clients=3, model="logistic"
+        )
+        assert spec.fingerprint() == direct
+
+    def test_seed_scale_and_model_all_segment(self):
+        spec = TaskSpec(kind="adult", n_clients=3, model="logistic", scale="tiny", seed=0)
+        assert spec.fingerprint() != spec.with_(seed=1).fingerprint()
+        assert spec.fingerprint() != spec.with_(scale="small").fingerprint()
+        assert spec.fingerprint() != spec.with_(model="mlp").fingerprint()
+        assert spec.fingerprint() != spec.with_(n_clients=4).fingerprint()
+
+    def test_generator_seed_has_no_fingerprint(self):
+        rng = np.random.default_rng(0)
+        assert task_fingerprint("adult", ExperimentScale.tiny(), rng, n_clients=3) is None
+
+    def test_stable_across_processes(self):
+        """hash()-style per-process salting must not leak into fingerprints."""
+        spec = TaskSpec(kind="femnist", n_clients=4, model="mlp", scale="tiny", seed=3)
+        script = (
+            "from repro.experiments import TaskSpec;"
+            "print(TaskSpec(kind='femnist', n_clients=4, model='mlp',"
+            " scale='tiny', seed=3).fingerprint())"
+        )
+        src_dir = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src_dir)
+        env["PYTHONHASHSEED"] = "12345"  # force a different hash() salt
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert output == spec.fingerprint()

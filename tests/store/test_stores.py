@@ -1,0 +1,230 @@
+"""Backend-agnostic contract tests for the persistent utility stores."""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.store import (
+    JsonlUtilityStore,
+    MemoryUtilityStore,
+    SqliteUtilityStore,
+    open_store,
+    utility_key,
+)
+
+BACKENDS = ("memory", "jsonl", "sqlite")
+
+
+def make_store(backend: str, tmp_path):
+    if backend == "memory":
+        return MemoryUtilityStore()
+    if backend == "jsonl":
+        return JsonlUtilityStore(str(tmp_path / "store"))
+    return SqliteUtilityStore(str(tmp_path / "store.sqlite"))
+
+
+def reopen(store, backend: str, tmp_path):
+    """Close and reopen the same on-disk store (fresh handle, fresh process
+    semantics); memory stores are returned as-is since they have no disk."""
+    if backend == "memory":
+        return store
+    store.close()
+    return make_store(backend, tmp_path)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStoreContract:
+    def test_roundtrip_is_bitwise_exact(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        awkward = [0.1 + 0.2, 1.0 / 3.0, 1e-17, 0.8543291236471819]
+        for index, value in enumerate(awkward):
+            store.put(utility_key("ns", [index]), value)
+        store = reopen(store, backend, tmp_path)
+        for index, value in enumerate(awkward):
+            assert store.get(utility_key("ns", [index])) == value  # bitwise
+        store.close()
+
+    def test_missing_key_is_none(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        assert store.get("ns:0,1") is None
+        assert "ns:0,1" not in store
+        store.close()
+
+    def test_overwrite_last_wins(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.put("ns:0", 0.25)
+        store.put("ns:0", 0.75)
+        assert store.get("ns:0") == 0.75
+        assert len(store) == 1
+        store.close()
+
+    def test_get_many_and_put_many(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.put_many({"ns:0": 0.1, "ns:1": 0.2})
+        found = store.get_many(["ns:0", "ns:1", "ns:2"])
+        assert found == {"ns:0": 0.1, "ns:1": 0.2}
+        store.close()
+
+    def test_summary_groups_by_namespace(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.put(utility_key("taskA", [0]), 0.5)
+        store.put(utility_key("taskA", [1]), 0.6)
+        store.put(utility_key("taskB", [0]), 0.7)
+        summary = store.summary()
+        assert summary["entries"] == 3
+        assert summary["namespaces"] == {"taskA": 2, "taskB": 1}
+        store.close()
+
+    def test_gc_keep_namespace(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.put(utility_key("keep", [0]), 0.5)
+        store.put(utility_key("drop", [0]), 0.6)
+        result = store.gc(keep_namespace="keep")
+        assert result.dropped_namespaces == 1
+        assert result.kept == 1
+        assert store.get(utility_key("keep", [0])) == 0.5
+        assert store.get(utility_key("drop", [0])) is None
+        store.close()
+
+    def test_stats_counters(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.put("ns:0", 0.5)
+        store.get("ns:0")
+        store.get("ns:1")
+        assert store.stats.puts == 1
+        assert store.stats.gets == 2
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.hit_rate == pytest.approx(0.5)
+        store.close()
+
+    def test_context_manager_closes(self, backend, tmp_path):
+        with make_store(backend, tmp_path) as store:
+            store.put("ns:0", 0.5)
+        assert store.closed
+        with pytest.raises(ValueError):
+            store.get("ns:0")
+
+
+@pytest.mark.parametrize("backend", ("jsonl", "sqlite"))
+class TestPersistence:
+    def test_values_survive_reopen(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.put(utility_key("t", [0, 1]), 0.875)
+        store = reopen(store, backend, tmp_path)
+        assert store.get(utility_key("t", [0, 1])) == 0.875
+        assert len(store) == 1
+        store.close()
+
+    def test_two_handles_share_entries(self, backend, tmp_path):
+        """Two open handles model two worker processes sharing one store."""
+        writer = make_store(backend, tmp_path)
+        reader = make_store(backend, tmp_path)
+        writer.put("t:0", 0.25)
+        assert reader.get("t:0") == 0.25
+        writer.close()
+        reader.close()
+
+
+class TestJsonlCorruptionRecovery:
+    def test_garbage_lines_are_skipped_and_gced(self, tmp_path):
+        store = JsonlUtilityStore(str(tmp_path / "store"))
+        store.put("t:0", 0.5)
+        store.put("t:1", 0.6)
+        store.close()
+        # Corrupt every shard file with a torn line and a wrong-typed record.
+        directory = tmp_path / "store"
+        for shard in os.listdir(directory):
+            with open(directory / shard, "a", encoding="utf-8") as handle:
+                handle.write("{torn json...\n")
+                handle.write(json.dumps({"key": "t:9", "value": "high"}) + "\n")
+
+        store = JsonlUtilityStore(str(tmp_path / "store"))
+        assert store.get("t:0") == 0.5  # valid records still readable
+        assert store.get("t:9") is None  # corrupt record reads as a miss
+        assert store.stats.corrupt_entries > 0
+        result = store.gc()
+        assert result.dropped_corrupt > 0
+        assert result.kept == 2
+        # After compaction the shards parse cleanly again.
+        store.close()
+        store = JsonlUtilityStore(str(tmp_path / "store"))
+        assert store.get("t:0") == 0.5
+        assert store.stats.corrupt_entries == 0
+        store.close()
+
+    def test_gc_drops_superseded_duplicates(self, tmp_path):
+        store = JsonlUtilityStore(str(tmp_path / "store"))
+        store.put("t:0", 0.1)
+        store.put("t:0", 0.2)
+        result = store.gc()
+        assert result.dropped_duplicates == 1
+        assert store.get("t:0") == 0.2
+        store.close()
+
+    def test_partial_trailing_line_is_not_consumed(self, tmp_path):
+        """A concurrent writer's half-flushed line must stay pending, then be
+        picked up once complete."""
+        store = JsonlUtilityStore(str(tmp_path / "store"))
+        store.put("t:0", 0.5)
+        shard_path = store._shard_for("t:1").path
+        record = json.dumps({"key": "t:1", "value": 0.75})
+        with open(shard_path, "a", encoding="utf-8") as handle:
+            handle.write(record[:10])  # torn mid-record, no newline
+        assert store.get("t:1") is None
+        assert store.stats.corrupt_entries == 0  # pending, not corrupt
+        with open(shard_path, "a", encoding="utf-8") as handle:
+            handle.write(record[10:] + "\n")  # writer finishes
+        assert store.get("t:1") == 0.75
+        store.close()
+
+
+class TestSqliteCorruptionRecovery:
+    def test_non_real_value_reads_as_miss_and_gcs(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        store = SqliteUtilityStore(path)
+        store.put("t:0", 0.5)
+        store.put("t:1", 0.6)
+        store.close()
+        connection = sqlite3.connect(path)
+        connection.execute("UPDATE utilities SET value = 'corrupt' WHERE key = 't:1'")
+        connection.commit()
+        connection.close()
+
+        store = SqliteUtilityStore(path)
+        assert store.get("t:0") == 0.5
+        assert store.get("t:1") is None
+        assert store.stats.corrupt_entries == 1
+        result = store.gc()
+        assert result.dropped_corrupt == 1
+        assert result.kept == 1
+        store.close()
+
+
+class TestOpenStore:
+    def test_suffix_dispatch(self, tmp_path):
+        sqlite_store = open_store(tmp_path / "a.sqlite")
+        jsonl_store = open_store(tmp_path / "a-directory")
+        try:
+            assert isinstance(sqlite_store, SqliteUtilityStore)
+            assert isinstance(jsonl_store, JsonlUtilityStore)
+        finally:
+            sqlite_store.close()
+            jsonl_store.close()
+
+    def test_existing_directory_is_jsonl(self, tmp_path):
+        (tmp_path / "store.d").mkdir()
+        store = open_store(tmp_path / "store.d")
+        assert isinstance(store, JsonlUtilityStore)
+        store.close()
+
+    def test_explicit_backend_wins(self, tmp_path):
+        store = open_store(tmp_path / "odd-name.sqlite", backend="jsonl")
+        assert isinstance(store, JsonlUtilityStore)
+        store.close()
+
+    def test_unknown_backend_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_store(tmp_path / "x", backend="redis")

@@ -1,0 +1,154 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+TASK_FLAGS = [
+    "--task", "adult",
+    "--model", "logistic",
+    "--n-clients", "3",
+    "--scale", "tiny",
+    "--seed", "0",
+    "--algorithms", "MC-Shapley,IPSS",
+]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestListTasks:
+    def test_lists_kinds_and_algorithms(self, capsys):
+        code, out = run_cli(capsys, "list-tasks")
+        assert code == 0
+        assert "adult" in out and "IPSS" in out
+
+    def test_json_output(self, capsys):
+        code, out = run_cli(capsys, "list-tasks", "--json")
+        payload = json.loads(out)
+        assert code == 0
+        assert "synthetic" in payload["tasks"]
+        assert "MC-Shapley" in payload["algorithms"]
+
+
+class TestRunResume:
+    def test_run_twice_second_is_training_free(self, tmp_path, capsys):
+        """The CLI face of the acceptance bar: rerunning a finished campaign
+        against its store performs zero FL trainings."""
+        store = str(tmp_path / "store.sqlite")
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run1"), "--store", store,
+            *TASK_FLAGS, "--json",
+        )
+        assert code == 0
+        first = json.loads(out)
+        assert first["fl_trainings"] > 0
+
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run2"), "--store", store,
+            *TASK_FLAGS, "--json",
+        )
+        assert code == 0
+        second = json.loads(out)
+        assert second["fl_trainings"] == 0
+        assert second["cells_run"] == 2
+
+    def test_run_refuses_existing_dir_then_resume_flag_continues(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store.sqlite")
+        run_dir = str(tmp_path / "run")
+        assert run_cli(
+            capsys, "run", "--run-dir", run_dir, "--store", store, *TASK_FLAGS
+        )[0] == 0
+        code, _ = run_cli(
+            capsys, "run", "--run-dir", run_dir, "--store", store, *TASK_FLAGS
+        )
+        assert code == 2  # refuses to clobber
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", run_dir, "--store", store, *TASK_FLAGS,
+            "--resume", "--json",
+        )
+        assert code == 0
+        assert json.loads(out)["cells_resumed"] == 2
+
+    def test_resume_subcommand_reads_plan_from_manifest(self, tmp_path, capsys):
+        store = str(tmp_path / "store.sqlite")
+        run_dir = str(tmp_path / "run")
+        run_cli(capsys, "run", "--run-dir", run_dir, "--store", store, *TASK_FLAGS)
+        code, out = run_cli(
+            capsys, "resume", "--run-dir", run_dir, "--store", store, "--json"
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["cells_resumed"] == 2
+        assert report["fl_trainings"] == 0
+
+    def test_config_file_plan(self, tmp_path, capsys):
+        config = tmp_path / "plan.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "name": "demo",
+                    "algorithms": ["MC-Shapley"],
+                    "tasks": [
+                        {
+                            "kind": "adult",
+                            "model": "logistic",
+                            "n_clients": 3,
+                            "scale": "tiny",
+                        }
+                    ],
+                }
+            )
+        )
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run"),
+            "--config", str(config), "--json",
+        )
+        assert code == 0
+        assert json.loads(out)["cells_run"] == 1
+
+    def test_unknown_algorithm_is_a_clean_error(self, tmp_path, capsys):
+        code, _ = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run"),
+            "--task", "adult", "--algorithms", "Quantum-SV",
+        )
+        assert code == 2
+
+
+class TestStoreCommands:
+    def test_stats_and_gc(self, tmp_path, capsys):
+        store = str(tmp_path / "store.sqlite")
+        run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run"), "--store", store, *TASK_FLAGS,
+        )
+        code, out = run_cli(capsys, "store", "stats", "--store", store, "--json")
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["entries"] == 8  # all coalitions of a 3-client task
+        assert len(summary["namespaces"]) == 1
+
+        code, out = run_cli(capsys, "store", "gc", "--store", store, "--json")
+        assert code == 0
+        assert json.loads(out)["kept"] == 8
+
+    def test_stats_missing_store_fails_cleanly(self, tmp_path, capsys):
+        """A typo'd path must error, not conjure a fresh empty store."""
+        missing = tmp_path / "stroe.sqlite"
+        code, _ = run_cli(capsys, "store", "stats", "--store", str(missing), "--json")
+        assert code == 2
+        assert not missing.exists()  # inspection left no stray store behind
+        code, _ = run_cli(capsys, "store", "gc", "--store", str(missing), "--json")
+        assert code == 2
