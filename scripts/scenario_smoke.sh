@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Scenario smoke gate (shared by scripts/smoke.sh and CI): run the free-rider
+# robustness scenario twice via `repro run --scenario` against one persistent
+# store and assert (a) exact Shapley ranks the injected free rider strictly
+# last, and (b) the warm rerun performs zero FL trainings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CLI="python -m repro.cli"
+SCENARIO_FLAGS="--scenario free-rider --algorithms MC-Shapley,IPSS --scale tiny --seed 0"
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $CLI run \
+    --run-dir "$SMOKE_DIR/run1" --store "$SMOKE_DIR/store.sqlite" $SCENARIO_FLAGS --json \
+    > "$SMOKE_DIR/first.json"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $CLI run \
+    --run-dir "$SMOKE_DIR/run2" --store "$SMOKE_DIR/store.sqlite" $SCENARIO_FLAGS --json \
+    > "$SMOKE_DIR/second.json"
+
+python - "$SMOKE_DIR/first.json" "$SMOKE_DIR/second.json" <<'EOF'
+import json, sys
+first = json.load(open(sys.argv[1]))
+second = json.load(open(sys.argv[2]))
+
+rows = {row["algorithm"]: row for row in first["rows"] if row["status"] == "done"}
+exact = rows["MC-Shapley"]
+assert exact["strictly_last"], (
+    f"exact Shapley did not rank the free rider strictly last: {exact}"
+)
+assert exact["precision_at_k"] == 1.0, exact
+assert exact["adversary_ranks"] == [1], exact
+
+assert first["fl_trainings"] > 0, f"cold run trained nothing: {first['fl_trainings']}"
+assert second["fl_trainings"] == 0, (
+    f"warm scenario rerun retrained {second['fl_trainings']} coalitions; "
+    "the persistent store should have served them all"
+)
+values = lambda report: {
+    (row["scenario"], row["algorithm"]): row["values"]
+    for row in report["rows"] if row["status"] == "done"
+}
+assert values(first) == values(second), "store changed scenario valuations"
+print(
+    f"scenario smoke ok: free rider strictly last, cold={first['fl_trainings']} "
+    f"trainings, warm=0 (store_hits={second['store_hits']})"
+)
+EOF

@@ -12,6 +12,9 @@ The package is organised in five layers:
   utility oracle with serial/thread/process executors (``n_workers``).
 * :mod:`repro.store` — persistent, content-addressed coalition-utility store
   (SQLite / sharded JSONL) shared across processes and runs.
+* :mod:`repro.scenarios` — composable client-behavior scenarios (free riders,
+  poisoners, sybils, stragglers, ...) and the valuation-robustness harness
+  that scores every algorithm against them (see ``docs/scenarios.md``).
 * :mod:`repro.experiments` — the harness that regenerates every table and
   figure of the paper's evaluation section, plus the declarative, resumable
   experiment pipeline behind the ``repro`` CLI (see :mod:`repro.cli`).

@@ -7,9 +7,16 @@ Subcommands
     config file (any plan).  Each (task, algorithm) cell is recorded in a
     manifest as it completes, results land beside it, and a persistent
     utility store makes reruns retraining-free.
+``repro run --scenario <names>``
+    Robustness mode: run the algorithm grid on each named scenario *and* its
+    behavior-free clean counterpart, then report per-algorithm robustness —
+    adversary rank positions, precision@k for spotting the injected bad
+    actors, and rank correlation against the clean valuation.
 ``repro resume``
     Finish an interrupted run from its manifest: only missing cells are
     computed; with the same store attached their coalitions come from disk.
+``repro scenarios list`` / ``repro scenarios show``
+    Browse the registered client-behavior scenarios (see docs/scenarios.md).
 ``repro store stats`` / ``repro store gc``
     Inspect or compact a utility store.
 ``repro list-tasks``
@@ -54,6 +61,8 @@ from repro.experiments.pipeline import (
 )
 from repro.experiments.reporting import format_table
 from repro.experiments.specs import SYNTHETIC_SETUPS, TaskSpec, available_tasks
+from repro.experiments.tables import robustness_table
+from repro.scenarios import available_scenarios, get_scenario, run_robustness
 from repro.store import STORE_BACKENDS, open_store
 from repro.version import __version__
 
@@ -71,10 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser("run", help="execute a campaign (flags or --config)")
     run.add_argument("--run-dir", required=True, help="directory for manifest + results")
     run.add_argument("--config", help="JSON plan file (overrides the task flags)")
-    run.add_argument("--task", choices=available_tasks(), default="adult")
+    run.add_argument(
+        "--scenario",
+        help="comma-separated scenario names: run the robustness harness "
+        "(each scenario plus its clean counterpart) instead of a single task; "
+        "see `repro scenarios list`",
+    )
+    # --task/--setup/--n-clients default to None so scenario mode can tell
+    # "left alone" from "explicitly set" and refuse flags it would ignore.
+    run.add_argument(
+        "--task", choices=available_tasks(), help="task kind (default: adult)"
+    )
     run.add_argument("--setup", choices=SYNTHETIC_SETUPS, help="synthetic tasks only")
     run.add_argument("--model", default="logistic")
-    run.add_argument("--n-clients", type=int, default=3)
+    run.add_argument("--n-clients", type=int, help="clients per task (default: 3)")
     run.add_argument("--scale", choices=_SCALE_NAMES, default="tiny")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
@@ -91,6 +110,18 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--run-dir", required=True)
     _add_store_arguments(resume)
     _add_output_arguments(resume)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="browse the client-behavior scenario catalog"
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_list = scenarios_sub.add_parser("list", help="registered scenarios")
+    _add_output_arguments(scenarios_list)
+    scenarios_show = scenarios_sub.add_parser(
+        "show", help="full definition of one scenario"
+    )
+    scenarios_show.add_argument("name")
+    _add_output_arguments(scenarios_show)
 
     store = subparsers.add_parser("store", help="inspect or compact a utility store")
     store_sub = store.add_subparsers(dest="store_command", required=True)
@@ -141,21 +172,19 @@ def _plan_from_args(args) -> ExperimentPlan:
     if args.config:
         with open(args.config, "r", encoding="utf-8") as handle:
             return ExperimentPlan.from_dict(json.load(handle))
+    task = args.task or "adult"
     spec = TaskSpec(
-        kind=args.task,
-        setup=args.setup if args.task == "synthetic" else None,
+        kind=task,
+        setup=args.setup if task == "synthetic" else None,
         model=args.model,
-        n_clients=args.n_clients,
+        n_clients=3 if args.n_clients is None else args.n_clients,
         scale=args.scale,
         seed=args.seed,
     )
-    algorithms = (
-        tuple(name.strip() for name in args.algorithms.split(",") if name.strip())
-        if args.algorithms
-        else DEFAULT_ALGORITHMS
-    )
     return ExperimentPlan(
-        tasks=(spec,), algorithms=algorithms, n_workers=args.n_workers
+        tasks=(spec,),
+        algorithms=_algorithms_from_args(args) or DEFAULT_ALGORITHMS,
+        n_workers=args.n_workers,
     )
 
 
@@ -189,7 +218,15 @@ def _print_report(report: RunReport, as_json: bool) -> None:
     )
 
 
+def _algorithms_from_args(args) -> Optional[tuple]:
+    if not args.algorithms:
+        return None
+    return tuple(name.strip() for name in args.algorithms.split(",") if name.strip())
+
+
 def _cmd_run(args) -> int:
+    if args.scenario:
+        return _cmd_run_scenarios(args)
     plan = _plan_from_args(args)
     store = _open_store_arg(args)
     try:
@@ -204,6 +241,58 @@ def _cmd_run(args) -> int:
         if store is not None:
             store.close()
     _print_report(report, args.json)
+    return 0
+
+
+def _cmd_run_scenarios(args) -> int:
+    """``repro run --scenario a,b``: the robustness-harness face of ``run``."""
+    if args.config:
+        raise ValueError(
+            "--scenario and --config are mutually exclusive; put scenario "
+            "tasks into the config plan instead (kind='scenario')"
+        )
+    ignored = [
+        flag
+        for flag, value in (
+            ("--task", args.task),
+            ("--setup", args.setup),
+            ("--n-clients", args.n_clients),
+        )
+        if value is not None
+    ]
+    if ignored:
+        raise ValueError(
+            f"{', '.join(ignored)} cannot be combined with --scenario: the "
+            "scenario definition fixes the dataset, partition and client "
+            "count (see `repro scenarios show <name>`)"
+        )
+    names = [name.strip() for name in args.scenario.split(",") if name.strip()]
+    store = _open_store_arg(args)
+    try:
+        report = run_robustness(
+            names,
+            args.run_dir,
+            algorithms=_algorithms_from_args(args),
+            model=args.model,
+            scale=args.scale,
+            seed=args.seed,
+            store=store,
+            n_workers=args.n_workers,
+            resume=args.resume,
+            log=None if args.json else lambda message: print(message, file=sys.stderr),
+        )
+    finally:
+        if store is not None:
+            store.close()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(robustness_table(report.rows, title=f"robustness: {args.run_dir}"))
+    print(
+        f"cells: {report.cells_run} run, {report.cells_resumed} resumed, "
+        f"{report.cells_skipped} skipped | fl_trainings: {report.fl_trainings} "
+        f"| store_hits: {report.store_hits}"
+    )
     return 0
 
 
@@ -265,6 +354,7 @@ def _cmd_list_tasks(args) -> int:
         "scales": list(_SCALE_NAMES),
         "algorithms": available_algorithms(),
         "default_algorithms": list(DEFAULT_ALGORITHMS),
+        "scenarios": available_scenarios(),
     }
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -274,6 +364,42 @@ def _cmd_list_tasks(args) -> int:
     print("scales:          " + ", ".join(payload["scales"]))
     print("algorithms:      " + ", ".join(payload["algorithms"]))
     print("defaults:        " + ", ".join(payload["default_algorithms"]))
+    print("scenarios:       " + ", ".join(payload["scenarios"]))
+    return 0
+
+
+def _cmd_scenarios_list(args) -> int:
+    names = available_scenarios()
+    if args.json:
+        payload = {
+            name: {
+                "summary": get_scenario(name).summary(),
+                "description": get_scenario(name).description,
+            }
+            for name in names
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    width = max((len(name) for name in names), default=0)
+    for name in names:
+        print(f"{name.ljust(width)}  {get_scenario(name).summary()}")
+    return 0
+
+
+def _cmd_scenarios_show(args) -> int:
+    scenario = get_scenario(args.name)
+    if args.json:
+        print(json.dumps(scenario.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"name:        {scenario.name}")
+    print(f"description: {scenario.description or '-'}")
+    print(f"base:        {scenario.summary()}")
+    layout = scenario.layout()
+    print(f"clients:     {layout.base_clients} base -> {layout.n_clients} total")
+    print(f"adversaries: {list(layout.adversaries) or '-'}")
+    if layout.roles:
+        for client, role in sorted(layout.roles.items()):
+            print(f"  client {client}: {role}")
     return 0
 
 
@@ -287,6 +413,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "store":
             handler = {"stats": _cmd_store_stats, "gc": _cmd_store_gc}[args.store_command]
+            return handler(args)
+        if args.command == "scenarios":
+            handler = {
+                "list": _cmd_scenarios_list,
+                "show": _cmd_scenarios_show,
+            }[args.scenarios_command]
             return handler(args)
         return handlers[args.command](args)
     except (ValueError, FileNotFoundError) as error:

@@ -144,7 +144,9 @@ def partition_dirichlet(
     """Dirichlet(α) label-distribution split, the standard non-IID benchmark split.
 
     Smaller ``alpha`` produces more skewed clients.  The split retries until
-    every client holds at least ``min_samples_per_client`` samples.
+    every client holds at least ``min_samples_per_client`` samples and raises
+    a :class:`ValueError` when 50 attempts cannot satisfy that — a silently
+    under-filled split would corrupt any experiment built on it.
     """
     check_client_count(n_clients)
     if not dataset.is_classification:
@@ -155,7 +157,8 @@ def partition_dirichlet(
     targets = dataset.targets.astype(int)
     n_classes = dataset.num_classes
 
-    for _ in range(50):
+    max_attempts = 50
+    for _ in range(max_attempts):
         assignments: list[list[int]] = [[] for _ in range(n_clients)]
         for cls in range(n_classes):
             class_indices = np.flatnonzero(targets == cls)
@@ -167,6 +170,13 @@ def partition_dirichlet(
         sizes = [len(a) for a in assignments]
         if min(sizes) >= min_samples_per_client:
             break
+    else:
+        raise ValueError(
+            f"partition_dirichlet(alpha={alpha}, n_clients={n_clients}) could not "
+            f"give every client >= {min_samples_per_client} of the dataset's "
+            f"{len(dataset)} samples in {max_attempts} attempts; increase alpha, "
+            "reduce n_clients/min_samples_per_client, or provide more data"
+        )
     return _named(
         [dataset.subset(np.asarray(sorted(idx), dtype=int)) for idx in assignments],
         dataset.name,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numbers
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Mapping, Optional, Union
 
 from repro.experiments.config import ExperimentScale
 from repro.experiments.tasks import (
@@ -27,6 +27,7 @@ from repro.experiments.tasks import (
     build_synthetic_task,
     task_fingerprint,
 )
+from repro.scenarios import Scenario, build_scenario_task, resolve_scenario
 from repro.store import StoreLike
 
 #: builder signature: (spec, store) -> (utility, info-dict)
@@ -73,16 +74,24 @@ class TaskSpec:
     Parameters
     ----------
     kind:
-        Registered task kind: ``"synthetic"``, ``"femnist"`` or ``"adult"``
-        (extensible via :func:`register_task`).
+        Registered task kind: ``"synthetic"``, ``"femnist"``, ``"adult"`` or
+        ``"scenario"`` (extensible via :func:`register_task`).
     n_clients / model / scale / seed:
         Shared across all kinds.  ``scale`` is the *name* of an
-        :class:`ExperimentScale` so specs stay plain data.
+        :class:`ExperimentScale` so specs stay plain data.  For scenario
+        tasks ``n_clients`` is derived from the scenario's layout (base
+        clients plus behavior-appended ones) and any passed value is
+        overwritten.
     setup / noise_level:
         Synthetic tasks only: one of :data:`SYNTHETIC_SETUPS` and the paper's
         noise knob.
     n_null_clients / n_duplicate_clients:
         FEMNIST tasks only: the Fig. 9 free-rider/duplicate construction.
+    scenario:
+        Scenario tasks only: a registered scenario name or a full inline
+        definition dict (see :mod:`repro.scenarios`).  Normalised to the
+        definition dict form, so specs written to manifests stay
+        self-contained and resume without any registry state.
     """
 
     kind: str
@@ -94,6 +103,7 @@ class TaskSpec:
     noise_level: float = 0.2
     n_null_clients: int = 0
     n_duplicate_clients: int = 0
+    scenario: Optional[Union[str, Mapping]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in TASK_REGISTRY:
@@ -117,6 +127,22 @@ class TaskSpec:
                 )
         elif self.setup is not None:
             raise ValueError(f"setup is only valid for synthetic tasks, got kind={self.kind!r}")
+        if self.kind == "scenario":
+            if self.scenario is None:
+                raise ValueError(
+                    "scenario tasks need scenario=<registered name or definition dict>"
+                )
+            resolved = resolve_scenario(self.scenario)
+            # Normalise to the self-contained dict form and pin n_clients to
+            # the layout's total, so report rows and plan manifests agree
+            # with what the builder will actually produce.
+            object.__setattr__(self, "scenario", resolved.to_dict())
+            object.__setattr__(self, "n_clients", resolved.layout().n_clients)
+            object.__setattr__(self, "_scenario_obj", resolved)
+        elif self.scenario is not None:
+            raise ValueError(
+                f"scenario is only valid for scenario tasks, got kind={self.kind!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Identity
@@ -125,9 +151,16 @@ class TaskSpec:
     def experiment_scale(self) -> ExperimentScale:
         return ExperimentScale.from_name(self.scale)
 
+    @property
+    def scenario_object(self) -> Optional[Scenario]:
+        """The resolved :class:`Scenario` for scenario tasks, else ``None``."""
+        return getattr(self, "_scenario_obj", None)
+
     def label(self) -> str:
         """Short human-readable identity, e.g. ``femnist/mlp/n=10``."""
         parts = [self.kind]
+        if self.kind == "scenario":
+            parts.append(self.scenario_object.name)
         if self.setup:
             parts.append(self.setup)
         parts.append(self.model)
@@ -160,6 +193,14 @@ class TaskSpec:
                 "n_null_clients": self.n_null_clients,
                 "n_duplicate_clients": self.n_duplicate_clients,
             }
+        if self.kind == "scenario":
+            # Content only: the scenario's name/description are display
+            # metadata, so the payload is its identity (base + behaviors) —
+            # byte-identical to what Scenario.fingerprint() hashes.
+            return {
+                "model": self.model,
+                "scenario": self.scenario_object.identity_payload(),
+            }
         return {"n_clients": self.n_clients, "model": self.model}
 
     # ------------------------------------------------------------------ #
@@ -181,6 +222,8 @@ class TaskSpec:
             payload["n_null_clients"] = self.n_null_clients
         if self.n_duplicate_clients:
             payload["n_duplicate_clients"] = self.n_duplicate_clients
+        if self.scenario is not None:
+            payload["scenario"] = dict(self.scenario)
         return payload
 
     @classmethod
@@ -195,6 +238,7 @@ class TaskSpec:
             "noise_level",
             "n_null_clients",
             "n_duplicate_clients",
+            "scenario",
         }
         unknown = set(payload) - allowed
         if unknown:
@@ -267,3 +311,14 @@ def _build_adult(spec: TaskSpec, store: StoreLike) -> tuple:
         store=store,
     )
     return utility, {"n_clients": spec.n_clients}
+
+
+@register_task("scenario")
+def _build_scenario(spec: TaskSpec, store: StoreLike) -> tuple:
+    return build_scenario_task(
+        spec.scenario_object,
+        model=spec.model,
+        scale=spec.experiment_scale,
+        seed=spec.seed,
+        store=store,
+    )

@@ -144,3 +144,51 @@ def render_table(rows: list[dict], title: str) -> str:
         columns=["dataset", "model", "n", "algorithm", "time_s", "evaluations", "error_l2"],
         title=title,
     )
+
+
+def robustness_table(rows: list[dict], title: str = "valuation robustness") -> str:
+    """Render :func:`repro.scenarios.run_robustness` rows as a summary table.
+
+    One row per (scenario, algorithm): the injected adversaries, their rank
+    positions from the bottom of the valuation (1 = lowest), precision@k for
+    picking them out, whether they all rank *strictly* below every honest
+    client, and the Spearman correlation against the clean-scenario ranking.
+    Skipped cells render with their skip reason in place of metrics.
+    """
+    display = []
+    for row in rows:
+        if row.get("status") == "skipped":
+            display.append(
+                {
+                    "scenario": row["scenario"],
+                    "algorithm": row["algorithm"],
+                    "adversaries": "skipped: " + row.get("reason", ""),
+                }
+            )
+            continue
+        display.append(
+            {
+                "scenario": row["scenario"],
+                "algorithm": row["algorithm"],
+                "n": row["n"],
+                "adversaries": ",".join(str(c) for c in row["adversaries"]) or "-",
+                "adv_ranks": ",".join(str(r) for r in row["adversary_ranks"]) or "-",
+                "prec@k": row["precision_at_k"],
+                "strictly_last": "yes" if row["strictly_last"] else "NO",
+                "rank_corr_clean": row["rank_corr_clean"],
+            }
+        )
+    return format_table(
+        display,
+        columns=[
+            "scenario",
+            "algorithm",
+            "n",
+            "adversaries",
+            "adv_ranks",
+            "prec@k",
+            "strictly_last",
+            "rank_corr_clean",
+        ],
+        title=title,
+    )

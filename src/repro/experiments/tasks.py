@@ -138,6 +138,7 @@ def _wrap(
     seed: SeedLike,
     store: StoreLike = None,
     task_key: Optional[str] = None,
+    client_dropout: Optional[Sequence[float]] = None,
 ) -> CoalitionUtility:
     if store is not None and task_key is None:
         raise ValueError(
@@ -159,6 +160,7 @@ def _wrap(
         seed=seed,
         store=store,
         store_namespace=task_key,
+        client_dropout=client_dropout,
     )
     utility.task_fingerprint = task_key
     return utility

@@ -16,7 +16,7 @@ import numpy as np
 from repro.datasets.base import Dataset
 from repro.fl.config import FLConfig
 from repro.models.base import ParametricModel
-from repro.utils.rng import SeedLike
+from repro.utils.rng import RandomState, SeedLike
 
 
 class FLClient:
@@ -28,11 +28,24 @@ class FLClient:
         Stable integer identifier (index into the federation).
     dataset:
         The client's private training data.  May be empty (a "free rider").
+    dropout_p:
+        Per-round probability that the client *straggles*: it skips local
+        training and reports the global parameters back unchanged (a stale,
+        zero-information update that still enters the weighted aggregate).
+        ``0.0`` (default) is a fully reliable client.  The drop decision is
+        drawn from the per-round seed the server passes to
+        :meth:`local_update`, so it is deterministic for a given coalition
+        and round.
     """
 
-    def __init__(self, client_id: int, dataset: Dataset) -> None:
+    def __init__(
+        self, client_id: int, dataset: Dataset, dropout_p: float = 0.0
+    ) -> None:
+        if not 0.0 <= dropout_p <= 1.0:
+            raise ValueError(f"dropout_p must lie in [0, 1], got {dropout_p}")
         self.client_id = int(client_id)
         self.dataset = dataset
+        self.dropout_p = float(dropout_p)
 
     @property
     def n_samples(self) -> int:
@@ -54,10 +67,19 @@ class FLClient:
         The shared ``model`` object is used as a computation engine only: its
         parameters are overwritten with ``global_parameters`` before training,
         so no state leaks between clients.
-        Empty clients return the global parameters unchanged.
+        Empty clients return the global parameters unchanged, as does a
+        straggler (``dropout_p > 0``) in a round it drops.
         """
         if self.is_empty:
             return np.asarray(global_parameters, dtype=float).copy()
+        if self.dropout_p > 0.0:
+            # Consume the drop decision from the round seed, then hand the
+            # same stream on to local training: reliable clients' streams are
+            # untouched, and a straggler's behaviour is round-deterministic.
+            rng = RandomState(seed)
+            if rng.uniform() < self.dropout_p:
+                return np.asarray(global_parameters, dtype=float).copy()
+            seed = rng
         model.set_parameters(global_parameters)
         if config.algorithm == "fedsgd":
             # A single full-batch gradient step; the server aggregates the result.

@@ -54,6 +54,13 @@ class FederatedTrainer:
     seed:
         Base seed; each coalition derives a deterministic seed from it so the
         same coalition always produces the same model.
+    client_dropout:
+        Optional per-client straggler probabilities (one entry per client,
+        each in ``[0, 1]``): in every round, client ``i`` skips local
+        training with probability ``client_dropout[i]`` and reports the
+        global parameters back unchanged.  ``None`` means every client is
+        fully reliable.  Used by the scenario engine
+        (:mod:`repro.scenarios`) to model stragglers/dropouts.
     """
 
     def __init__(
@@ -63,6 +70,7 @@ class FederatedTrainer:
         model_factory: ModelFactory,
         config: Optional[FLConfig] = None,
         seed: SeedLike = 0,
+        client_dropout: Optional[Sequence[float]] = None,
     ) -> None:
         if not client_datasets:
             raise ValueError("at least one client dataset is required")
@@ -70,9 +78,33 @@ class FederatedTrainer:
         self.test_dataset = test_dataset
         self.model_factory = model_factory
         self.config = config or FLConfig()
+        if client_dropout is not None:
+            client_dropout = [float(p) for p in client_dropout]
+            if len(client_dropout) != len(self.client_datasets):
+                raise ValueError(
+                    "client_dropout needs one probability per client "
+                    f"({len(client_dropout)} given for {len(self.client_datasets)} clients)"
+                )
+            for probability in client_dropout:
+                if not 0.0 <= probability <= 1.0:
+                    raise ValueError(
+                        f"dropout probabilities must lie in [0, 1], got {probability}"
+                    )
+            if not any(client_dropout):
+                client_dropout = None
+        self.client_dropout = client_dropout
         self._base_seed = derive_seed(RandomState(seed))
         probe = model_factory()
         self._parametric = probe.is_parametric
+        if self.client_dropout is not None and not self._parametric:
+            # Pooled (non-parametric) training has no rounds to drop out of;
+            # silently ignoring the dropout would fingerprint and report a
+            # straggler task whose stragglers never straggled.
+            raise ValueError(
+                "client_dropout requires a parametric FL model (round-based "
+                "training); non-parametric models train on pooled data and "
+                "cannot model stragglers"
+            )
 
     @property
     def n_clients(self) -> int:
@@ -106,6 +138,10 @@ class FederatedTrainer:
         """
         return frozenset(m for m in members if len(self.client_datasets[m]) > 0)
 
+    def _client(self, member: int) -> FLClient:
+        dropout = 0.0 if self.client_dropout is None else self.client_dropout[member]
+        return FLClient(member, self.client_datasets[member], dropout_p=dropout)
+
     def train_coalition(
         self, coalition: Iterable[int], record_history: bool = False
     ) -> tuple[Model, Optional[TrainingHistory]]:
@@ -125,7 +161,7 @@ class FederatedTrainer:
 
         if self._parametric:
             config = self.config.with_history() if record_history else self.config
-            clients = [FLClient(m, self.client_datasets[m]) for m in sorted(members)]
+            clients = [self._client(m) for m in sorted(members)]
             server = FLServer(model, clients, config)
             server.train(seed=seed)
             return model, server.history
@@ -152,7 +188,7 @@ class FederatedTrainer:
                 "baselines are not applicable to tree models (see paper Table V)"
             )
         model = self.model_factory()
-        clients = [FLClient(i, d) for i, d in enumerate(self.client_datasets)]
+        clients = [self._client(i) for i in range(self.n_clients)]
         server = FLServer(model, clients, self.config.with_history())
         run_seed = self._coalition_seed(members) if seed is None else seed
         server.train(seed=run_seed)

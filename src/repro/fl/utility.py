@@ -69,6 +69,11 @@ class CoalitionUtility:
         (:mod:`repro.experiments.tasks`) compute and pass it automatically;
         when attaching a store by hand the caller must guarantee it uniquely
         identifies the (datasets, model, config, seed) combination.
+    client_dropout:
+        Optional per-client straggler probabilities forwarded to
+        :class:`~repro.fl.federation.FederatedTrainer`; with a store attached
+        the caller's namespace must cover them (the scenario fingerprint
+        does).
     """
 
     def __init__(
@@ -83,6 +88,7 @@ class CoalitionUtility:
         executor: ExecutorLike = None,
         store: StoreLike = None,
         store_namespace: Optional[str] = None,
+        client_dropout: Optional[Sequence[float]] = None,
     ) -> None:
         self.trainer = FederatedTrainer(
             client_datasets=client_datasets,
@@ -90,6 +96,7 @@ class CoalitionUtility:
             model_factory=model_factory,
             config=config,
             seed=seed,
+            client_dropout=client_dropout,
         )
         self._oracle = BatchUtilityOracle(
             evaluator=self.trainer.utility,

@@ -1,0 +1,68 @@
+"""Scenario engine: composable client behaviors + valuation-robustness harness.
+
+The paper evaluates contribution valuation on five fixed setups; this package
+opens that up.  A :class:`Scenario` declaratively composes a base partition
+recipe with :class:`ClientBehavior` transforms (free riders, label flippers,
+feature noisers, duplicators, sybils, low-quality subsamples, stragglers) into
+a client population, fingerprints it through the same content-address channel
+as every other task (so the persistent utility store makes scenario reruns
+training-free), and the robustness harness (:func:`run_robustness`) scores
+every valuation algorithm on whether it still ranks the injected bad actors
+last.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.behaviors import (
+    BEHAVIOR_REGISTRY,
+    BehaviorSpec,
+    ClientBehavior,
+    available_behaviors,
+    register_behavior,
+)
+from repro.scenarios.scenario import (
+    SCENARIO_DATASETS,
+    SCENARIO_PARTITIONS,
+    SCENARIO_REGISTRY,
+    Scenario,
+    ScenarioLayout,
+    available_scenarios,
+    build_scenario_task,
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+)
+from repro.scenarios import catalog
+from repro.scenarios.catalog import BUILTIN_SCENARIOS
+from repro.scenarios.robustness import (
+    RobustnessReport,
+    adversaries_strictly_last,
+    adversary_ranks,
+    build_robustness_plan,
+    precision_at_k,
+    run_robustness,
+)
+
+__all__ = [
+    "BEHAVIOR_REGISTRY",
+    "BehaviorSpec",
+    "ClientBehavior",
+    "available_behaviors",
+    "register_behavior",
+    "SCENARIO_DATASETS",
+    "SCENARIO_PARTITIONS",
+    "SCENARIO_REGISTRY",
+    "Scenario",
+    "ScenarioLayout",
+    "available_scenarios",
+    "build_scenario_task",
+    "get_scenario",
+    "register_scenario",
+    "resolve_scenario",
+    "catalog",
+    "BUILTIN_SCENARIOS",
+    "RobustnessReport",
+    "adversaries_strictly_last",
+    "adversary_ranks",
+    "build_robustness_plan",
+    "precision_at_k",
+    "run_robustness",
+]

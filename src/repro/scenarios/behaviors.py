@@ -1,0 +1,387 @@
+"""Composable client behaviors: the building blocks of a scenario.
+
+A :class:`BehaviorSpec` is a declarative, fingerprintable description of one
+transform applied to chosen clients of a federated population — the things
+that go wrong in real data markets and that every valuation method must be
+robust against:
+
+===================  =======================================================
+``free_rider``       the client's dataset is replaced with an empty one
+``label_flipper``    a fraction of the client's labels is flipped (poisoning)
+``feature_noiser``   Gaussian noise is added to the client's features
+``duplicator``       the client's data becomes a copy of another client's
+``sybil``            extra clone clients of a target are appended
+``low_quality``      the client's dataset is subsampled to a fraction
+``straggler``        the client drops out of FL rounds with probability ``p``
+===================  =======================================================
+
+Dataset-level behaviors reuse the partition/noise machinery from
+:mod:`repro.datasets`; ``straggler`` acts at
+:meth:`repro.fl.client.FLClient.local_update` time via the ``client_dropout``
+channel of :class:`~repro.fl.federation.FederatedTrainer`.
+
+Behaviors are registered by kind (:data:`BEHAVIOR_REGISTRY`) so scenario
+configs stay plain JSON: ``{"kind": "label_flipper", "clients": [3],
+"params": {"fraction": 1.0}}``.  Each kind declares parameter defaults —
+specs normalise their params against them, so two spellings of the same
+behavior always share one fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets import Dataset, add_feature_noise, flip_labels
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_fraction
+
+BEHAVIOR_REGISTRY: Dict[str, "ClientBehavior"] = {}
+
+
+def register_behavior(behavior: "ClientBehavior") -> "ClientBehavior":
+    """Register a behavior kind (module-level, at import time)."""
+    if behavior.kind in BEHAVIOR_REGISTRY:
+        raise ValueError(f"behavior kind {behavior.kind!r} is already registered")
+    BEHAVIOR_REGISTRY[behavior.kind] = behavior
+    return behavior
+
+
+def available_behaviors() -> list[str]:
+    """Registered behavior kinds, sorted."""
+    return sorted(BEHAVIOR_REGISTRY)
+
+
+def _coerce_param(kind: str, key: str, value, default):
+    """Coerce a behavior param to its default's canonical type.
+
+    Integer-typed params reject fractional floats loudly instead of
+    truncating (``source: 2.5`` must not silently mean client 2).
+    """
+    if isinstance(default, bool) or isinstance(value, bool):
+        raise ValueError(f"behavior {kind!r} param {key!r} cannot be boolean")
+    if isinstance(default, int):
+        if isinstance(value, float) and not value.is_integer():
+            raise ValueError(
+                f"behavior {kind!r} param {key!r} must be an integer, got {value}"
+            )
+        return int(value)
+    if isinstance(default, float):
+        return float(value)
+    return value
+
+
+@dataclass(frozen=True)
+class BehaviorSpec:
+    """One behavior applied to chosen clients — plain data, fingerprintable.
+
+    Parameters
+    ----------
+    kind:
+        Registered behavior kind (:func:`available_behaviors`).
+    clients:
+        Target client indices (into the population *at the point this
+        behavior applies*, so clients appended by an earlier ``sybil`` can be
+        targeted by a later behavior).
+    params:
+        Kind-specific parameters; missing keys take the kind's defaults and
+        unknown keys are rejected loudly.
+    adversarial:
+        Whether the targets count as injected bad actors for the robustness
+        metrics.  ``None`` uses the kind's default (e.g. ``free_rider`` yes,
+        ``low_quality`` no).
+    """
+
+    kind: str
+    clients: tuple
+    params: Mapping = field(default_factory=dict)
+    adversarial: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in BEHAVIOR_REGISTRY:
+            raise ValueError(
+                f"unknown behavior kind {self.kind!r}; choose from {available_behaviors()}"
+            )
+        clients = tuple(int(c) for c in self.clients)
+        if not clients:
+            raise ValueError(f"behavior {self.kind!r} needs at least one target client")
+        if any(c < 0 for c in clients):
+            raise ValueError(f"behavior {self.kind!r} has negative client indices")
+        if len(set(clients)) != len(clients):
+            raise ValueError(f"behavior {self.kind!r} lists a target client twice")
+        object.__setattr__(self, "clients", clients)
+        handler = BEHAVIOR_REGISTRY[self.kind]
+        unknown = set(self.params) - set(handler.defaults)
+        if unknown:
+            raise ValueError(
+                f"behavior {self.kind!r} does not accept params {sorted(unknown)}; "
+                f"known: {sorted(handler.defaults)}"
+            )
+        # Normalise: defaults are part of the spec's identity and every value
+        # is coerced to its default's type, so an explicit default value, an
+        # elided one, and int/float spellings of the same number all
+        # fingerprint identically (canonical JSON renders 1 and 1.0 apart).
+        params = {
+            key: _coerce_param(self.kind, key, value, handler.defaults[key])
+            for key, value in {**handler.defaults, **dict(self.params)}.items()
+        }
+        handler.validate(params)
+        object.__setattr__(self, "params", params)
+
+    @property
+    def handler(self) -> "ClientBehavior":
+        return BEHAVIOR_REGISTRY[self.kind]
+
+    @property
+    def is_adversarial(self) -> bool:
+        if self.adversarial is not None:
+            return bool(self.adversarial)
+        return self.handler.adversarial_by_default
+
+    def to_dict(self) -> dict:
+        payload: dict = {"kind": self.kind, "clients": list(self.clients)}
+        if self.params:
+            payload["params"] = dict(self.params)
+        if self.adversarial is not None:
+            payload["adversarial"] = bool(self.adversarial)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BehaviorSpec":
+        unknown = set(payload) - {"kind", "clients", "params", "adversarial"}
+        if unknown:
+            raise ValueError(f"unknown BehaviorSpec fields: {sorted(unknown)}")
+        if "kind" not in payload or "clients" not in payload:
+            raise ValueError("a behavior needs 'kind' and 'clients' fields")
+        return cls(
+            kind=payload["kind"],
+            clients=tuple(payload["clients"]),
+            params=dict(payload.get("params", {})),
+            adversarial=payload.get("adversarial"),
+        )
+
+    def identity_payload(self) -> dict:
+        """Canonical form folded into the scenario/task fingerprint.
+
+        Deliberately excludes the ``adversarial`` flag: it only affects how
+        the robustness metrics *score* a finished run, never the training
+        data or FL behavior, so toggling it must not invalidate the
+        persistent store's trained coalitions.
+        """
+        return {
+            "kind": self.kind,
+            "clients": list(self.clients),
+            "params": dict(self.params),
+        }
+
+
+class ClientBehavior:
+    """Handler for one behavior kind.
+
+    Subclasses define parameter ``defaults``/``validate``, how many clients
+    the behavior appends (:meth:`n_added`), and the actual dataset transform
+    (:meth:`apply`, which mutates/extends the population's dataset list in
+    place).  Population *layout* (who is an adversary, who straggles) is
+    computed statically by :meth:`repro.scenarios.Scenario.layout` so the
+    robustness harness never needs to build data to know the cast.
+    """
+
+    kind: str = ""
+    adversarial_by_default: bool = True
+    defaults: Mapping = {}
+
+    def validate(self, params: Mapping) -> None:  # pragma: no cover - overridden
+        pass
+
+    def n_added(self, spec: BehaviorSpec) -> int:
+        """How many clients this behavior appends to the population."""
+        return 0
+
+    def dropout(self, spec: BehaviorSpec) -> float:
+        """Per-round dropout probability this behavior assigns its targets."""
+        return 0.0
+
+    def apply(
+        self, datasets: List[Dataset], spec: BehaviorSpec, rng: np.random.Generator
+    ) -> None:
+        raise NotImplementedError
+
+    def describe(self, spec: BehaviorSpec) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(spec.params.items()))
+        targets = ",".join(str(c) for c in spec.clients)
+        return f"{self.kind}({params}) -> clients {targets}" if params else (
+            f"{self.kind} -> clients {targets}"
+        )
+
+
+def _check_targets(datasets: Sequence[Dataset], spec: BehaviorSpec) -> None:
+    out_of_range = [c for c in spec.clients if c >= len(datasets)]
+    if out_of_range:
+        raise ValueError(
+            f"behavior {spec.kind!r} targets unknown clients {out_of_range} "
+            f"(population has {len(datasets)} clients at this point)"
+        )
+
+
+class FreeRider(ClientBehavior):
+    """Replace the targets' datasets with empty ones (classic free riders)."""
+
+    kind = "free_rider"
+    adversarial_by_default = True
+    defaults: Mapping = {}
+
+    def apply(self, datasets, spec, rng):
+        _check_targets(datasets, spec)
+        for client in spec.clients:
+            datasets[client] = Dataset.empty_like(
+                datasets[client], name=f"{datasets[client].name}/free-rider"
+            )
+
+
+class LabelFlipper(ClientBehavior):
+    """Flip a fraction of the targets' labels (label poisoning)."""
+
+    kind = "label_flipper"
+    adversarial_by_default = True
+    defaults: Mapping = {"fraction": 1.0}
+
+    def validate(self, params):
+        check_fraction(params["fraction"], "label_flipper fraction")
+
+    def apply(self, datasets, spec, rng):
+        _check_targets(datasets, spec)
+        for client, client_rng in zip(spec.clients, spawn_rng(rng, len(spec.clients))):
+            datasets[client] = flip_labels(
+                datasets[client], spec.params["fraction"], seed=client_rng
+            )
+
+
+class FeatureNoiser(ClientBehavior):
+    """Add scaled Gaussian noise to the targets' features."""
+
+    kind = "feature_noiser"
+    adversarial_by_default = True
+    defaults: Mapping = {"scale": 1.0}
+
+    def validate(self, params):
+        if params["scale"] < 0:
+            raise ValueError(
+                f"feature_noiser scale must be non-negative, got {params['scale']}"
+            )
+
+    def apply(self, datasets, spec, rng):
+        _check_targets(datasets, spec)
+        for client, client_rng in zip(spec.clients, spawn_rng(rng, len(spec.clients))):
+            datasets[client] = add_feature_noise(
+                datasets[client], spec.params["scale"], seed=client_rng
+            )
+
+
+class Duplicator(ClientBehavior):
+    """Replace the targets' datasets with copies of a source client's shards."""
+
+    kind = "duplicator"
+    adversarial_by_default = True
+    defaults: Mapping = {"source": 0}
+
+    def validate(self, params):
+        if int(params["source"]) < 0:
+            raise ValueError(f"duplicator source must be >= 0, got {params['source']}")
+
+    def apply(self, datasets, spec, rng):
+        _check_targets(datasets, spec)
+        source = int(spec.params["source"])
+        if source >= len(datasets):
+            raise ValueError(
+                f"duplicator source client {source} does not exist "
+                f"(population has {len(datasets)} clients)"
+            )
+        if source in spec.clients:
+            raise ValueError("duplicator source cannot be one of its own targets")
+        for client in spec.clients:
+            datasets[client] = datasets[source].copy()
+
+
+class Sybil(ClientBehavior):
+    """Append ``n_clones`` new clients per target, each holding a copy of it."""
+
+    kind = "sybil"
+    adversarial_by_default = True
+    defaults: Mapping = {"n_clones": 2}
+
+    def validate(self, params):
+        if int(params["n_clones"]) < 1:
+            raise ValueError(f"sybil n_clones must be >= 1, got {params['n_clones']}")
+
+    def n_added(self, spec):
+        return int(spec.params["n_clones"]) * len(spec.clients)
+
+    def apply(self, datasets, spec, rng):
+        _check_targets(datasets, spec)
+        # Append in (target, clone) order — the same order Scenario.layout()
+        # assigns the new indices, so roles and data line up.
+        for client in spec.clients:
+            for _ in range(int(spec.params["n_clones"])):
+                datasets.append(datasets[client].copy())
+
+
+class LowQuality(ClientBehavior):
+    """Subsample the targets' datasets to a fraction of their samples."""
+
+    kind = "low_quality"
+    adversarial_by_default = False
+    defaults: Mapping = {"fraction": 0.25}
+
+    def validate(self, params):
+        check_fraction(params["fraction"], "low_quality fraction", inclusive=False)
+
+    def apply(self, datasets, spec, rng):
+        _check_targets(datasets, spec)
+        fraction = float(spec.params["fraction"])
+        for client, client_rng in zip(spec.clients, spawn_rng(rng, len(spec.clients))):
+            dataset = datasets[client]
+            if len(dataset) == 0:
+                # Composed after e.g. free_rider: nothing to subsample.
+                continue
+            keep = max(1, int(round(fraction * len(dataset))))
+            indices = np.sort(client_rng.choice(len(dataset), size=keep, replace=False))
+            datasets[client] = dataset.subset(
+                indices, name=f"{dataset.name}/low-quality"
+            )
+
+
+class Straggler(ClientBehavior):
+    """Make the targets skip FL rounds with probability ``dropout``.
+
+    A dataset no-op: the effect happens at ``FLClient.local_update`` time
+    through the trainer's ``client_dropout`` channel (a dropped round reports
+    the global parameters back unchanged, diluting that round's aggregate).
+    """
+
+    kind = "straggler"
+    adversarial_by_default = True
+    defaults: Mapping = {"dropout": 0.5}
+
+    def validate(self, params):
+        probability = float(params["dropout"])
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(
+                f"straggler dropout must lie in (0, 1], got {probability}"
+            )
+
+    def dropout(self, spec):
+        return float(spec.params["dropout"])
+
+    def apply(self, datasets, spec, rng):
+        _check_targets(datasets, spec)
+
+
+register_behavior(FreeRider())
+register_behavior(LabelFlipper())
+register_behavior(FeatureNoiser())
+register_behavior(Duplicator())
+register_behavior(Sybil())
+register_behavior(LowQuality())
+register_behavior(Straggler())

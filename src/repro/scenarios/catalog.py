@@ -1,0 +1,93 @@
+"""Built-in scenario catalog.
+
+A starting set of named client-population stress tests, each exercising one
+behavior family (plus a mixed one).  All use a small MNIST-style IID base so
+the exact MC-Shapley ground truth stays tractable (≤ 2⁶ coalitions) even at
+the ``tiny`` scale, which is what lets the robustness harness assert *strict*
+rankings rather than tendencies.  They are templates as much as fixtures:
+``repro run --config`` plans can define arbitrary variations inline with the
+same JSON schema (see ``docs/scenarios.md``).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.behaviors import BehaviorSpec
+from repro.scenarios.scenario import Scenario, register_scenario
+
+BUILTIN_SCENARIOS = (
+    Scenario(
+        name="free-rider",
+        n_clients=4,
+        behaviors=(BehaviorSpec(kind="free_rider", clients=(3,)),),
+        description="one client contributes an empty dataset",
+    ),
+    Scenario(
+        name="label-flippers",
+        n_clients=4,
+        behaviors=(
+            BehaviorSpec(kind="label_flipper", clients=(2, 3), params={"fraction": 1.0}),
+        ),
+        description="two clients poison the federation with fully flipped labels",
+    ),
+    Scenario(
+        name="noisy-features",
+        n_clients=4,
+        behaviors=(
+            BehaviorSpec(kind="feature_noiser", clients=(3,), params={"scale": 3.0}),
+        ),
+        description="one client's features are drowned in Gaussian noise",
+    ),
+    Scenario(
+        name="duplicators",
+        n_clients=4,
+        behaviors=(
+            BehaviorSpec(kind="duplicator", clients=(2, 3), params={"source": 0}),
+        ),
+        description="two clients resell copies of client 0's shards",
+    ),
+    Scenario(
+        name="sybil-attack",
+        n_clients=4,
+        behaviors=(
+            BehaviorSpec(kind="sybil", clients=(0,), params={"n_clones": 2}),
+        ),
+        description="client 0 splits itself into three identities for extra payout",
+    ),
+    Scenario(
+        name="low-quality",
+        n_clients=4,
+        behaviors=(
+            BehaviorSpec(kind="low_quality", clients=(2, 3), params={"fraction": 0.2}),
+        ),
+        description="two clients hold only a small subsample of a fair shard",
+    ),
+    Scenario(
+        name="stragglers",
+        n_clients=4,
+        behaviors=(
+            BehaviorSpec(kind="straggler", clients=(3,), params={"dropout": 0.75}),
+        ),
+        description="one client misses three quarters of its FL rounds",
+    ),
+    Scenario(
+        name="mixed-adversaries",
+        n_clients=5,
+        behaviors=(
+            BehaviorSpec(kind="free_rider", clients=(4,)),
+            BehaviorSpec(kind="label_flipper", clients=(3,), params={"fraction": 1.0}),
+            BehaviorSpec(kind="straggler", clients=(2,), params={"dropout": 0.5}),
+        ),
+        description="free rider + label flipper + straggler in one federation",
+    ),
+    Scenario(
+        name="skewed-free-rider",
+        n_clients=4,
+        partition="dirichlet",
+        partition_params={"alpha": 0.5},
+        behaviors=(BehaviorSpec(kind="free_rider", clients=(3,)),),
+        description="free rider hiding inside a Dirichlet non-IID federation",
+    ),
+)
+
+for _scenario in BUILTIN_SCENARIOS:
+    register_scenario(_scenario)

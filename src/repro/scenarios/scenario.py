@@ -1,0 +1,453 @@
+"""Declarative, fingerprintable client-population scenarios.
+
+A :class:`Scenario` is plain data: a *base* partition recipe (which synthetic
+dataset, which partitioner, how many clients) plus an ordered list of
+:class:`~repro.scenarios.behaviors.BehaviorSpec` transforms applied to chosen
+clients.  From that description the engine can
+
+* compute the population *layout* without touching any data — total client
+  count, which clients are injected bad actors, who straggles
+  (:meth:`Scenario.layout`);
+* build the coalition-utility oracle for the populated task
+  (:func:`build_scenario_task`), reusing the dataset generators,
+  partitioners and noise injectors of :mod:`repro.datasets` and the FL
+  substrate of :mod:`repro.fl`; and
+* fingerprint itself (:meth:`Scenario.fingerprint`) through the same
+  :func:`~repro.experiments.tasks.task_fingerprint` channel as every other
+  task, so scenario utilities land in the persistent
+  :class:`~repro.store.UtilityStore` and a rerun trains nothing.
+
+The fingerprint deliberately covers the scenario's *content* (base recipe +
+behaviors), not its ``name``/``description`` — renaming a scenario must not
+invalidate months of trained coalitions, and the clean counterparts of two
+scenarios sharing a base dedupe to one store namespace.
+
+Scenarios can be registered by name (:func:`register_scenario`; the built-in
+catalog lives in :mod:`repro.scenarios.catalog`) or defined inline as JSON in
+``repro run --config`` plan files.
+
+Imports from :mod:`repro.experiments` are deliberately function-local: the
+experiments layer imports this package to register the ``"scenario"`` task
+kind, so a module-level import here would be circular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.datasets import (
+    Dataset,
+    make_adult_like,
+    make_femnist_like,
+    make_mnist_like,
+    partition_by_group,
+    partition_different_sizes,
+    partition_dirichlet,
+    partition_iid,
+    partition_label_skew,
+    train_test_split,
+)
+from repro.scenarios.behaviors import BehaviorSpec
+from repro.utils.rng import RandomState, spawn_rng
+
+SCENARIO_DATASETS = ("mnist-like", "femnist-like", "adult-like")
+#: datasets whose samples carry group ids (required by the by-group partition)
+_GROUPED_DATASETS = ("femnist-like", "adult-like")
+
+SCENARIO_PARTITIONS = ("iid", "label-skew", "different-sizes", "dirichlet", "by-group")
+
+#: allowed ``partition_params`` keys per partitioner
+_PARTITION_PARAM_KEYS: Dict[str, frozenset] = {
+    "iid": frozenset(),
+    "label-skew": frozenset({"dominant_fraction"}),
+    "different-sizes": frozenset({"ratios"}),
+    "dirichlet": frozenset({"alpha", "min_samples_per_client"}),
+    "by-group": frozenset(),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioLayout:
+    """Statically computed cast of a scenario's population.
+
+    ``n_clients`` is the total population (base clients plus any appended by
+    ``sybil`` behaviors); ``adversaries`` are the injected bad actors the
+    robustness metrics score against; ``roles`` maps every behavior-touched
+    client to its behavior kind; ``dropout`` maps stragglers to their
+    per-round drop probability.
+    """
+
+    n_clients: int
+    base_clients: int
+    adversaries: tuple
+    roles: Mapping
+    dropout: Mapping
+
+    def dropout_vector(self) -> Optional[list]:
+        """Per-client dropout list for the FL trainer (``None`` when unused)."""
+        if not self.dropout:
+            return None
+        return [float(self.dropout.get(i, 0.0)) for i in range(self.n_clients)]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Named, composable description of one client population.
+
+    Parameters
+    ----------
+    name:
+        Registry/report identity.  *Not* part of the content fingerprint.
+    n_clients:
+        Number of base clients produced by the partition recipe (behaviors
+        may append more).
+    dataset / partition / partition_params:
+        Base recipe: one of :data:`SCENARIO_DATASETS`, one of
+        :data:`SCENARIO_PARTITIONS`, plus partitioner keyword arguments
+        (e.g. ``{"alpha": 0.3}`` for the Dirichlet split).
+    behaviors:
+        Ordered :class:`BehaviorSpec` transforms; later behaviors see the
+        population as earlier ones left it.
+    description:
+        Human-readable summary for catalogs and docs.
+    """
+
+    name: str
+    n_clients: int = 4
+    dataset: str = "mnist-like"
+    partition: str = "iid"
+    partition_params: Mapping = field(default_factory=dict)
+    behaviors: tuple = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+        if self.n_clients < 2:
+            raise ValueError(
+                f"a scenario needs at least 2 base clients, got {self.n_clients}"
+            )
+        if self.dataset not in SCENARIO_DATASETS:
+            raise ValueError(
+                f"unknown scenario dataset {self.dataset!r}; "
+                f"choose from {SCENARIO_DATASETS}"
+            )
+        if self.partition not in SCENARIO_PARTITIONS:
+            raise ValueError(
+                f"unknown scenario partition {self.partition!r}; "
+                f"choose from {SCENARIO_PARTITIONS}"
+            )
+        if self.partition == "by-group" and self.dataset not in _GROUPED_DATASETS:
+            raise ValueError(
+                f"the by-group partition needs a grouped dataset "
+                f"({_GROUPED_DATASETS}), got {self.dataset!r}"
+            )
+        unknown = set(self.partition_params) - _PARTITION_PARAM_KEYS[self.partition]
+        if unknown:
+            raise ValueError(
+                f"partition {self.partition!r} does not accept params "
+                f"{sorted(unknown)}; known: {sorted(_PARTITION_PARAM_KEYS[self.partition])}"
+            )
+        object.__setattr__(self, "partition_params", dict(self.partition_params))
+        behaviors = tuple(
+            b if isinstance(b, BehaviorSpec) else BehaviorSpec.from_dict(b)
+            for b in self.behaviors
+        )
+        object.__setattr__(self, "behaviors", behaviors)
+        self.layout()  # validates behavior targets against the growing population
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+    def layout(self) -> ScenarioLayout:
+        """Replay the behavior list symbolically to find the population cast."""
+        n = self.n_clients
+        adversaries: set = set()
+        roles: Dict[int, str] = {}
+        dropout: Dict[int, float] = {}
+        for spec in self.behaviors:
+            handler = spec.handler
+            bad = [c for c in spec.clients if c >= n]
+            if bad:
+                raise ValueError(
+                    f"behavior {spec.kind!r} targets clients {bad}, but the "
+                    f"population has only {n} clients at that point"
+                )
+            if spec.kind == "duplicator":
+                source = int(spec.params["source"])
+                if source >= n:
+                    raise ValueError(
+                        f"duplicator source client {source} does not exist "
+                        f"(population has {n} clients at that point)"
+                    )
+                if source in spec.clients:
+                    raise ValueError(
+                        "duplicator source cannot be one of its own targets"
+                    )
+            touched = list(spec.clients)
+            if spec.kind == "sybil":
+                clones_per_target = int(spec.params["n_clones"])
+                for _ in spec.clients:
+                    for _ in range(clones_per_target):
+                        touched.append(n)
+                        n += 1
+            for client in touched:
+                roles[client] = spec.kind
+                # A client is an adversary if ANY behavior touching it is
+                # adversarial — a later benign behavior (e.g. low_quality on
+                # an already-poisoned client) must not launder the flag, or
+                # the robustness metrics would score against an empty cast.
+                if spec.is_adversarial:
+                    adversaries.add(client)
+            drop = handler.dropout(spec)
+            if drop > 0.0:
+                for client in spec.clients:
+                    dropout[client] = drop
+        return ScenarioLayout(
+            n_clients=n,
+            base_clients=self.n_clients,
+            adversaries=tuple(sorted(adversaries)),
+            roles=dict(roles),
+            dropout=dict(dropout),
+        )
+
+    def clean(self) -> "Scenario":
+        """The behavior-free counterpart sharing this scenario's base recipe.
+
+        Content-fingerprints of clean counterparts depend only on the base
+        recipe, so scenarios sharing a base share one clean namespace in the
+        store (and the robustness harness trains its coalitions once).
+        """
+        return replace(
+            self,
+            name=f"{self.name}@clean",
+            behaviors=(),
+            description=f"behavior-free baseline of {self.name!r}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def identity_payload(self) -> dict:
+        """Content identity: base recipe + behaviors, no name/description."""
+        return {
+            "n_clients": self.n_clients,
+            "dataset": self.dataset,
+            "partition": self.partition,
+            "partition_params": dict(self.partition_params),
+            "behaviors": [spec.identity_payload() for spec in self.behaviors],
+        }
+
+    def fingerprint(self, model: str, scale, seed: int) -> str:
+        """Stable content address of the (scenario, model, scale, seed) task.
+
+        Folded through :func:`repro.experiments.tasks.task_fingerprint`, so
+        scenario tasks share the persistent store's namespace discipline with
+        every other task kind.
+        """
+        from repro.experiments.tasks import task_fingerprint
+
+        key = task_fingerprint(
+            "scenario", scale, seed, model=model, scenario=self.identity_payload()
+        )
+        if key is None:
+            raise ValueError(
+                "scenario tasks need an integer seed to be fingerprintable"
+            )
+        return key
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "n_clients": self.n_clients,
+            "dataset": self.dataset,
+            "partition": self.partition,
+        }
+        if self.partition_params:
+            payload["partition_params"] = dict(self.partition_params)
+        if self.behaviors:
+            payload["behaviors"] = [spec.to_dict() for spec in self.behaviors]
+        if self.description:
+            payload["description"] = self.description
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Scenario":
+        allowed = {
+            "name",
+            "n_clients",
+            "dataset",
+            "partition",
+            "partition_params",
+            "behaviors",
+            "description",
+        }
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(f"unknown Scenario fields: {sorted(unknown)}")
+        if "name" not in payload:
+            raise ValueError("a scenario definition requires a 'name' field")
+        return cls(
+            name=payload["name"],
+            n_clients=int(payload.get("n_clients", 4)),
+            dataset=payload.get("dataset", "mnist-like"),
+            partition=payload.get("partition", "iid"),
+            partition_params=dict(payload.get("partition_params", {})),
+            behaviors=tuple(payload.get("behaviors", ())),
+            description=payload.get("description", ""),
+        )
+
+    def summary(self) -> str:
+        """One-line human description for ``repro scenarios list``."""
+        layout = self.layout()
+        parts = [f"{self.dataset}/{self.partition}", f"n={self.n_clients}"]
+        if layout.n_clients != self.n_clients:
+            parts[-1] += f"->{layout.n_clients}"
+        if self.behaviors:
+            parts.append("; ".join(s.handler.describe(s) for s in self.behaviors))
+        else:
+            parts.append("no behaviors")
+        return " | ".join(parts)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+SCENARIO_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Register a named scenario for ``--scenario`` lookup."""
+    if not overwrite and scenario.name in SCENARIO_REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    SCENARIO_REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name (with a helpful error)."""
+    if name not in SCENARIO_REGISTRY:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {available_scenarios()} "
+            "or define it inline in a --config plan"
+        )
+    return SCENARIO_REGISTRY[name]
+
+
+def available_scenarios() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIO_REGISTRY)
+
+
+def resolve_scenario(scenario) -> Scenario:
+    """Accept a :class:`Scenario`, a registered name, or a definition dict."""
+    if isinstance(scenario, Scenario):
+        return scenario
+    if isinstance(scenario, str):
+        return get_scenario(scenario)
+    if isinstance(scenario, Mapping):
+        return Scenario.from_dict(scenario)
+    raise TypeError(
+        f"cannot resolve a scenario from {type(scenario).__name__!r}; "
+        "pass a Scenario, a registered name, or a definition dict"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Building
+# --------------------------------------------------------------------------- #
+def _make_pooled_dataset(scenario: Scenario, scale, rng) -> Dataset:
+    n_samples = scale.samples_per_client * scenario.n_clients + scale.test_samples
+    if scenario.dataset == "mnist-like":
+        return make_mnist_like(
+            n_samples=n_samples, image_size=scale.image_size, seed=rng
+        )
+    if scenario.dataset == "femnist-like":
+        return make_femnist_like(
+            n_samples=n_samples,
+            n_writers=max(2 * scenario.n_clients, 4),
+            image_size=scale.image_size,
+            seed=rng,
+        )
+    return make_adult_like(
+        n_samples=n_samples, n_occupations=max(2 * scenario.n_clients, 12), seed=rng
+    )
+
+
+def _partition_base(scenario: Scenario, train: Dataset, rng) -> List[Dataset]:
+    params = scenario.partition_params
+    if scenario.partition == "iid":
+        return partition_iid(train, scenario.n_clients, seed=rng)
+    if scenario.partition == "label-skew":
+        return partition_label_skew(train, scenario.n_clients, seed=rng, **params)
+    if scenario.partition == "different-sizes":
+        return partition_different_sizes(train, scenario.n_clients, seed=rng, **params)
+    if scenario.partition == "dirichlet":
+        return partition_dirichlet(train, scenario.n_clients, seed=rng, **params)
+    return partition_by_group(train, scenario.n_clients, seed=rng)
+
+
+def build_scenario_task(
+    scenario,
+    model: str = "logistic",
+    scale=None,
+    seed: int = 0,
+    store=None,
+) -> tuple:
+    """Build the coalition-utility oracle for a scenario's population.
+
+    Returns ``(utility, info)`` where ``info`` carries the layout facts the
+    robustness harness needs (``n_clients``, ``base_clients``,
+    ``adversaries``, ``roles``).  With ``store=`` given, trained coalition
+    utilities persist under the scenario's content fingerprint, so rerunning
+    the same scenario campaign trains nothing.
+    """
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.tasks import _wrap
+
+    scenario = resolve_scenario(scenario)
+    scale = scale or ExperimentScale.small()
+    task_key = scenario.fingerprint(model, scale, seed)
+    layout = scenario.layout()
+
+    rng = RandomState(seed)
+    data_rng, split_rng, behavior_rng, utility_rng = spawn_rng(rng, 4)
+    pooled = _make_pooled_dataset(scenario, scale, data_rng)
+    train, test = train_test_split(
+        pooled, test_fraction=scale.test_samples / len(pooled), seed=split_rng
+    )
+    datasets = list(_partition_base(scenario, train, split_rng))
+    for spec, spec_rng in zip(
+        scenario.behaviors, spawn_rng(behavior_rng, len(scenario.behaviors))
+    ):
+        spec.handler.apply(datasets, spec, spec_rng)
+    if len(datasets) != layout.n_clients:
+        raise RuntimeError(
+            f"scenario {scenario.name!r} built {len(datasets)} clients but its "
+            f"layout predicts {layout.n_clients} — behavior apply()/n_added() disagree"
+        )
+
+    utility = _wrap(
+        datasets,
+        test,
+        model=model,
+        scale=scale,
+        image_size=scale.image_size,
+        n_classes=pooled.num_classes,
+        seed=utility_rng,
+        store=store,
+        task_key=task_key,
+        client_dropout=layout.dropout_vector(),
+    )
+    info = {
+        "scenario": scenario.name,
+        "n_clients": layout.n_clients,
+        "base_clients": layout.base_clients,
+        "adversaries": list(layout.adversaries),
+        "roles": {int(k): v for k, v in layout.roles.items()},
+    }
+    return utility, info

@@ -103,6 +103,20 @@ class TestPartitionDirichlet:
         parts = partition_dirichlet(blob_dataset, 5, alpha=0.5, seed=0)
         assert total_samples(parts) == len(blob_dataset)
 
+    def test_unsatisfiable_min_samples_raises_with_context(self, blob_dataset):
+        """50 failed retries must raise a ValueError naming alpha/n_clients,
+        not silently return an under-filled split."""
+        with pytest.raises(ValueError, match=r"alpha=0\.5.*n_clients=5"):
+            partition_dirichlet(
+                blob_dataset, 5, alpha=0.5, seed=0,
+                min_samples_per_client=len(blob_dataset),
+            )
+
+    def test_more_clients_than_samples_raises(self):
+        tiny = make_classification_blobs(4, n_features=3, n_classes=2, seed=0)
+        with pytest.raises(ValueError, match="n_clients=8"):
+            partition_dirichlet(tiny, 8, alpha=0.5, seed=0, min_samples_per_client=1)
+
     def test_every_client_nonempty(self, blob_dataset):
         parts = partition_dirichlet(blob_dataset, 5, alpha=0.3, seed=1)
         assert all(len(p) >= 1 for p in parts)
@@ -146,6 +160,77 @@ class TestPartitionByGroup:
         assert total_samples(parts) == len(dataset)
 
 
+class TestPartitionerContracts:
+    """Shared contracts: seed determinism and sample conservation."""
+
+    PARTITIONERS = {
+        "iid": lambda d, seed: partition_iid(d, 5, seed=seed),
+        "different-sizes": lambda d, seed: partition_different_sizes(d, 5, seed=seed),
+        "label-skew": lambda d, seed: partition_label_skew(d, 4, seed=seed),
+        "dirichlet": lambda d, seed: partition_dirichlet(d, 4, alpha=1.0, seed=seed),
+    }
+
+    @pytest.fixture
+    def marked_dataset(self):
+        dataset = make_classification_blobs(200, n_features=5, n_classes=4, seed=0)
+        dataset.features[:, 0] = np.arange(len(dataset))
+        return dataset
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_same_seed_same_split(self, marked_dataset, name):
+        split = self.PARTITIONERS[name]
+        first = split(marked_dataset, 123)
+        second = split(marked_dataset, 123)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.features[:, 0], b.features[:, 0])
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_different_seed_different_split(self, marked_dataset, name):
+        split = self.PARTITIONERS[name]
+        first = split(marked_dataset, 1)
+        second = split(marked_dataset, 2)
+        assert any(
+            not np.array_equal(a.features[:, 0], b.features[:, 0])
+            for a, b in zip(first, second)
+        )
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_no_sample_duplicated(self, marked_dataset, name):
+        parts = self.PARTITIONERS[name](marked_dataset, 7)
+        markers = np.concatenate([p.features[:, 0] for p in parts])
+        assert len(np.unique(markers)) == len(markers)
+
+    @pytest.mark.parametrize("name", ["iid", "different-sizes", "dirichlet"])
+    def test_no_sample_dropped(self, marked_dataset, name):
+        """Recipes that promise full coverage must not drop an index."""
+        parts = self.PARTITIONERS[name](marked_dataset, 7)
+        markers = np.concatenate([p.features[:, 0] for p in parts])
+        assert sorted(markers.tolist()) == list(range(len(marked_dataset)))
+
+    def test_by_group_conserves_and_is_deterministic(self):
+        dataset = make_femnist_like(180, n_writers=9, seed=0)
+        first = partition_by_group(dataset, 4, seed=5)
+        second = partition_by_group(dataset, 4, seed=5)
+        assert total_samples(first) == len(dataset)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.group_ids, b.group_ids)
+
+    def test_label_skew_dominant_pool_underfill_breaks_cleanly(self):
+        """When a dominant class runs out of samples the client fills up from
+        the other classes — sizes stay exact and nothing is duplicated."""
+        features = np.zeros((56, 3))
+        features[:, 0] = np.arange(56)
+        targets = np.concatenate([np.zeros(50), np.ones(2), np.full(2, 2), np.full(2, 3)])
+        from repro.datasets import Dataset
+
+        dataset = Dataset(features, targets.astype(int), num_classes=4)
+        parts = partition_label_skew(dataset, 4, dominant_fraction=0.8, seed=0)
+        per_client = len(dataset) // 4
+        assert [len(p) for p in parts] == [per_client] * 4
+        markers = np.concatenate([p.features[:, 0] for p in parts])
+        assert len(np.unique(markers)) == len(markers)
+
+
 class TestLabelNoise:
     def test_flip_fraction_respected(self, blob_dataset):
         noisy = flip_labels(blob_dataset, 0.3, seed=0)
@@ -176,6 +261,28 @@ class TestLabelNoise:
     def test_invalid_fraction_raises(self, blob_dataset):
         with pytest.raises(ValueError):
             flip_labels(blob_dataset, 1.5)
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.5, 1.0])
+    def test_vectorized_flip_matches_scalar_loop_seed_for_seed(
+        self, blob_dataset, fraction
+    ):
+        """The vectorized offset draw must consume the RNG stream exactly like
+        the original per-sample loop, so historical seeds keep their outputs."""
+
+        def reference(dataset, flip_fraction, seed):
+            rng = np.random.default_rng(seed)
+            targets = dataset.targets.astype(int).copy()
+            n_flip = int(round(flip_fraction * len(dataset)))
+            flip_indices = rng.choice(len(dataset), size=n_flip, replace=False)
+            n_classes = dataset.num_classes
+            for idx in flip_indices:
+                offset = int(rng.integers(1, n_classes))
+                targets[idx] = (targets[idx] + offset) % n_classes
+            return targets
+
+        for seed in (0, 7, 1234):
+            noisy = flip_labels(blob_dataset, fraction, seed=seed)
+            assert np.array_equal(noisy.targets, reference(blob_dataset, fraction, seed))
 
 
 class TestFeatureNoise:

@@ -1,0 +1,130 @@
+"""Tests for straggler/dropout support in the FL substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification_blobs, partition_iid
+from repro.fl import FLClient, FLConfig, FederatedTrainer
+from repro.models import LogisticRegressionModel
+from repro.utils.rng import fixed_rng
+
+
+@pytest.fixture
+def clients_data():
+    dataset = make_classification_blobs(120, n_features=4, n_classes=3, seed=0)
+    return partition_iid(dataset, 3, seed=0)
+
+
+def model_factory():
+    return LogisticRegressionModel(n_features=4, n_classes=3, learning_rate=0.5)
+
+
+class TestFLClientDropout:
+    def test_invalid_probability_rejected(self, clients_data):
+        with pytest.raises(ValueError, match="dropout_p"):
+            FLClient(0, clients_data[0], dropout_p=1.5)
+
+    def test_full_dropout_returns_global_parameters(self, clients_data):
+        client = FLClient(0, clients_data[0], dropout_p=1.0)
+        model = model_factory()
+        model.initialize(fixed_rng(0))
+        before = model.get_parameters().copy()
+        after = client.local_update(model, before, FLConfig(), seed=fixed_rng(1))
+        assert np.array_equal(after, before)
+        assert after is not before  # a copy, not an alias
+
+    def test_zero_dropout_trains(self, clients_data):
+        client = FLClient(0, clients_data[0], dropout_p=0.0)
+        model = model_factory()
+        model.initialize(fixed_rng(0))
+        before = model.get_parameters().copy()
+        after = client.local_update(model, before, FLConfig(), seed=fixed_rng(1))
+        assert not np.array_equal(after, before)
+
+    def test_drop_decision_is_seed_deterministic(self, clients_data):
+        client = FLClient(0, clients_data[0], dropout_p=0.5)
+        model = model_factory()
+        model.initialize(fixed_rng(0))
+        before = model.get_parameters().copy()
+        first = client.local_update(model, before, FLConfig(), seed=fixed_rng(7))
+        second = client.local_update(model, before, FLConfig(), seed=fixed_rng(7))
+        assert np.array_equal(first, second)
+
+    def test_reliable_clients_stream_is_untouched(self, clients_data):
+        """dropout_p=0 must not consume from the round seed, so adding
+        stragglers elsewhere never perturbs honest clients' training."""
+        plain = FLClient(0, clients_data[0])
+        explicit = FLClient(0, clients_data[0], dropout_p=0.0)
+        model = model_factory()
+        model.initialize(fixed_rng(0))
+        before = model.get_parameters().copy()
+        a = plain.local_update(model, before, FLConfig(), seed=fixed_rng(3))
+        b = explicit.local_update(model, before, FLConfig(), seed=fixed_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestFederatedTrainerDropout:
+    def test_dropout_length_mismatch_rejected(self, clients_data):
+        with pytest.raises(ValueError, match="one probability per client"):
+            FederatedTrainer(
+                clients_data, clients_data[0], model_factory, seed=0,
+                client_dropout=[0.5],
+            )
+
+    def test_dropout_out_of_range_rejected(self, clients_data):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FederatedTrainer(
+                clients_data, clients_data[0], model_factory, seed=0,
+                client_dropout=[0.0, 0.0, 1.5],
+            )
+
+    def test_dropout_rejected_for_non_parametric_models(self, clients_data):
+        """Pooled training has no rounds to drop out of — a straggler task on
+        a tree model must fail loudly, not silently model nothing."""
+        from repro.models import GradientBoostedTrees
+
+        with pytest.raises(ValueError, match="parametric"):
+            FederatedTrainer(
+                clients_data,
+                clients_data[0],
+                lambda: GradientBoostedTrees(n_classes=3, n_rounds=2),
+                seed=0,
+                client_dropout=[0.0, 0.0, 0.5],
+            )
+
+    def test_all_zero_dropout_normalises_to_none(self, clients_data):
+        trainer = FederatedTrainer(
+            clients_data, clients_data[0], model_factory, seed=0,
+            client_dropout=[0.0, 0.0, 0.0],
+        )
+        assert trainer.client_dropout is None
+
+    def test_full_straggler_changes_nothing_but_dilutes(self, clients_data):
+        """A p=1 straggler acts on the aggregate only through dilution: the
+        coalition still trains deterministically."""
+        reliable = FederatedTrainer(
+            clients_data, clients_data[0], model_factory, seed=0
+        )
+        straggling = FederatedTrainer(
+            clients_data, clients_data[0], model_factory, seed=0,
+            client_dropout=[0.0, 0.0, 1.0],
+        )
+        coalition = {0, 1, 2}
+        assert straggling.utility(coalition) == straggling.utility(coalition)
+        # The straggler's missing updates change the trained model (accuracy
+        # may coincide on a small test set, so compare parameters).
+        reliable_model, _ = reliable.train_coalition(coalition)
+        straggling_model, _ = straggling.train_coalition(coalition)
+        assert not np.array_equal(
+            reliable_model.get_parameters(), straggling_model.get_parameters()
+        )
+
+    def test_dropout_does_not_affect_unrelated_coalitions(self, clients_data):
+        reliable = FederatedTrainer(
+            clients_data, clients_data[0], model_factory, seed=0
+        )
+        straggling = FederatedTrainer(
+            clients_data, clients_data[0], model_factory, seed=0,
+            client_dropout=[0.0, 0.0, 1.0],
+        )
+        assert reliable.utility({0, 1}) == straggling.utility({0, 1})

@@ -1,0 +1,187 @@
+"""Tests for the client-behavior transforms of the scenario engine."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification_blobs, partition_iid
+from repro.scenarios import BehaviorSpec, BEHAVIOR_REGISTRY, available_behaviors
+from repro.utils.rng import fixed_rng
+
+
+@pytest.fixture
+def population():
+    dataset = make_classification_blobs(120, n_features=4, n_classes=4, seed=0)
+    return partition_iid(dataset, 4, seed=0)
+
+
+def apply(spec: BehaviorSpec, datasets, seed=0):
+    datasets = list(datasets)
+    BEHAVIOR_REGISTRY[spec.kind].apply(datasets, spec, fixed_rng(seed))
+    return datasets
+
+
+class TestBehaviorSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown behavior kind"):
+            BehaviorSpec(kind="telepath", clients=(0,))
+
+    def test_needs_targets(self):
+        with pytest.raises(ValueError, match="at least one target"):
+            BehaviorSpec(kind="free_rider", clients=())
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            BehaviorSpec(kind="free_rider", clients=(1, 1))
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            BehaviorSpec(kind="label_flipper", clients=(0,), params={"severity": 2})
+
+    def test_params_normalised_with_defaults(self):
+        spec = BehaviorSpec(kind="label_flipper", clients=(0,))
+        assert spec.params == {"fraction": 1.0}
+        explicit = BehaviorSpec(
+            kind="label_flipper", clients=(0,), params={"fraction": 1.0}
+        )
+        assert spec.identity_payload() == explicit.identity_payload()
+
+    def test_params_coerced_to_canonical_types(self):
+        """`"fraction": 1` (int) and `"fraction": 1.0` must fingerprint the
+        same — canonical JSON renders 1 and 1.0 apart."""
+        as_int = BehaviorSpec(kind="label_flipper", clients=(0,), params={"fraction": 1})
+        as_float = BehaviorSpec(
+            kind="label_flipper", clients=(0,), params={"fraction": 1.0}
+        )
+        assert as_int.identity_payload() == as_float.identity_payload()
+        assert isinstance(as_int.params["fraction"], float)
+
+    def test_fractional_value_for_integer_param_rejected(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            BehaviorSpec(kind="duplicator", clients=(1,), params={"source": 2.5})
+        with pytest.raises(ValueError, match="must be an integer"):
+            BehaviorSpec(kind="sybil", clients=(0,), params={"n_clones": 1.5})
+
+    def test_round_trip(self):
+        spec = BehaviorSpec(
+            kind="straggler", clients=(1, 2), params={"dropout": 0.3}, adversarial=False
+        )
+        assert BehaviorSpec.from_dict(spec.to_dict()) == spec
+
+    def test_adversarial_defaults_and_override(self):
+        assert BehaviorSpec(kind="free_rider", clients=(0,)).is_adversarial
+        assert not BehaviorSpec(kind="low_quality", clients=(0,)).is_adversarial
+        assert BehaviorSpec(
+            kind="low_quality", clients=(0,), adversarial=True
+        ).is_adversarial
+
+    def test_registry_lists_all_kinds(self):
+        assert available_behaviors() == sorted(
+            [
+                "free_rider",
+                "label_flipper",
+                "feature_noiser",
+                "duplicator",
+                "sybil",
+                "low_quality",
+                "straggler",
+            ]
+        )
+
+
+class TestDatasetTransforms:
+    def test_free_rider_empties_targets_only(self, population):
+        out = apply(BehaviorSpec(kind="free_rider", clients=(3,)), population)
+        assert len(out[3]) == 0
+        assert all(len(out[i]) == len(population[i]) for i in range(3))
+
+    def test_label_flipper_flips_requested_fraction(self, population):
+        out = apply(
+            BehaviorSpec(kind="label_flipper", clients=(1,), params={"fraction": 1.0}),
+            population,
+        )
+        assert np.all(out[1].targets != population[1].targets)
+        assert np.array_equal(out[0].targets, population[0].targets)
+
+    def test_feature_noiser_perturbs_features(self, population):
+        out = apply(
+            BehaviorSpec(kind="feature_noiser", clients=(2,), params={"scale": 1.0}),
+            population,
+        )
+        assert not np.array_equal(out[2].features, population[2].features)
+        assert np.array_equal(out[2].targets, population[2].targets)
+
+    def test_duplicator_copies_source(self, population):
+        out = apply(
+            BehaviorSpec(kind="duplicator", clients=(3,), params={"source": 0}),
+            population,
+        )
+        assert np.array_equal(out[3].features, out[0].features)
+
+    def test_duplicator_source_cannot_be_target(self, population):
+        spec = BehaviorSpec(kind="duplicator", clients=(0, 3), params={"source": 0})
+        with pytest.raises(ValueError, match="own targets"):
+            apply(spec, population)
+
+    def test_sybil_appends_clones_in_order(self, population):
+        out = apply(
+            BehaviorSpec(kind="sybil", clients=(1,), params={"n_clones": 2}), population
+        )
+        assert len(out) == 6
+        assert np.array_equal(out[4].features, out[1].features)
+        assert np.array_equal(out[5].features, out[1].features)
+
+    def test_low_quality_subsamples_without_replacement(self, population):
+        out = apply(
+            BehaviorSpec(kind="low_quality", clients=(0,), params={"fraction": 0.25}),
+            population,
+        )
+        assert len(out[0]) == round(0.25 * len(population[0]))
+        # Every surviving sample exists in the original shard.
+        original = {tuple(row) for row in population[0].features}
+        assert all(tuple(row) in original for row in out[0].features)
+
+    def test_low_quality_skips_emptied_clients(self, population):
+        """Composable after free_rider: an empty shard stays empty instead of
+        crashing inside numpy's choice()."""
+        emptied = apply(BehaviorSpec(kind="free_rider", clients=(0,)), population)
+        out = apply(BehaviorSpec(kind="low_quality", clients=(0,)), emptied)
+        assert len(out[0]) == 0
+
+    def test_straggler_is_a_dataset_noop(self, population):
+        out = apply(
+            BehaviorSpec(kind="straggler", clients=(3,), params={"dropout": 0.9}),
+            population,
+        )
+        assert np.array_equal(out[3].features, population[3].features)
+
+    def test_out_of_range_target_rejected(self, population):
+        with pytest.raises(ValueError, match="unknown clients"):
+            apply(BehaviorSpec(kind="free_rider", clients=(9,)), population)
+
+    def test_transforms_are_seed_deterministic(self, population):
+        spec = BehaviorSpec(
+            kind="label_flipper", clients=(0, 2), params={"fraction": 0.5}
+        )
+        first = apply(spec, population, seed=42)
+        second = apply(spec, population, seed=42)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.targets, b.targets)
+
+
+class TestParamValidation:
+    @pytest.mark.parametrize(
+        "kind, params",
+        [
+            ("label_flipper", {"fraction": 1.5}),
+            ("feature_noiser", {"scale": -1.0}),
+            ("duplicator", {"source": -1}),
+            ("sybil", {"n_clones": 0}),
+            ("low_quality", {"fraction": 0.0}),
+            ("low_quality", {"fraction": 1.0}),
+            ("straggler", {"dropout": 0.0}),
+            ("straggler", {"dropout": 1.5}),
+        ],
+    )
+    def test_bad_params_rejected(self, kind, params):
+        with pytest.raises(ValueError):
+            BehaviorSpec(kind=kind, clients=(0,), params=params)

@@ -1,0 +1,167 @@
+"""Tests for the valuation-robustness harness and its metrics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.pipeline import load_manifest
+from repro.experiments.tables import robustness_table
+from repro.scenarios import (
+    BehaviorSpec,
+    Scenario,
+    adversaries_strictly_last,
+    adversary_ranks,
+    build_robustness_plan,
+    precision_at_k,
+    run_robustness,
+)
+
+ALGOS = ("MC-Shapley", "IPSS")
+
+
+class TestMetrics:
+    def test_adversary_ranks_from_bottom(self):
+        values = np.array([0.9, 0.1, 0.5, 0.3])
+        assert adversary_ranks(values, [1]) == [1]
+        assert adversary_ranks(values, [3, 1]) == [1, 2]
+        assert adversary_ranks(values, [0]) == [4]
+
+    def test_precision_at_k_defaults_to_adversary_count(self):
+        values = np.array([0.9, 0.1, 0.5, 0.3])
+        assert precision_at_k(values, [1, 3]) == 1.0
+        assert precision_at_k(values, [1, 0]) == 0.5
+        assert precision_at_k(values, []) == 1.0
+        # Explicit k: plain precision, |bottom-k ∩ adversaries| / k.
+        assert precision_at_k(values, [0], k=4) == 0.25
+        assert precision_at_k(values, [1], k=1) == 1.0
+
+    def test_precision_at_k_bounds(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.ones(3), [0], k=4)
+
+    def test_strictly_last_requires_strict_separation(self):
+        assert adversaries_strictly_last(np.array([0.5, 0.4, 0.1]), [2])
+        assert not adversaries_strictly_last(np.array([0.5, 0.1, 0.1]), [2])
+        assert adversaries_strictly_last(np.array([0.5, 0.4]), [])
+
+
+class TestPlanConstruction:
+    def test_clean_counterparts_deduplicate_by_base(self):
+        plan, pairs = build_robustness_plan(
+            ["free-rider", "label-flippers"], algorithms=ALGOS
+        )
+        # Both scenarios share the mnist-like/iid/n=4 base, so the grid is
+        # one clean task + two adversarial ones.
+        assert len(plan.tasks) == 3
+        assert len(pairs) == 2
+
+    def test_duplicate_scenario_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate scenario names"):
+            build_robustness_plan(["free-rider", "free-rider"])
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError, match="at least one scenario"):
+            build_robustness_plan([])
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """One shared cold robustness campaign (module-scoped: FL training)."""
+    root = tmp_path_factory.mktemp("robustness")
+    report = run_robustness(
+        ["free-rider", "label-flippers", "stragglers"],
+        run_dir=str(root / "run"),
+        algorithms=ALGOS,
+        scale="tiny",
+        seed=0,
+        store=str(root / "store.sqlite"),
+    )
+    return root, report
+
+
+class TestRunRobustness:
+    def test_exact_shapley_ranks_adversaries_strictly_last(self, campaign):
+        """The acceptance bar: free riders and heavy label flippers rank
+        strictly last under exact Shapley."""
+        _, report = campaign
+        for scenario in ("free-rider", "label-flippers"):
+            row = report.row(scenario, "MC-Shapley")
+            assert row["strictly_last"], (scenario, row)
+            assert row["precision_at_k"] == 1.0
+            assert row["adversary_ranks"] == list(
+                range(1, len(row["adversaries"]) + 1)
+            )
+
+    def test_rows_cover_grid_and_carry_values(self, campaign):
+        _, report = campaign
+        assert len(report.rows) == 3 * len(ALGOS)
+        for row in report.rows:
+            assert row["status"] == "done"
+            assert len(row["values"]) == row["n"]
+            assert row["rank_corr_clean"] is not None
+
+    def test_flipper_disturbs_clean_ranking_more_than_straggler(self, campaign):
+        _, report = campaign
+        flip = report.row("label-flippers", "MC-Shapley")["rank_corr_clean"]
+        strag = report.row("stragglers", "MC-Shapley")["rank_corr_clean"]
+        assert flip < strag
+
+    def test_warm_rerun_is_training_free(self, campaign):
+        root, cold = campaign
+        assert cold.fl_trainings > 0
+        warm = run_robustness(
+            ["free-rider", "label-flippers", "stragglers"],
+            run_dir=str(root / "rerun"),
+            algorithms=ALGOS,
+            scale="tiny",
+            seed=0,
+            store=str(root / "store.sqlite"),
+        )
+        assert warm.fl_trainings == 0
+        assert warm.store_hits > 0
+        for cold_row, warm_row in zip(cold.rows, warm.rows):
+            assert cold_row["values"] == warm_row["values"]
+
+    def test_resume_serves_finished_cells_from_manifest(self, campaign):
+        root, cold = campaign
+        resumed = run_robustness(
+            ["free-rider", "label-flippers", "stragglers"],
+            run_dir=str(root / "run"),
+            algorithms=ALGOS,
+            scale="tiny",
+            seed=0,
+            store=str(root / "store.sqlite"),
+            resume=True,
+        )
+        assert resumed.cells_run == 0
+        assert resumed.cells_resumed == cold.cells_run
+        assert resumed.fl_trainings == 0
+
+    def test_manifest_records_scenario_labels(self, campaign):
+        root, _ = campaign
+        manifest = load_manifest(str(root / "run"))
+        labels = {cell["task"] for cell in manifest["cells"].values()}
+        assert any("free-rider" in label for label in labels)
+        assert any("@clean" in label for label in labels)
+
+    def test_robustness_table_renders(self, campaign):
+        _, report = campaign
+        text = robustness_table(report.rows)
+        assert "free-rider" in text
+        assert "strictly_last" in text
+
+    def test_inline_scenario_definitions_work(self, tmp_path):
+        inline = Scenario(
+            name="inline-rider",
+            n_clients=3,
+            behaviors=(BehaviorSpec(kind="free_rider", clients=(2,)),),
+        )
+        report = run_robustness(
+            [inline],
+            run_dir=str(tmp_path / "run"),
+            algorithms=("MC-Shapley",),
+            scale="tiny",
+            seed=0,
+        )
+        row = report.row("inline-rider", "MC-Shapley")
+        assert row["adversaries"] == [2]
+        assert row["strictly_last"]

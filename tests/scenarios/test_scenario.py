@@ -1,0 +1,216 @@
+"""Tests for Scenario specs, layouts, registry, fingerprints and building."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    BehaviorSpec,
+    Scenario,
+    available_scenarios,
+    build_scenario_task,
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+)
+
+TINY = ExperimentScale.tiny()
+
+
+def scenario_with(behaviors, n_clients=4, **kwargs):
+    return Scenario(name="test", n_clients=n_clients, behaviors=behaviors, **kwargs)
+
+
+class TestScenarioValidation:
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario dataset"):
+            scenario_with((), dataset="imagenet")
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario partition"):
+            scenario_with((), partition="quantum")
+
+    def test_by_group_requires_grouped_dataset(self):
+        with pytest.raises(ValueError, match="grouped dataset"):
+            scenario_with((), partition="by-group", dataset="mnist-like")
+
+    def test_partition_params_checked(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            scenario_with((), partition="iid", partition_params={"alpha": 0.5})
+
+    def test_behavior_targets_checked_against_population(self):
+        with pytest.raises(ValueError, match="only 4 clients"):
+            scenario_with((BehaviorSpec(kind="free_rider", clients=(7,)),))
+
+    def test_later_behaviors_may_target_sybil_clones(self):
+        scenario = scenario_with(
+            (
+                BehaviorSpec(kind="sybil", clients=(0,), params={"n_clones": 2}),
+                BehaviorSpec(kind="free_rider", clients=(5,)),
+            )
+        )
+        assert scenario.layout().n_clients == 6
+
+    def test_duplicator_source_checked(self):
+        with pytest.raises(ValueError, match="source client 9"):
+            scenario_with(
+                (BehaviorSpec(kind="duplicator", clients=(1,), params={"source": 9}),)
+            )
+
+    def test_duplicator_source_in_targets_rejected_at_spec_time(self):
+        """Must fail at Scenario construction, not mid-pipeline at build time."""
+        with pytest.raises(ValueError, match="own targets"):
+            scenario_with(
+                (BehaviorSpec(kind="duplicator", clients=(0, 3), params={"source": 0}),)
+            )
+
+    def test_behavior_dicts_are_coerced(self):
+        scenario = scenario_with(({"kind": "free_rider", "clients": [3]},))
+        assert scenario.behaviors[0] == BehaviorSpec(kind="free_rider", clients=(3,))
+
+
+class TestLayout:
+    def test_adversaries_and_roles(self):
+        scenario = scenario_with(
+            (
+                BehaviorSpec(kind="free_rider", clients=(3,)),
+                BehaviorSpec(kind="low_quality", clients=(1,)),
+                BehaviorSpec(kind="straggler", clients=(2,), params={"dropout": 0.4}),
+            )
+        )
+        layout = scenario.layout()
+        assert layout.n_clients == 4
+        assert layout.adversaries == (2, 3)  # low_quality is honest by default
+        assert layout.roles == {1: "low_quality", 2: "straggler", 3: "free_rider"}
+        assert layout.dropout == {2: 0.4}
+        assert layout.dropout_vector() == [0.0, 0.0, 0.4, 0.0]
+
+    def test_later_benign_behavior_cannot_launder_adversary_flag(self):
+        """A low_quality pass over an already-poisoned client must not clear
+        its adversary flag — the metrics would score against an empty cast."""
+        scenario = scenario_with(
+            (
+                BehaviorSpec(kind="label_flipper", clients=(3,), params={"fraction": 1.0}),
+                BehaviorSpec(kind="low_quality", clients=(3,)),
+            )
+        )
+        assert scenario.layout().adversaries == (3,)
+
+    def test_sybil_layout_counts_clones(self):
+        scenario = scenario_with(
+            (BehaviorSpec(kind="sybil", clients=(0, 1), params={"n_clones": 2}),)
+        )
+        layout = scenario.layout()
+        assert layout.n_clients == 8
+        assert set(layout.adversaries) == {0, 1, 4, 5, 6, 7}
+
+    def test_clean_strips_behaviors_but_keeps_base(self):
+        scenario = get_scenario("free-rider")
+        clean = scenario.clean()
+        assert clean.behaviors == ()
+        assert clean.n_clients == scenario.n_clients
+        assert clean.layout().adversaries == ()
+
+
+class TestIdentityAndRegistry:
+    def test_round_trip(self):
+        scenario = scenario_with(
+            (BehaviorSpec(kind="label_flipper", clients=(2,), params={"fraction": 0.5}),),
+            partition="dirichlet",
+            partition_params={"alpha": 0.3},
+            description="demo",
+        )
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_fingerprint_ignores_name_and_description(self):
+        a = scenario_with((BehaviorSpec(kind="free_rider", clients=(3,)),))
+        b = Scenario(
+            name="other",
+            n_clients=4,
+            behaviors=(BehaviorSpec(kind="free_rider", clients=(3,)),),
+            description="completely different words",
+        )
+        assert a.fingerprint("mlp", TINY, 0) == b.fingerprint("mlp", TINY, 0)
+
+    def test_adversarial_flag_does_not_change_fingerprint(self):
+        """`adversarial` only affects scoring, never training — toggling it
+        must not invalidate the persistent store."""
+        default = scenario_with((BehaviorSpec(kind="low_quality", clients=(3,)),))
+        flagged = scenario_with(
+            (BehaviorSpec(kind="low_quality", clients=(3,), adversarial=True),)
+        )
+        assert default.fingerprint("mlp", TINY, 0) == flagged.fingerprint("mlp", TINY, 0)
+        assert default.layout().adversaries != flagged.layout().adversaries
+
+    def test_fingerprint_covers_behaviors_model_scale_seed(self):
+        base = scenario_with(())
+        flipped = scenario_with((BehaviorSpec(kind="free_rider", clients=(3,)),))
+        keys = {
+            base.fingerprint("mlp", TINY, 0),
+            flipped.fingerprint("mlp", TINY, 0),
+            base.fingerprint("logistic", TINY, 0),
+            base.fingerprint("mlp", ExperimentScale.small(), 0),
+            base.fingerprint("mlp", TINY, 1),
+        }
+        assert len(keys) == 5
+
+    def test_registry_lookup_and_unknown_error(self):
+        assert "free-rider" in available_scenarios()
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_register_refuses_silent_overwrite(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(get_scenario("free-rider"))
+
+    def test_resolve_accepts_name_object_and_dict(self):
+        by_name = resolve_scenario("free-rider")
+        assert resolve_scenario(by_name) is by_name
+        assert resolve_scenario(by_name.to_dict()) == by_name
+        with pytest.raises(TypeError):
+            resolve_scenario(42)
+
+    def test_builtins_are_valid_and_exactly_registered(self):
+        assert sorted(s.name for s in BUILTIN_SCENARIOS) == available_scenarios()
+        for scenario in BUILTIN_SCENARIOS:
+            layout = scenario.layout()
+            assert layout.n_clients <= 8  # exact Shapley must stay tractable
+
+
+class TestBuildScenarioTask:
+    def test_free_rider_population_and_info(self):
+        utility, info = build_scenario_task("free-rider", scale=TINY, seed=0)
+        with utility:
+            assert utility.n_clients == 4
+            assert info["adversaries"] == [3]
+            assert info["base_clients"] == 4
+            assert len(utility.trainer.client_datasets[3]) == 0
+
+    def test_sybil_population_appends_clones(self):
+        utility, info = build_scenario_task("sybil-attack", scale=TINY, seed=0)
+        with utility:
+            assert utility.n_clients == 6
+            datasets = utility.trainer.client_datasets
+            assert np.array_equal(datasets[4].features, datasets[0].features)
+            assert np.array_equal(datasets[5].features, datasets[0].features)
+
+    def test_straggler_dropout_reaches_trainer(self):
+        utility, _ = build_scenario_task("stragglers", scale=TINY, seed=0)
+        with utility:
+            assert utility.trainer.client_dropout == [0.0, 0.0, 0.0, 0.75]
+
+    def test_build_is_seed_deterministic(self):
+        first, _ = build_scenario_task("label-flippers", scale=TINY, seed=3)
+        second, _ = build_scenario_task("label-flippers", scale=TINY, seed=3)
+        with first, second:
+            coalition = frozenset({0, 1, 2})
+            assert first(coalition) == second(coalition)
+
+    def test_utility_unchanged_by_free_rider_membership(self):
+        """U(S) == U(S ∪ {free rider}) exactly — the null-player axiom the
+        robustness metrics rely on."""
+        utility, info = build_scenario_task("free-rider", scale=TINY, seed=0)
+        with utility:
+            rider = info["adversaries"][0]
+            assert utility({0, 1}) == utility({0, 1, rider})

@@ -1,0 +1,92 @@
+"""Scenario tasks through the declarative spec / pipeline / store layers."""
+
+import pytest
+
+from repro.experiments.pipeline import ExperimentPlan, run_plan
+from repro.experiments.specs import TaskSpec, available_tasks
+from repro.scenarios import BehaviorSpec, Scenario, get_scenario
+from repro.store import SqliteUtilityStore
+
+
+class TestScenarioTaskSpec:
+    def test_kind_is_registered(self):
+        assert "scenario" in available_tasks()
+
+    def test_requires_a_scenario(self):
+        with pytest.raises(ValueError, match="scenario tasks need"):
+            TaskSpec(kind="scenario")
+
+    def test_scenario_only_valid_for_scenario_kind(self):
+        with pytest.raises(ValueError, match="only valid for scenario tasks"):
+            TaskSpec(kind="adult", scenario="free-rider")
+
+    def test_name_and_inline_dict_agree(self):
+        by_name = TaskSpec(kind="scenario", scenario="free-rider", scale="tiny")
+        inline = TaskSpec(
+            kind="scenario",
+            scenario=get_scenario("free-rider").to_dict(),
+            scale="tiny",
+        )
+        assert by_name == inline
+        assert by_name.fingerprint() == inline.fingerprint()
+
+    def test_n_clients_pinned_to_layout_total(self):
+        spec = TaskSpec(kind="scenario", scenario="sybil-attack", scale="tiny")
+        assert spec.n_clients == 6  # 4 base + 2 clones
+
+    def test_label_names_the_scenario(self):
+        spec = TaskSpec(kind="scenario", scenario="free-rider", model="logistic")
+        assert spec.label() == "scenario/free-rider/logistic/n=4"
+
+    def test_round_trip_is_self_contained(self):
+        """to_dict embeds the full definition: a manifest written today must
+        rebuild next month without any registry state."""
+        spec = TaskSpec(kind="scenario", scenario="free-rider", scale="tiny")
+        payload = spec.to_dict()
+        assert payload["scenario"]["behaviors"]  # full definition, not a name
+        rebuilt = TaskSpec.from_dict(payload)
+        assert rebuilt == spec
+        assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_matches_builder_namespace(self, tmp_path):
+        spec = TaskSpec(
+            kind="scenario", scenario="free-rider", model="logistic", scale="tiny"
+        )
+        with SqliteUtilityStore(str(tmp_path / "store.sqlite")) as store:
+            with spec.build(store) as utility:
+                utility({0, 1})
+                summary = store.summary()
+        assert list(summary["namespaces"]) == [spec.fingerprint()]
+
+    def test_behavior_difference_changes_fingerprint(self):
+        light = Scenario(
+            name="x",
+            n_clients=4,
+            behaviors=(
+                BehaviorSpec(kind="label_flipper", clients=(3,), params={"fraction": 0.1}),
+            ),
+        )
+        heavy = Scenario(
+            name="x",
+            n_clients=4,
+            behaviors=(
+                BehaviorSpec(kind="label_flipper", clients=(3,), params={"fraction": 0.9}),
+            ),
+        )
+        a = TaskSpec(kind="scenario", scenario=light.to_dict(), scale="tiny")
+        b = TaskSpec(kind="scenario", scenario=heavy.to_dict(), scale="tiny")
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestScenarioThroughPipeline:
+    def test_plan_with_scenario_task_runs_and_reruns_free(self, tmp_path):
+        spec = TaskSpec(
+            kind="scenario", scenario="free-rider", model="logistic", scale="tiny"
+        )
+        plan = ExperimentPlan(tasks=(spec,), algorithms=("MC-Shapley",))
+        store = str(tmp_path / "store.sqlite")
+        first = run_plan(plan, str(tmp_path / "run1"), store=store)
+        assert first.cells_run == 1
+        assert first.fl_trainings > 0
+        second = run_plan(plan, str(tmp_path / "run2"), store=store)
+        assert second.fl_trainings == 0

@@ -127,6 +127,117 @@ class TestRunResume:
         assert code == 2
 
 
+class TestScenarioCommands:
+    def test_scenarios_list(self, capsys):
+        code, out = run_cli(capsys, "scenarios", "list")
+        assert code == 0
+        assert "free-rider" in out and "sybil-attack" in out
+
+    def test_scenarios_list_json(self, capsys):
+        code, out = run_cli(capsys, "scenarios", "list", "--json")
+        payload = json.loads(out)
+        assert code == 0
+        assert "label-flippers" in payload
+
+    def test_scenarios_show(self, capsys):
+        code, out = run_cli(capsys, "scenarios", "show", "mixed-adversaries")
+        assert code == 0
+        assert "adversaries" in out and "free_rider" in out
+
+    def test_scenarios_show_unknown_is_clean_error(self, capsys):
+        code, _ = run_cli(capsys, "scenarios", "show", "nope")
+        assert code == 2
+
+    def test_run_scenario_emits_robustness_report(self, tmp_path, capsys):
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run"),
+            "--store", str(tmp_path / "store.sqlite"),
+            "--scenario", "free-rider",
+            "--algorithms", "MC-Shapley",
+            "--scale", "tiny", "--json",
+        )
+        assert code == 0
+        report = json.loads(out)
+        row = report["rows"][0]
+        assert row["scenario"] == "free-rider"
+        assert row["strictly_last"] is True
+        assert row["precision_at_k"] == 1.0
+        assert report["fl_trainings"] > 0
+
+    def test_run_scenario_warm_rerun_trains_nothing(self, tmp_path, capsys):
+        store = str(tmp_path / "store.sqlite")
+        args = [
+            "--store", store, "--scenario", "free-rider",
+            "--algorithms", "MC-Shapley,IPSS", "--scale", "tiny", "--json",
+        ]
+        run_cli(capsys, "run", "--run-dir", str(tmp_path / "run1"), *args)
+        code, out = run_cli(capsys, "run", "--run-dir", str(tmp_path / "run2"), *args)
+        assert code == 0
+        assert json.loads(out)["fl_trainings"] == 0
+
+    def test_run_scenario_rejects_config(self, tmp_path, capsys):
+        code, _ = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run"),
+            "--scenario", "free-rider", "--config", "plan.json",
+        )
+        assert code == 2
+
+    def test_run_scenario_rejects_task_shaping_flags(self, tmp_path, capsys):
+        """Flags the scenario definition overrides must error, not silently
+        do nothing."""
+        code, _ = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run"),
+            "--scenario", "free-rider", "--task", "adult", "--n-clients", "8",
+        )
+        assert code == 2
+
+    def test_run_scenario_table_output(self, tmp_path, capsys):
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run"),
+            "--scenario", "free-rider",
+            "--algorithms", "MC-Shapley", "--scale", "tiny",
+        )
+        assert code == 0
+        assert "strictly_last" in out and "free-rider" in out
+
+    def test_config_plan_with_inline_scenario_task(self, tmp_path, capsys):
+        config = tmp_path / "plan.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "algorithms": ["MC-Shapley"],
+                    "tasks": [
+                        {
+                            "kind": "scenario",
+                            "model": "logistic",
+                            "scale": "tiny",
+                            "scenario": {
+                                "name": "my-rider",
+                                "n_clients": 3,
+                                "behaviors": [
+                                    {"kind": "free_rider", "clients": [2]}
+                                ],
+                            },
+                        }
+                    ],
+                }
+            )
+        )
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run"),
+            "--config", str(config), "--json",
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["cells_run"] == 1
+        assert report["rows"][0]["task"] == "scenario/my-rider/logistic/n=3"
+
+
 class TestStoreCommands:
     def test_stats_and_gc(self, tmp_path, capsys):
         store = str(tmp_path / "store.sqlite")
