@@ -26,6 +26,7 @@ from repro.parallel import BatchUtilityOracle
 from repro.store import SqliteUtilityStore
 
 from conftest import monotone_game, run_once, save_report
+from harness import BenchResult, save_bench_json
 
 N_CLIENTS = 8
 SEED = 7
@@ -98,6 +99,28 @@ def test_store_rerun_is_training_free(benchmark, results_dir):
             columns=["run", "algorithm", "time_s", "trainings", "store_hits"],
             title=f"Persistent-store rerun — {N_CLIENTS} clients, modeled τ = {TAU}s",
         ),
+    )
+    save_bench_json(
+        results_dir,
+        "store_rerun",
+        [
+            BenchResult(
+                name=f"{row['run']}-{row['algorithm']}",
+                config={
+                    "run": row["run"],
+                    "algorithm": row["algorithm"],
+                    "n_clients": N_CLIENTS,
+                    "tau": TAU,
+                },
+                wall_time_s=row["time_s"],
+                baseline=f"cold-{row['algorithm']}" if row["run"] == "warm" else None,
+                metrics={
+                    "trainings": row["trainings"],
+                    "store_hits": row["store_hits"],
+                },
+            )
+            for row in rows
+        ],
     )
     cold_trainings = sum(r["trainings"] for r in rows if r["run"] == "cold")
     warm_trainings = sum(r["trainings"] for r in rows if r["run"] == "warm")

@@ -1,0 +1,91 @@
+"""Shared machine-readable benchmark results (the BENCH format).
+
+Every benchmark in this suite renders a human-readable table into
+``benchmarks/results/<name>.txt`` (see :func:`conftest.save_report`); this
+module adds the machine-readable counterpart so the performance trajectory
+can be tracked across PRs: ``benchmarks/results/<name>.json`` files in a
+stable schema.
+
+BENCH format (version 1)::
+
+    {
+      "bench_format": 1,
+      "name": "<benchmark name>",
+      "created_at": <unix timestamp>,
+      "results": [
+        {
+          "name": "<row name>",
+          "config": {...},          # what was measured (task, backend, ...)
+          "wall_time_s": <float>,
+          "speedup": <float|null>,  # vs the named baseline row, if any
+          "baseline": "<row name|null>",
+          "metrics": {...}          # free-form extras (evaluations, ...)
+        },
+        ...
+      ]
+    }
+
+Rows are :class:`BenchResult` instances; :func:`save_bench_json` writes the
+file atomically so an interrupted benchmark run never leaves a truncated
+JSON behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+BENCH_FORMAT_VERSION = 1
+
+
+@dataclass
+class BenchResult:
+    """One measured configuration of a benchmark."""
+
+    name: str
+    config: dict
+    wall_time_s: float
+    speedup: Optional[float] = None
+    baseline: Optional[str] = None
+    metrics: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["wall_time_s"] = float(self.wall_time_s)
+        if self.speedup is not None:
+            payload["speedup"] = float(self.speedup)
+        return payload
+
+
+def save_bench_json(
+    results_dir: Path, name: str, results: Sequence[BenchResult]
+) -> Path:
+    """Write ``<results_dir>/<name>.json`` in BENCH format, atomically."""
+    path = Path(results_dir) / f"{name}.json"
+    payload = {
+        "bench_format": BENCH_FORMAT_VERSION,
+        "name": name,
+        "created_at": time.time(),
+        "results": [result.to_dict() for result in results],
+    }
+    tmp_path = str(path) + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def load_bench_json(path) -> list[BenchResult]:
+    """Read a BENCH-format file back into :class:`BenchResult` rows."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("bench_format") != BENCH_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported bench_format in {path}: {payload.get('bench_format')!r}"
+        )
+    return [BenchResult(**row) for row in payload["results"]]

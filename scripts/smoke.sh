@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local mirror of the CI smoke gate: full test suite + benchmark collection
 # + the persistent-store CLI smoke (see scripts/store_smoke.sh) + the
-# scenario-robustness CLI smoke (see scripts/scenario_smoke.sh).
+# scenario-robustness CLI smoke (see scripts/scenario_smoke.sh) + the
+# vectorized-backend parity smoke (see scripts/vectorized_smoke.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,3 +10,4 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest benchmarks/ --collect-only -q -o python_files='bench_*.py'
 bash scripts/store_smoke.sh
 bash scripts/scenario_smoke.sh
+bash scripts/vectorized_smoke.sh

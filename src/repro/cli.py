@@ -45,6 +45,7 @@ A JSON config (``repro run --config plan.json``) carries a full plan::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -62,6 +63,7 @@ from repro.experiments.pipeline import (
 from repro.experiments.reporting import format_table
 from repro.experiments.specs import SYNTHETIC_SETUPS, TaskSpec, available_tasks
 from repro.experiments.tables import robustness_table
+from repro.parallel.executors import EXECUTOR_BACKENDS
 from repro.scenarios import available_scenarios, get_scenario, run_robustness
 from repro.store import STORE_BACKENDS, open_store
 from repro.version import __version__
@@ -102,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
         f"known: {','.join(available_algorithms())})",
     )
     run.add_argument("--n-workers", type=int, default=1)
+    run.add_argument(
+        "--backend",
+        choices=EXECUTOR_BACKENDS,
+        help="coalition-evaluation backend (default: serial, auto-threads "
+        "when --n-workers > 1); 'vectorized' trains whole coalition batches "
+        "in lockstep on stacked parameters — see docs/performance.md",
+    )
     run.add_argument("--resume", action="store_true", help="continue an existing run dir")
     _add_store_arguments(run)
     _add_output_arguments(run)
@@ -171,7 +180,12 @@ def _open_store_arg(args) -> Optional[object]:
 def _plan_from_args(args) -> ExperimentPlan:
     if args.config:
         with open(args.config, "r", encoding="utf-8") as handle:
-            return ExperimentPlan.from_dict(json.load(handle))
+            plan = ExperimentPlan.from_dict(json.load(handle))
+        if args.backend:
+            # Executor choice is machine-local, not plan content: a CLI
+            # override neither changes values nor the plan fingerprint.
+            plan = dataclasses.replace(plan, backend=args.backend)
+        return plan
     task = args.task or "adult"
     spec = TaskSpec(
         kind=task,
@@ -185,6 +199,7 @@ def _plan_from_args(args) -> ExperimentPlan:
         tasks=(spec,),
         algorithms=_algorithms_from_args(args) or DEFAULT_ALGORITHMS,
         n_workers=args.n_workers,
+        backend=args.backend,
     )
 
 
@@ -278,6 +293,7 @@ def _cmd_run_scenarios(args) -> int:
             seed=args.seed,
             store=store,
             n_workers=args.n_workers,
+            backend=args.backend,
             resume=args.resume,
             log=None if args.json else lambda message: print(message, file=sys.stderr),
         )

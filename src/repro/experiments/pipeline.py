@@ -52,6 +52,7 @@ from repro.core import (
 )
 from repro.experiments.config import sampling_rounds_for
 from repro.experiments.specs import TaskSpec
+from repro.parallel.executors import EXECUTOR_BACKENDS
 from repro.store import StoreLike, fingerprint, resolve_store
 
 MANIFEST_VERSION = 1
@@ -111,13 +112,17 @@ class ExperimentPlan:
 
     ``algorithms`` are registry names (:func:`available_algorithms`); every
     algorithm runs on every task, and each (task, algorithm) pair is one
-    resumable cell.
+    resumable cell.  ``backend`` picks the coalition-evaluation executor
+    (:data:`~repro.parallel.executors.EXECUTOR_BACKENDS`; ``None`` keeps the
+    oracle's automatic serial/thread choice) and is recorded in the manifest
+    alongside ``n_workers``.
     """
 
     tasks: tuple
     algorithms: tuple = DEFAULT_ALGORITHMS
     name: str = "run"
     n_workers: int = 1
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.tasks:
@@ -131,13 +136,18 @@ class ExperimentPlan:
             )
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.backend is not None and self.backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {EXECUTOR_BACKENDS}"
+            )
 
     def fingerprint(self) -> str:
         """Content address of the plan (tasks + algorithms, not concurrency).
 
-        ``n_workers`` and ``name`` are deliberately excluded: resuming a
-        campaign on a beefier machine, or under a different label, must not
-        invalidate its completed cells — parallelism does not change values.
+        ``n_workers``, ``backend`` and ``name`` are deliberately excluded:
+        resuming a campaign on a beefier machine, under a different label or
+        on a different executor must not invalidate its completed cells —
+        the backends are value-equivalent (see ``docs/performance.md``).
         """
         return fingerprint(
             {
@@ -157,16 +167,19 @@ class ExperimentPlan:
         return triples
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "tasks": [spec.to_dict() for spec in self.tasks],
             "algorithms": list(self.algorithms),
             "n_workers": self.n_workers,
         }
+        if self.backend is not None:
+            payload["backend"] = self.backend
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentPlan":
-        unknown = set(payload) - {"name", "tasks", "algorithms", "n_workers"}
+        unknown = set(payload) - {"name", "tasks", "algorithms", "n_workers", "backend"}
         if unknown:
             # A typo in a plan file ("algorithm" for "algorithms") must fail
             # loudly, not silently run hours of the default campaign.
@@ -178,6 +191,7 @@ class ExperimentPlan:
             algorithms=tuple(payload.get("algorithms", DEFAULT_ALGORITHMS)),
             name=payload.get("name", "run"),
             n_workers=int(payload.get("n_workers", 1)),
+            backend=payload.get("backend"),
         )
 
 
@@ -328,8 +342,8 @@ def _run_task_cells(
     try:
         if pending:
             utility = spec.build(store)
-            if plan.n_workers > 1:
-                utility.set_n_workers(plan.n_workers)
+            if plan.n_workers > 1 or plan.backend is not None:
+                utility.set_n_workers(plan.n_workers, plan.backend)
         for algorithm_name in plan.algorithms:
             this_cell = cell_ids[algorithm_name]
             recorded = manifest["cells"].get(this_cell)
@@ -393,6 +407,15 @@ def _run_task_cells(
             results[algorithm_name] = payload
     finally:
         if utility is not None:
+            fallback = getattr(utility.executor, "last_fallback_reason", None)
+            if fallback:
+                # A requested vectorized backend that cannot engage runs the
+                # serial loop instead — correct values, none of the speed.
+                # Surface it so nobody benchmarks the wrong path unknowingly.
+                say(
+                    f"note: vectorized backend fell back to serial for "
+                    f"{spec.label()}: {fallback}"
+                )
             utility.close()
 
     report.rows.extend(_score_task_rows(spec, plan, results))

@@ -21,6 +21,7 @@ seed/scale of the same task) can alias them.
 from __future__ import annotations
 
 import numbers
+from functools import partial
 from typing import Callable, Optional, Sequence
 
 from repro.datasets import (
@@ -66,12 +67,18 @@ def _model_factory(
     image_size: int,
     scale: ExperimentScale,
 ) -> Callable:
-    """Build a zero-argument factory for the requested FL model family."""
+    """Build a zero-argument factory for the requested FL model family.
+
+    Factories are :func:`functools.partial` objects rather than lambdas so
+    they pickle — which is what lets the ``process`` executor backend ship a
+    task's evaluator to worker processes.
+    """
     if model == "mlp":
         # Small batches keep the number of SGD steps per FL round high enough
         # that a coalition's model actually fits its data; otherwise the
         # utility stays flat and every valuation degenerates.
-        return lambda: MLPClassifier(
+        return partial(
+            MLPClassifier,
             n_features=n_features,
             n_classes=n_classes,
             hidden_sizes=(scale.mlp_hidden,),
@@ -79,7 +86,8 @@ def _model_factory(
             batch_size=10,
         )
     if model == "cnn":
-        return lambda: SimpleCNN(
+        return partial(
+            SimpleCNN,
             image_size=image_size,
             n_classes=n_classes,
             n_filters=scale.cnn_filters,
@@ -87,12 +95,19 @@ def _model_factory(
             batch_size=10,
         )
     if model == "logistic":
-        return lambda: LogisticRegressionModel(
-            n_features=n_features, n_classes=n_classes, learning_rate=0.5, batch_size=16
+        return partial(
+            LogisticRegressionModel,
+            n_features=n_features,
+            n_classes=n_classes,
+            learning_rate=0.5,
+            batch_size=16,
         )
     if model == "xgb":
-        return lambda: GradientBoostedTrees(
-            n_classes=n_classes, n_rounds=scale.gbdt_rounds, max_depth=3
+        return partial(
+            GradientBoostedTrees,
+            n_classes=n_classes,
+            n_rounds=scale.gbdt_rounds,
+            max_depth=3,
         )
     raise ValueError(f"unknown model {model!r}; choose from {MODEL_NAMES}")
 

@@ -20,6 +20,7 @@ from repro.fl.history import ClientUpdate, RoundRecord, TrainingHistory
 from repro.fl.aggregation import fedavg_aggregate, weighted_average
 from repro.fl.server import FLServer
 from repro.fl.federation import FederatedTrainer, train_federated
+from repro.fl.vectorized import VectorizedCoalitionTrainer, vectorization_blocker
 from repro.fl.utility import CoalitionUtility, TabularUtility
 
 __all__ = [
@@ -33,6 +34,8 @@ __all__ = [
     "FLServer",
     "FederatedTrainer",
     "train_federated",
+    "VectorizedCoalitionTrainer",
+    "vectorization_blocker",
     "CoalitionUtility",
     "TabularUtility",
 ]

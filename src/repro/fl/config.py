@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional
 
 SUPPORTED_ALGORITHMS = ("fedavg", "fedprox", "fedsgd")
 
@@ -10,6 +11,10 @@ SUPPORTED_ALGORITHMS = ("fedavg", "fedprox", "fedsgd")
 @dataclass(frozen=True)
 class FLConfig:
     """Hyperparameters of a federated training run.
+
+    Every field is validated eagerly with a :class:`ValueError` naming the
+    offending field — a bad config must fail at construction, not several
+    rounds deep inside a coalition-training loop.
 
     Parameters
     ----------
@@ -24,6 +29,12 @@ class FLConfig:
         FedProx proximal coefficient; only used when ``algorithm="fedprox"``.
     client_fraction:
         Fraction of the coalition's clients sampled per round (1.0 = all).
+    batch_size:
+        Optional mini-batch size override for local training.  ``None``
+        (default) keeps each model's own ``batch_size`` hyperparameter.
+        When persisting utilities to a hand-namespaced store, the caller's
+        namespace must cover this override (the experiment task builders
+        never set it).
     record_history:
         Whether to record per-round client updates; required by the
         gradient-based valuation baselines, off by default to save memory.
@@ -34,6 +45,7 @@ class FLConfig:
     algorithm: str = "fedavg"
     proximal_mu: float = 0.1
     client_fraction: float = 1.0
+    batch_size: Optional[int] = None
     record_history: bool = False
 
     def __post_init__(self) -> None:
@@ -51,14 +63,20 @@ class FLConfig:
             raise ValueError(
                 f"client_fraction must lie in (0, 1], got {self.client_fraction}"
             )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
     def with_history(self) -> "FLConfig":
         """Copy of this config with per-round history recording enabled."""
-        return FLConfig(
-            rounds=self.rounds,
-            local_epochs=self.local_epochs,
-            algorithm=self.algorithm,
-            proximal_mu=self.proximal_mu,
-            client_fraction=self.client_fraction,
-            record_history=True,
-        )
+        return replace(self, record_history=True)
+
+    def without_history(self) -> "FLConfig":
+        """Copy of this config with history recording disabled.
+
+        Used by the plain coalition-utility path: valuation only needs the
+        final utility, so per-round client updates must not be allocated even
+        when the caller's config was built for a gradient-based baseline.
+        """
+        if not self.record_history:
+            return self
+        return replace(self, record_history=False)

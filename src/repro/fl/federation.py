@@ -95,6 +95,11 @@ class FederatedTrainer:
         self.client_dropout = client_dropout
         self._base_seed = derive_seed(RandomState(seed))
         probe = model_factory()
+        # Kept as the template for capability probing (vectorization gating)
+        # and as the computation engine of the vectorized trainer; the
+        # factory is assumed to be pure (every call hyperparameter-identical),
+        # which per-coalition caching already relies on.
+        self._probe = probe
         self._parametric = probe.is_parametric
         if self.client_dropout is not None and not self._parametric:
             # Pooled (non-parametric) training has no rounds to drop out of;
@@ -160,7 +165,15 @@ class FederatedTrainer:
             return model, None
 
         if self._parametric:
-            config = self.config.with_history() if record_history else self.config
+            # Strip history recording unless this call asked for it: plain
+            # utility evaluation must not allocate per-round client updates
+            # even when the trainer's config was built for a gradient-based
+            # baseline (O(rounds × clients × P) memory per coalition).
+            config = (
+                self.config.with_history()
+                if record_history
+                else self.config.without_history()
+            )
             clients = [self._client(m) for m in sorted(members)]
             server = FLServer(model, clients, config)
             server.train(seed=seed)

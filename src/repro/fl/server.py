@@ -52,38 +52,53 @@ class FLServer:
     def train(self, seed: SeedLike = None) -> ParametricModel:
         """Run the configured number of federated rounds and return the model."""
         rng = RandomState(seed)
-        if not self.model.is_initialized:
-            self.model.initialize(rng)
-        global_parameters = self.model.get_parameters()
+        original_batch_size = None
+        if self.config.batch_size is not None:
+            # The config-level mini-batch override applies to local training
+            # during this run only; restore the model's own hyperparameter
+            # afterwards so a caller-owned model is not silently rewritten.
+            original_batch_size = self.model.batch_size
+            self.model.batch_size = int(self.config.batch_size)
+        try:
+            if not self.model.is_initialized:
+                self.model.initialize(rng)
+            global_parameters = self.model.get_parameters()
 
-        if self.config.record_history:
-            self.history = TrainingHistory(initial_parameters=global_parameters.copy())
-
-        for round_index in range(self.config.rounds):
-            participants = self._select_clients(rng)
-            record = RoundRecord(round_index=round_index, global_before=global_parameters.copy())
-            client_rngs = spawn_rng(rng, len(participants))
-            updated_parameters = []
-            sizes = []
-            for client, client_rng in zip(participants, client_rngs):
-                local_parameters = client.local_update(
-                    self.model, global_parameters, self.config, seed=client_rng
-                )
-                updated_parameters.append(local_parameters)
-                sizes.append(client.n_samples)
-                if self.config.record_history:
-                    record.add_update(
-                        ClientUpdate(
-                            client_id=client.client_id,
-                            parameters=local_parameters,
-                            n_samples=client.n_samples,
-                        )
-                    )
-            if sum(sizes) > 0:
-                global_parameters = fedavg_aggregate(updated_parameters, sizes)
             if self.config.record_history:
-                record.global_after = global_parameters.copy()
-                self.history.add_round(record)
+                self.history = TrainingHistory(
+                    initial_parameters=global_parameters.copy()
+                )
 
-        self.model.set_parameters(global_parameters)
+            for round_index in range(self.config.rounds):
+                participants = self._select_clients(rng)
+                record = RoundRecord(
+                    round_index=round_index, global_before=global_parameters.copy()
+                )
+                client_rngs = spawn_rng(rng, len(participants))
+                updated_parameters = []
+                sizes = []
+                for client, client_rng in zip(participants, client_rngs):
+                    local_parameters = client.local_update(
+                        self.model, global_parameters, self.config, seed=client_rng
+                    )
+                    updated_parameters.append(local_parameters)
+                    sizes.append(client.n_samples)
+                    if self.config.record_history:
+                        record.add_update(
+                            ClientUpdate(
+                                client_id=client.client_id,
+                                parameters=local_parameters,
+                                n_samples=client.n_samples,
+                            )
+                        )
+                if sum(sizes) > 0:
+                    global_parameters = fedavg_aggregate(updated_parameters, sizes)
+                if self.config.record_history:
+                    record.global_after = global_parameters.copy()
+                    self.history.add_round(record)
+
+            self.model.set_parameters(global_parameters)
+        finally:
+            if original_batch_size is not None:
+                self.model.batch_size = original_batch_size
         return self.model

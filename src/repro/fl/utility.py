@@ -54,10 +54,14 @@ class CoalitionUtility:
         ``n_workers > 1`` cache misses inside a batch are trained in parallel
         on the chosen executor.  ``1`` (default) stays strictly sequential.
     executor:
-        Backend for parallel evaluation: ``"serial"``, ``"thread"``,
-        ``"process"``, an existing executor instance, or ``None`` to choose
-        automatically.  The process backend requires the model factory and
-        datasets to be picklable (no lambdas).
+        Backend for batched evaluation: ``"serial"``, ``"thread"``,
+        ``"process"``, ``"vectorized"``, an existing executor instance, or
+        ``None`` to choose automatically.  The process backend requires the
+        model factory and datasets to be picklable (no lambdas); the
+        vectorized backend trains miss batches in lockstep on stacked
+        parameter matrices when the model supports it (linear, logistic,
+        MLP) and falls back to the serial loop otherwise — see
+        ``docs/performance.md`` for the backend matrix.
     store:
         Optional persistent utility store (instance or path) beneath the
         cache: trained utilities are written through and survive the process,
@@ -138,6 +142,11 @@ class CoalitionUtility:
     def executor(self):
         """The active :class:`~repro.parallel.executors.CoalitionExecutor`."""
         return self._oracle.executor
+
+    @property
+    def backend(self) -> str:
+        """Registry name of the active executor backend (e.g. ``"serial"``)."""
+        return self._oracle.backend
 
     def set_n_workers(self, n_workers: int, executor: ExecutorLike = None) -> None:
         """Reconfigure batch-evaluation concurrency (and optionally backend)."""

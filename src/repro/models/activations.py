@@ -35,10 +35,15 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
-    """Row-wise softmax with the max-subtraction trick for stability."""
-    shifted = logits - logits.max(axis=1, keepdims=True)
+    """Softmax over the last axis with the max-subtraction trick for stability.
+
+    Works unchanged for ``(n, C)`` logits and for the ``(B, n, C)`` stacks the
+    batched multi-coalition kernels produce (for 2-D input the last axis *is*
+    axis 1, so this is the historical row-wise behaviour).
+    """
+    shifted = logits - logits.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+    return exp / exp.sum(axis=-1, keepdims=True)
 
 
 _ACTIVATIONS = {

@@ -9,13 +9,23 @@ Two abstractions are defined:
   flat vector and supports local gradient-descent epochs, which is what
   FedAvg-style aggregation and the gradient-based valuation baselines
   (OR, λ-MR, GTG-Shapley) require.
+
+Parametric models additionally speak a *batched* protocol over stacked
+parameter matrices ``(B, P)`` — one row per coalition model trained in
+lockstep — used by the vectorized multi-coalition training engine
+(:mod:`repro.fl.vectorized`).  The base class provides exact per-slice
+reference implementations; subclasses that implement truly vectorized
+gradients/predictions advertise it with ``supports_vectorized = True``
+(non-parametric models such as the GBDT, and models without batched
+kernels such as the CNN, are transparently trained on the serial path
+instead).
 """
 
 from __future__ import annotations
 
 import abc
 import copy
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -57,6 +67,12 @@ class ParametricModel(Model):
     """
 
     is_parametric = True
+
+    #: whether the subclass implements truly vectorized batched primitives
+    #: (:meth:`batch_gradient` / :meth:`batch_predict` over stacked parameter
+    #: matrices).  The vectorized multi-coalition trainer only engages models
+    #: that set this to True; everything else stays on the serial path.
+    supports_vectorized = False
 
     def __init__(
         self,
@@ -180,3 +196,100 @@ class ParametricModel(Model):
         if len(dataset) == 0:
             return np.zeros(self.num_parameters())
         return self._gradient(self._parameters, dataset.features, dataset.targets)
+
+    # ------------------------------------------------------------------ #
+    # Batched (stacked-parameter) protocol
+    # ------------------------------------------------------------------ #
+    # One row per coalition model trained in lockstep: parameters are a
+    # ``(B, P)`` matrix, per-slice mini-batches a ``(B, m, ...)`` feature
+    # stack.  The defaults below are exact per-slice loops — bitwise
+    # identical to the serial primitives by construction — so every
+    # parametric model is batch-*correct*; only models that override
+    # :meth:`batch_gradient` / :meth:`batch_predict` with genuinely
+    # vectorized kernels (``supports_vectorized = True``) are batch-*fast*.
+
+    def _check_stacked(self, parameters: np.ndarray) -> np.ndarray:
+        parameters = np.asarray(parameters, dtype=float)
+        expected = self.num_parameters()
+        if parameters.ndim != 2 or parameters.shape[1] != expected:
+            raise ValueError(
+                f"expected stacked parameters of shape (B, {expected}), "
+                f"got {parameters.shape}"
+            )
+        return parameters
+
+    def batch_init_parameters(
+        self, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Stack of fresh initialisations, slice ``b`` drawn from ``rngs[b]``.
+
+        Deliberately a per-slice loop over :meth:`_init_parameters`: each
+        generator is consumed exactly as :meth:`initialize` would consume it,
+        so slice ``b`` is bitwise-identical to a serial initialisation from
+        the same generator — the anchor of the vectorized trainer's
+        seed-for-seed equivalence contract.
+        """
+        expected = self.num_parameters()
+        rows = []
+        for rng in rngs:
+            row = np.asarray(self._init_parameters(rng), dtype=float)
+            if row.shape != (expected,):
+                raise RuntimeError(
+                    "model initialisation produced a parameter vector of the "
+                    "wrong size"
+                )
+            rows.append(row)
+        if not rows:
+            return np.empty((0, expected), dtype=float)
+        return np.stack(rows)
+
+    def batch_gradient(
+        self, parameters: np.ndarray, features: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Per-slice mini-batch gradients: ``(B, P) × (B, m, ...) → (B, P)``.
+
+        Reference implementation: a loop over :meth:`_gradient`.  Vectorized
+        subclasses replace it with stacked linear algebra.
+        """
+        parameters = self._check_stacked(parameters)
+        if parameters.shape[0] == 0:
+            return parameters.copy()
+        return np.stack(
+            [
+                self._gradient(parameters[b], features[b], targets[b])
+                for b in range(parameters.shape[0])
+            ]
+        )
+
+    def batch_predict(self, parameters: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Predictions of every stacked model on shared features → ``(B, n)``.
+
+        Reference implementation: per-slice :meth:`predict` through a cloned
+        engine model.
+        """
+        parameters = self._check_stacked(parameters)
+        engine = self.clone()
+        rows = []
+        for row in parameters:
+            engine.set_parameters(row)
+            rows.append(np.asarray(engine.predict(features)))
+        if not rows:
+            return np.empty((0, len(features)))
+        return np.stack(rows)
+
+    def batch_evaluate(self, parameters: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """Utility of every stacked model on ``dataset`` → ``(B,)``.
+
+        Always evaluates per slice through a cloned engine model, never
+        through batched kernels: given identical final parameters the
+        utilities are bitwise-identical to :meth:`evaluate`, which pins the
+        vectorized trainer's only possible float divergence inside the
+        training matmuls (see ``docs/performance.md``).
+        """
+        parameters = self._check_stacked(parameters)
+        engine = self.clone()
+        values = []
+        for row in parameters:
+            engine.set_parameters(row)
+            values.append(float(engine.evaluate(dataset)))
+        return np.asarray(values, dtype=float)

@@ -29,6 +29,8 @@ class LinearRegressionModel(ParametricModel):
         Whether to learn a bias term.
     """
 
+    supports_vectorized = True
+
     def __init__(
         self,
         n_features: int,
@@ -85,6 +87,52 @@ class LinearRegressionModel(ParametricModel):
     def predict(self, features: np.ndarray) -> np.ndarray:
         features = np.asarray(features, dtype=float)
         return self._predict_with(self.get_parameters(), features.reshape(len(features), -1))
+
+    # ------------------------------------------------------------------ #
+    # Batched (stacked-parameter) kernels
+    # ------------------------------------------------------------------ #
+    def _batch_split(self, parameters: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self.fit_intercept:
+            return parameters[:, :-1], parameters[:, -1]
+        return parameters, np.zeros(parameters.shape[0])
+
+    def _batch_predict_with(
+        self, parameters: np.ndarray, features: np.ndarray
+    ) -> np.ndarray:
+        weights, biases = self._batch_split(parameters)
+        return (features @ weights[..., None])[..., 0] + biases[:, None]
+
+    def batch_gradient(
+        self, parameters: np.ndarray, features: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Stacked squared-error gradients: ``(B, P) × (B, m, ...) → (B, P)``.
+
+        Note the serial path computes ``X.T @ r`` as a BLAS GEMV while the
+        stacked path runs a width-1 GEMM per slice; the kernels may round
+        differently in the last ulps, which is exactly the divergence the
+        equivalence policy in ``docs/performance.md`` bounds and tests.
+        """
+        parameters = self._check_stacked(parameters)
+        features = np.asarray(features, dtype=float)
+        batch, m = parameters.shape[0], features.shape[1]
+        features = features.reshape(batch, m, -1)
+        targets = np.asarray(targets, dtype=float)
+        residual = self._batch_predict_with(parameters, features) - targets
+        grad_w = (
+            2.0 * np.matmul(features.transpose(0, 2, 1), residual[..., None])[..., 0] / m
+        )
+        if self.fit_intercept:
+            grad_b = 2.0 * residual.mean(axis=1)
+            return np.concatenate([grad_w, grad_b[:, None]], axis=1)
+        return grad_w
+
+    def batch_predict(self, parameters: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Regression predictions of every stacked model on shared features."""
+        parameters = self._check_stacked(parameters)
+        features = np.asarray(features, dtype=float)
+        flat = features.reshape(1, len(features), -1)
+        stacked = np.broadcast_to(flat, (parameters.shape[0],) + flat.shape[1:])
+        return self._batch_predict_with(parameters, stacked)
 
     def evaluate(self, dataset: Dataset) -> float:
         """Negative MSE on ``dataset`` (higher is better)."""

@@ -23,6 +23,8 @@ class LogisticRegressionModel(ParametricModel):
     ``n_classes * n_features + n_classes`` (weights followed by biases).
     """
 
+    supports_vectorized = True
+
     def __init__(
         self,
         n_features: int,
@@ -79,6 +81,57 @@ class LogisticRegressionModel(ParametricModel):
         grad_w = features.T @ delta
         grad_b = delta.sum(axis=0)
         return np.concatenate([grad_w.ravel(), grad_b])
+
+    # ------------------------------------------------------------------ #
+    # Batched (stacked-parameter) kernels
+    # ------------------------------------------------------------------ #
+    def _batch_unpack(self, parameters: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        split = self.n_classes * self.n_features
+        weights = parameters[:, :split].reshape(-1, self.n_features, self.n_classes)
+        biases = parameters[:, split:]
+        return weights, biases
+
+    def _batch_probabilities(
+        self, parameters: np.ndarray, features: np.ndarray
+    ) -> np.ndarray:
+        weights, biases = self._batch_unpack(parameters)
+        logits = features @ weights + biases[:, None, :]
+        return softmax(logits)
+
+    def batch_gradient(
+        self, parameters: np.ndarray, features: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Stacked cross-entropy gradients: ``(B, P) × (B, m, ...) → (B, P)``.
+
+        The same operations as :meth:`_gradient`, lifted one batch axis up:
+        each slice's matmuls see operands of identical shape and layout to
+        the serial path, which is what keeps vectorized training numerically
+        aligned with serial training (see ``docs/performance.md``).
+        """
+        parameters = self._check_stacked(parameters)
+        features = np.asarray(features, dtype=float)
+        batch, m = parameters.shape[0], features.shape[1]
+        features = features.reshape(batch, m, -1)
+        targets = np.asarray(targets).astype(int)
+        probabilities = self._batch_probabilities(parameters, features)
+        # (p - one_hot) / m without materialising the one-hot tensor; the
+        # per-element arithmetic is identical to the serial expression.
+        delta = probabilities.copy()
+        delta[np.arange(batch)[:, None], np.arange(m)[None, :], targets] -= 1.0
+        delta /= m
+        grad_w = np.matmul(features.transpose(0, 2, 1), delta)
+        grad_b = delta.sum(axis=1)
+        return np.concatenate([grad_w.reshape(batch, -1), grad_b], axis=1)
+
+    def batch_predict(self, parameters: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Class predictions of every stacked model on shared features."""
+        parameters = self._check_stacked(parameters)
+        features = np.asarray(features, dtype=float)
+        features = features.reshape(1, len(features), -1)
+        probabilities = self._batch_probabilities(
+            parameters, np.broadcast_to(features, (parameters.shape[0],) + features.shape[1:])
+        )
+        return np.argmax(probabilities, axis=-1)
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         features = np.asarray(features, dtype=float)

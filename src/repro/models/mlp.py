@@ -34,6 +34,8 @@ class MLPClassifier(ParametricModel):
         Hidden activation name (``"relu"`` or ``"tanh"``).
     """
 
+    supports_vectorized = True
+
     def __init__(
         self,
         n_features: int,
@@ -150,6 +152,92 @@ class MLPClassifier(ParametricModel):
             )
             grads[layer_index] = (activations[layer_index].T @ delta, delta.sum(axis=0))
         return self._pack(grads)
+
+    # ------------------------------------------------------------------ #
+    # Batched (stacked-parameter) kernels
+    # ------------------------------------------------------------------ #
+    def _batch_unpack(self, parameters: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+        batch = parameters.shape[0]
+        layers = []
+        offset = 0
+        for rows, cols in self._shapes:
+            weight = parameters[:, offset : offset + rows * cols].reshape(batch, rows, cols)
+            offset += rows * cols
+            bias = parameters[:, offset : offset + cols]
+            offset += cols
+            layers.append((weight, bias))
+        return layers
+
+    def _batch_forward(
+        self, parameters: np.ndarray, features: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray], list[np.ndarray]]:
+        """Stacked forward pass: probabilities plus cached activations."""
+        layers = self._batch_unpack(parameters)
+        activations = [features]
+        pre_activations = []
+        hidden = features
+        for weight, bias in layers[:-1]:
+            pre = hidden @ weight + bias[:, None, :]
+            pre_activations.append(pre)
+            hidden = self._activation(pre)
+            activations.append(hidden)
+        out_weight, out_bias = layers[-1]
+        logits = hidden @ out_weight + out_bias[:, None, :]
+        pre_activations.append(logits)
+        return softmax(logits), pre_activations, activations
+
+    def batch_gradient(
+        self, parameters: np.ndarray, features: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Stacked backprop: ``(B, P) × (B, m, ...) → (B, P)``.
+
+        Mirrors :meth:`_gradient` with every matmul lifted one batch axis up;
+        per-slice operand shapes and layouts match the serial path exactly.
+        """
+        parameters = self._check_stacked(parameters)
+        features = np.asarray(features, dtype=float)
+        batch, m = parameters.shape[0], features.shape[1]
+        features = features.reshape(batch, m, -1)
+        targets = np.asarray(targets).astype(int)
+        layers = self._batch_unpack(parameters)
+        probabilities, pre_activations, activations = self._batch_forward(
+            parameters, features
+        )
+
+        # (p - one_hot) / m without materialising the one-hot tensor; the
+        # per-element arithmetic is identical to the serial expression.
+        delta = probabilities.copy()
+        delta[np.arange(batch)[:, None], np.arange(m)[None, :], targets] -= 1.0
+        delta /= m
+
+        grads: list[tuple[np.ndarray, np.ndarray]] = [None] * len(layers)
+        grads[-1] = (
+            np.matmul(activations[-1].transpose(0, 2, 1), delta),
+            delta.sum(axis=1),
+        )
+        for layer_index in range(len(layers) - 2, -1, -1):
+            weight_next = layers[layer_index + 1][0]
+            delta = (delta @ weight_next.transpose(0, 2, 1)) * self._activation_grad(
+                pre_activations[layer_index]
+            )
+            grads[layer_index] = (
+                np.matmul(activations[layer_index].transpose(0, 2, 1), delta),
+                delta.sum(axis=1),
+            )
+        chunks = []
+        for weight, bias in grads:
+            chunks.append(weight.reshape(batch, -1))
+            chunks.append(bias)
+        return np.concatenate(chunks, axis=1)
+
+    def batch_predict(self, parameters: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Class predictions of every stacked model on shared features."""
+        parameters = self._check_stacked(parameters)
+        features = np.asarray(features, dtype=float)
+        flat = features.reshape(1, len(features), -1)
+        stacked = np.broadcast_to(flat, (parameters.shape[0],) + flat.shape[1:])
+        probabilities, _, _ = self._batch_forward(parameters, np.ascontiguousarray(stacked))
+        return np.argmax(probabilities, axis=-1)
 
     # ------------------------------------------------------------------ #
     # Prediction / evaluation

@@ -7,8 +7,11 @@ they need.  This package turns that structure into throughput:
 * :class:`BatchUtilityOracle` — a utility oracle that accepts whole coalition
   batches, deduplicates them against a concurrency-safe cache and trains the
   misses concurrently;
-* :mod:`repro.parallel.executors` — the pluggable serial / thread / process
-  backends behind it, all order-deterministic.
+* :mod:`repro.parallel.executors` — the pluggable serial / thread / process /
+  vectorized backends behind it, all order-deterministic.  The vectorized
+  backend trains the whole miss batch in lockstep on stacked parameter
+  matrices (:mod:`repro.fl.vectorized`) instead of spreading per-coalition
+  loops over workers; see ``docs/performance.md`` for the backend matrix.
 
 The valuation algorithms request their coalition batches through
 :meth:`repro.core.base.ValuationAlgorithm._batch_utilities`, which detects
@@ -24,6 +27,7 @@ from repro.parallel.executors import (
     ProcessPoolExecutor,
     SerialExecutor,
     ThreadPoolExecutor,
+    VectorizedExecutor,
     make_executor,
 )
 
@@ -34,6 +38,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadPoolExecutor",
     "ProcessPoolExecutor",
+    "VectorizedExecutor",
     "make_executor",
     "EXECUTOR_BACKENDS",
 ]

@@ -65,10 +65,15 @@ class BatchUtilityOracle:
         Concurrency level for cache misses inside a batch.  ``1`` (default)
         keeps evaluation strictly sequential.
     executor:
-        Backend name (``"serial"``/``"thread"``/``"process"``), an existing
+        Backend name (``"serial"``/``"thread"``/``"process"``/
+        ``"vectorized"``), an existing
         :class:`~repro.parallel.executors.CoalitionExecutor`, or ``None`` to
         choose automatically from ``n_workers``.  Process pools require a
-        picklable evaluator.
+        picklable evaluator; the vectorized backend trains miss batches in
+        lockstep on stacked parameters when the evaluator is backed by a
+        :class:`~repro.fl.federation.FederatedTrainer` with a
+        vectorization-capable model (and falls back to the serial loop
+        otherwise — see ``docs/performance.md``).
     cache:
         Optional pre-existing :class:`UtilityCache` to share; by default the
         oracle owns a fresh unbounded one.
@@ -145,8 +150,10 @@ class BatchUtilityOracle:
             # still train only once.
             values = self._executor.map_utilities(self._cache.utility, keys)
             return dict(zip(keys, values))
-        # Process backend: workers cannot see the cache, so partition here
-        # and deposit the computed utilities back into it.
+        # Partition/deposit protocol (process and vectorized backends):
+        # process workers cannot see the cache, and the vectorized backend
+        # needs the whole miss batch in one call to train it in lockstep —
+        # so split hits from misses here and deposit computed utilities back.
         results: dict[frozenset, float] = {}
         pending: list[frozenset] = []
         for key in keys:
@@ -216,6 +223,11 @@ class BatchUtilityOracle:
     @property
     def executor(self) -> CoalitionExecutor:
         return self._executor
+
+    @property
+    def backend(self) -> str:
+        """Registry name of the active executor backend (e.g. ``"serial"``)."""
+        return self._executor.name
 
     # ------------------------------------------------------------------ #
     # Persistence

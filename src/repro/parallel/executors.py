@@ -1,7 +1,7 @@
 """Pluggable execution backends for batched coalition evaluation.
 
 A coalition executor maps an evaluator over a list of coalitions and returns
-the utilities *in input order*.  Three backends are provided:
+the utilities *in input order*.  Four backends are provided:
 
 * :class:`SerialExecutor` — plain loop; the reference semantics.
 * :class:`ThreadPoolExecutor` — concurrent evaluation in threads.  The right
@@ -11,24 +11,31 @@ the utilities *in input order*.  Three backends are provided:
 * :class:`ProcessPoolExecutor` — concurrent evaluation in worker processes.
   Requires the evaluator to be picklable; buys true CPU parallelism for
   pure-Python training loops.
+* :class:`VectorizedExecutor` — trains the whole batch in lockstep as
+  stacked parameter matrices (:mod:`repro.fl.vectorized`) instead of
+  parallelising per-coalition loops; no workers at all.  Falls back to the
+  serial loop for evaluators the vectorized engine cannot handle (plain
+  game functions, non-parametric/CNN models, partial client participation).
 
 All backends are deterministic in *values*: utilities depend only on the
 coalition (per-coalition seeds are content-derived, see
 :meth:`repro.fl.federation.FederatedTrainer._coalition_seed`), and results are
 re-associated with their coalitions by position, so the evaluation order and
-worker assignment cannot change what any algorithm computes.
+worker assignment cannot change what any algorithm computes.  The vectorized
+backend additionally replays the serial path seed-for-seed; its equivalence
+policy is documented in ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 import abc
 import concurrent.futures
-from typing import Callable, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 Evaluator = Callable[[frozenset], float]
 
 #: backend names accepted by :func:`make_executor`
-EXECUTOR_BACKENDS = ("serial", "thread", "process")
+EXECUTOR_BACKENDS = ("serial", "thread", "process", "vectorized")
 
 
 class CoalitionExecutor(abc.ABC):
@@ -46,6 +53,10 @@ class CoalitionExecutor(abc.ABC):
 
     shares_memory: bool = True
 
+    #: registry name of the backend (``EXECUTOR_BACKENDS`` entry); custom
+    #: executors may leave the default
+    name: str = "custom"
+
     @abc.abstractmethod
     def map_utilities(
         self, evaluator: Evaluator, coalitions: Sequence[frozenset]
@@ -60,6 +71,7 @@ class SerialExecutor(CoalitionExecutor):
     """Sequential reference backend: a plain loop, no worker overhead."""
 
     shares_memory = True
+    name = "serial"
 
     def map_utilities(
         self, evaluator: Evaluator, coalitions: Sequence[frozenset]
@@ -111,6 +123,7 @@ class ThreadPoolExecutor(_PooledExecutor):
     """Evaluates coalitions concurrently in a persistent thread pool."""
 
     shares_memory = True
+    name = "thread"
     _pool_factory = concurrent.futures.ThreadPoolExecutor
 
 
@@ -124,7 +137,89 @@ class ProcessPoolExecutor(_PooledExecutor):
     """
 
     shares_memory = False
+    name = "process"
     _pool_factory = concurrent.futures.ProcessPoolExecutor
+
+
+class VectorizedExecutor(CoalitionExecutor):
+    """Trains whole coalition batches in lockstep on stacked parameters.
+
+    Instead of parallelising B per-coalition training loops across workers,
+    the batch is handed to a
+    :class:`~repro.fl.vectorized.VectorizedCoalitionTrainer`: one round of
+    "B coalitions × FedAvg" becomes a handful of large stacked NumPy ops.
+    The trainer is resolved from the evaluator itself (the bound
+    ``FederatedTrainer.utility`` method that
+    :class:`~repro.fl.utility.CoalitionUtility` wires into its oracle), so
+    the backend is a drop-in choice next to serial/thread/process.
+
+    ``shares_memory`` is ``False``: like the process pool, this backend must
+    receive whole *miss* batches through the oracle's partition/deposit
+    protocol — routing per-coalition calls through the cache would dissolve
+    the very batches it vectorizes over.
+
+    Evaluators the engine cannot vectorize (plain game functions,
+    non-parametric or kernel-less models, ``client_fraction < 1``) fall back
+    to the serial loop; the reason is kept in :attr:`last_fallback_reason`
+    (``strict=True`` raises instead, for tests and benchmarks that must not
+    silently measure the fallback).
+    """
+
+    shares_memory = False
+    name = "vectorized"
+
+    def __init__(self, chunk_size: int = 64, strict: bool = False) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+        self.strict = bool(strict)
+        self.last_fallback_reason: Optional[str] = None
+        self._trainer_cache: Optional[tuple] = None  # (trainer id, engine)
+
+    @staticmethod
+    def _resolve_trainer(evaluator: Evaluator):
+        """Find the FederatedTrainer behind an evaluator, or ``None``."""
+        from repro.fl.federation import FederatedTrainer
+
+        for candidate in (
+            evaluator,
+            getattr(evaluator, "__self__", None),
+            getattr(evaluator, "trainer", None),
+        ):
+            if isinstance(candidate, FederatedTrainer):
+                return candidate
+        return None
+
+    def _engine_for(self, trainer):
+        """Cache one vectorized engine per trainer (they are stateless)."""
+        from repro.fl.vectorized import VectorizedCoalitionTrainer
+
+        if self._trainer_cache is not None and self._trainer_cache[0] is trainer:
+            return self._trainer_cache[1]
+        engine = VectorizedCoalitionTrainer(trainer, chunk_size=self.chunk_size)
+        self._trainer_cache = (trainer, engine)
+        return engine
+
+    def map_utilities(
+        self, evaluator: Evaluator, coalitions: Sequence[frozenset]
+    ) -> list[float]:
+        from repro.fl.vectorized import vectorization_blocker
+
+        trainer = self._resolve_trainer(evaluator)
+        if trainer is None:
+            reason = (
+                "evaluator is not backed by a FederatedTrainer "
+                f"({type(evaluator).__name__})"
+            )
+        else:
+            reason = vectorization_blocker(trainer)
+        if reason is not None:
+            if self.strict:
+                raise ValueError(f"vectorized backend cannot engage: {reason}")
+            self.last_fallback_reason = reason
+            return SerialExecutor().map_utilities(evaluator, coalitions)
+        self.last_fallback_reason = None
+        return self._engine_for(trainer).utilities(coalitions)
 
 
 ExecutorLike = Union[str, CoalitionExecutor, None]
@@ -151,6 +246,9 @@ def make_executor(executor: ExecutorLike = None, n_workers: int = 1) -> Coalitio
         return ThreadPoolExecutor(n_workers)
     if executor == "process":
         return ProcessPoolExecutor(n_workers)
+    if executor == "vectorized":
+        # Lockstep training has no workers; n_workers is irrelevant to it.
+        return VectorizedExecutor()
     raise ValueError(
         f"unknown executor backend {executor!r}; choose from {EXECUTOR_BACKENDS}"
     )

@@ -134,6 +134,7 @@ def build_robustness_plan(
     scale: str = "tiny",
     seed: int = 0,
     n_workers: int = 1,
+    backend: Optional[str] = None,
     name: str = "robustness",
 ):
     """The (clean ∪ adversarial) task grid of a robustness campaign, as a plan.
@@ -174,6 +175,7 @@ def build_robustness_plan(
         algorithms=tuple(algorithms) if algorithms else DEFAULT_ALGORITHMS,
         name=name,
         n_workers=n_workers,
+        backend=backend,
     )
     return plan, pairs
 
@@ -195,6 +197,7 @@ def run_robustness(
     seed: int = 0,
     store=None,
     n_workers: int = 1,
+    backend: Optional[str] = None,
     resume: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> RobustnessReport:
@@ -216,6 +219,7 @@ def run_robustness(
         scale=scale,
         seed=seed,
         n_workers=n_workers,
+        backend=backend,
     )
     run_report = run_plan(plan, run_dir, store=store, resume=resume, log=log)
     manifest = load_manifest(run_dir)

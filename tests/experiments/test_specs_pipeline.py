@@ -136,6 +136,17 @@ class TestExperimentPlan:
         plan = ExperimentPlan(tasks=(TINY_SPEC,), algorithms=ALGOS, n_workers=2)
         assert ExperimentPlan.from_dict(plan.to_dict()) == plan
 
+    def test_backend_validated_recorded_and_fingerprint_neutral(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExperimentPlan(tasks=(TINY_SPEC,), backend="gpu")
+        plan = ExperimentPlan(tasks=(TINY_SPEC,), algorithms=ALGOS, backend="vectorized")
+        assert plan.to_dict()["backend"] == "vectorized"
+        assert ExperimentPlan.from_dict(plan.to_dict()) == plan
+        # Executor choice must not invalidate completed cells on resume.
+        serial = ExperimentPlan(tasks=(TINY_SPEC,), algorithms=ALGOS)
+        assert plan.fingerprint() == serial.fingerprint()
+        assert "backend" not in serial.to_dict()  # default elided
+
 
 class TestRunPlan:
     def test_manifest_and_results_written(self, tmp_path):

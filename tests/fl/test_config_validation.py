@@ -1,0 +1,89 @@
+"""FLConfig eager validation: bad hyperparameters fail at construction,
+with a ValueError naming the offending field — never rounds-deep inside a
+coalition-training loop."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification_blobs, partition_iid, train_test_split
+from repro.fl import FederatedTrainer, FLConfig
+from repro.models import LogisticRegressionModel
+
+
+class TestFieldValidation:
+    @pytest.mark.parametrize("rounds", [0, -1, -100])
+    def test_non_positive_rounds(self, rounds):
+        with pytest.raises(ValueError, match="rounds"):
+            FLConfig(rounds=rounds)
+
+    @pytest.mark.parametrize("local_epochs", [0, -2])
+    def test_non_positive_local_epochs(self, local_epochs):
+        with pytest.raises(ValueError, match="local_epochs"):
+            FLConfig(local_epochs=local_epochs)
+
+    @pytest.mark.parametrize("batch_size", [0, -8])
+    def test_non_positive_batch_size(self, batch_size):
+        with pytest.raises(ValueError, match="batch_size"):
+            FLConfig(batch_size=batch_size)
+
+    @pytest.mark.parametrize("client_fraction", [0.0, -0.5, 1.5, 2.0])
+    def test_out_of_range_client_fraction(self, client_fraction):
+        with pytest.raises(ValueError, match="client_fraction"):
+            FLConfig(client_fraction=client_fraction)
+
+    def test_negative_proximal_mu(self):
+        with pytest.raises(ValueError, match="proximal_mu"):
+            FLConfig(proximal_mu=-0.1)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            FLConfig(algorithm="fancyavg")
+
+    def test_defaults_are_valid(self):
+        config = FLConfig()
+        assert config.batch_size is None  # model's own batch size rules
+
+    def test_valid_batch_size_accepted(self):
+        assert FLConfig(batch_size=16).batch_size == 16
+
+
+class TestBatchSizeOverride:
+    """config.batch_size overrides the model's mini-batch size in FL runs."""
+
+    @staticmethod
+    def build(config, model_batch_size):
+        pooled = make_classification_blobs(120, n_features=4, n_classes=2, seed=9)
+        train, test = train_test_split(pooled, test_fraction=0.25, seed=9)
+        clients = partition_iid(train, 3, seed=9)
+        return FederatedTrainer(
+            clients,
+            test,
+            lambda: LogisticRegressionModel(
+                n_features=4, n_classes=2, batch_size=model_batch_size
+            ),
+            config=config,
+            seed=9,
+        )
+
+    def test_override_equals_native_batch_size(self):
+        overridden = self.build(FLConfig(rounds=2, batch_size=8), model_batch_size=32)
+        native = self.build(FLConfig(rounds=2), model_batch_size=8)
+        for coalition in [{0}, {0, 1}, {0, 1, 2}]:
+            assert overridden.utility(coalition) == native.utility(coalition)
+
+    def test_override_restored_on_caller_owned_model(self):
+        """The override is per-run: a user's model keeps its own batch_size."""
+        from repro.fl import train_federated
+
+        pooled = make_classification_blobs(60, n_features=4, n_classes=2, seed=9)
+        train, test = train_test_split(pooled, test_fraction=0.3, seed=9)
+        model = LogisticRegressionModel(n_features=4, n_classes=2, batch_size=32)
+        train_federated(model, [train], config=FLConfig(rounds=1, batch_size=8), seed=9)
+        assert model.batch_size == 32
+
+    def test_none_keeps_model_batch_size(self):
+        default = self.build(FLConfig(rounds=2), model_batch_size=32)
+        explicit = self.build(FLConfig(rounds=2, batch_size=32), model_batch_size=32)
+        values = [{0, 1}, {1, 2}]
+        for coalition in values:
+            assert default.utility(coalition) == explicit.utility(coalition)

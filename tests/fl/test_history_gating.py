@@ -1,0 +1,93 @@
+"""Plain coalition-utility evaluation must not allocate TrainingHistory.
+
+Regression guard for the satellite fix: with a history-recording FLConfig
+(as the gradient-based baselines use), ``FederatedTrainer.train_coalition``
+used to record the full per-round trace for *every* utility evaluation —
+O(rounds × clients × P) memory per coalition on large grids.  Now history is
+only recorded when a caller explicitly asks for it.
+"""
+
+import numpy as np
+import pytest
+
+import repro.fl.server as server_module
+from repro.datasets import make_classification_blobs, partition_iid, train_test_split
+from repro.fl import FederatedTrainer, FLConfig
+from repro.models import LogisticRegressionModel
+
+SEED = 5
+
+
+@pytest.fixture()
+def trainer():
+    pooled = make_classification_blobs(120, n_features=4, n_classes=2, seed=SEED)
+    train, test = train_test_split(pooled, test_fraction=0.25, seed=SEED)
+    clients = partition_iid(train, 3, seed=SEED)
+    return FederatedTrainer(
+        clients,
+        test,
+        lambda: LogisticRegressionModel(n_features=4, n_classes=2, epochs=1),
+        config=FLConfig(rounds=2, record_history=True),  # baseline-style config
+        seed=SEED,
+    )
+
+
+@pytest.fixture()
+def history_allocations(monkeypatch):
+    """Count every TrainingHistory the FL server allocates."""
+    allocations = []
+    real = server_module.TrainingHistory
+
+    def counting(*args, **kwargs):
+        instance = real(*args, **kwargs)
+        allocations.append(instance)
+        return instance
+
+    monkeypatch.setattr(server_module, "TrainingHistory", counting)
+    return allocations
+
+
+class TestHistoryGating:
+    def test_utility_allocates_no_history(self, trainer, history_allocations):
+        trainer.utility({0, 1})
+        trainer.utility({0, 1, 2})
+        assert history_allocations == []
+
+    def test_train_coalition_returns_no_history_by_default(self, trainer):
+        _, history = trainer.train_coalition({0, 1})
+        assert history is None
+
+    def test_train_coalition_records_when_asked(self, trainer, history_allocations):
+        _, history = trainer.train_coalition({0, 1}, record_history=True)
+        assert history is not None
+        assert len(history_allocations) == 1
+        assert len(history.rounds) == 2
+
+    def test_grand_coalition_history_still_records(self, trainer, history_allocations):
+        history = trainer.grand_coalition_history()
+        assert history is not None
+        assert len(history_allocations) == 1
+
+    def test_history_gating_does_not_change_utilities(self, trainer):
+        """Stripping history must be memory-only: same model, same value."""
+        model_plain, _ = trainer.train_coalition({0, 2})
+        model_recorded, _ = trainer.train_coalition({0, 2}, record_history=True)
+        np.testing.assert_array_equal(
+            model_plain.get_parameters(), model_recorded.get_parameters()
+        )
+
+
+class TestWithoutHistory:
+    def test_without_history_copy(self):
+        config = FLConfig(rounds=3, record_history=True)
+        stripped = config.without_history()
+        assert not stripped.record_history
+        assert stripped.rounds == config.rounds
+
+    def test_without_history_identity_when_off(self):
+        config = FLConfig(rounds=3)
+        assert config.without_history() is config
+
+    def test_with_history_roundtrip(self):
+        config = FLConfig(rounds=4, local_epochs=2, algorithm="fedprox")
+        assert config.with_history().without_history() == config

@@ -80,6 +80,43 @@ class TestRunResume:
         assert code == 0
         assert json.loads(out)["cells_resumed"] == 2
 
+    def test_backend_flag_recorded_and_value_neutral(self, tmp_path, capsys):
+        """`--backend vectorized` lands in the manifest and, sharing a store
+        with a serial run, re-trains nothing — the backends agree exactly."""
+        store = str(tmp_path / "store.sqlite")
+        flags = [
+            "--task", "synthetic", "--setup", "same-size-same-distribution",
+            "--model", "mlp", "--n-clients", "3", "--scale", "tiny",
+            "--algorithms", "MC-Shapley",
+        ]
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "vec"), "--store", store,
+            *flags, "--backend", "vectorized", "--json",
+        )
+        assert code == 0
+        vectorized = json.loads(out)
+        assert vectorized["fl_trainings"] == 8  # 2^3 coalitions trained
+
+        manifest = json.loads((tmp_path / "vec" / "manifest.json").read_text())
+        assert manifest["plan"]["backend"] == "vectorized"
+
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "serial"), "--store", store,
+            *flags, "--json",
+        )
+        serial = json.loads(out)
+        assert serial["fl_trainings"] == 0  # served from the vectorized run's store
+        assert serial["rows"][0]["store_hits"] == 8
+
+    def test_unknown_backend_is_a_clean_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "run", "--run-dir", str(tmp_path / "run"),
+                "--backend", "gpu", *TASK_FLAGS,
+            ])
+
     def test_resume_subcommand_reads_plan_from_manifest(self, tmp_path, capsys):
         store = str(tmp_path / "store.sqlite")
         run_dir = str(tmp_path / "run")
