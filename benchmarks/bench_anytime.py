@@ -1,0 +1,126 @@
+"""Benchmark: convergence-based early stop on the paper's n=10 / γ=32 grid.
+
+The anytime redesign's headline claim: a :class:`ConvergenceRule`-stopped
+IPSS run spends measurably fewer oracle evaluations (FL trainings) than the
+full sampling budget while reproducing the full-budget ranking.  This
+benchmark runs the standard IPSS n=10/γ=32 cell — the same grid as
+``bench_parallel``/``parallel_vectorized`` — once to exhaustion and once
+under ``rank:1`` rank-stability stopping, on a real FL task (the
+different-size synthetic setup, MLP), and records both the trainings saved
+and the ranking agreement in BENCH format.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import IPSS, ConvergenceRule
+from repro.experiments.reporting import format_table
+from repro.experiments.specs import TaskSpec
+
+from conftest import run_once, save_report
+from harness import BenchResult, save_bench_json
+
+N_CLIENTS = 10
+GAMMA = 32
+SEED = 1
+
+
+def _build_utility():
+    spec = TaskSpec(
+        kind="synthetic",
+        setup="different-size-same-distribution",
+        model="mlp",
+        n_clients=N_CLIENTS,
+        scale="tiny",
+        seed=SEED,
+    )
+    return spec.build(None)
+
+
+def _run_cell(stopping_rule=None):
+    with _build_utility() as utility:
+        start = time.perf_counter()
+        result = IPSS(total_rounds=GAMMA, seed=SEED).run(
+            utility, N_CLIENTS, stopping_rule=stopping_rule
+        )
+        elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def _full_vs_converged():
+    full, full_time = _run_cell()
+    stopped, stopped_time = _run_cell(
+        stopping_rule=ConvergenceRule(metric="rank", patience=1)
+    )
+    return [
+        {
+            "run": "full-budget",
+            "time_s": full_time,
+            "evaluations": full.utility_evaluations,
+            "ranking": full.ranking().tolist(),
+            "stopped_by": None,
+        },
+        {
+            "run": "rank-converged",
+            "time_s": stopped_time,
+            "evaluations": stopped.utility_evaluations,
+            "ranking": stopped.ranking().tolist(),
+            "stopped_by": stopped.metadata.get("stopped_by"),
+        },
+    ]
+
+
+@pytest.mark.benchmark(group="anytime")
+def test_converged_ipss_saves_evaluations(benchmark, results_dir):
+    rows = run_once(benchmark, _full_vs_converged)
+    full, stopped = rows
+    save_report(
+        results_dir,
+        "anytime_ipss",
+        format_table(
+            [
+                {k: row[k] for k in ("run", "time_s", "evaluations", "stopped_by")}
+                for row in rows
+            ],
+            columns=["run", "time_s", "evaluations", "stopped_by"],
+            title=(
+                f"Anytime IPSS — n={N_CLIENTS}, γ={GAMMA}, "
+                "different-size synthetic, MLP, rank:1 stopping"
+            ),
+        ),
+    )
+    save_bench_json(
+        results_dir,
+        "anytime_ipss",
+        [
+            BenchResult(
+                name=row["run"],
+                config={
+                    "n_clients": N_CLIENTS,
+                    "gamma": GAMMA,
+                    "task": "synthetic/different-size-same-distribution",
+                    "model": "mlp",
+                    "seed": SEED,
+                    "stop_rule": "rank:1" if row["run"] == "rank-converged" else None,
+                },
+                wall_time_s=row["time_s"],
+                baseline="full-budget" if row["run"] == "rank-converged" else None,
+                metrics={
+                    "evaluations": row["evaluations"],
+                    "evaluations_saved": full["evaluations"] - row["evaluations"],
+                    "ranking_matches_full": row["ranking"] == full["ranking"],
+                    "stopped_by": row["stopped_by"],
+                },
+            )
+            for row in rows
+        ],
+    )
+    benchmark.extra_info["full_evaluations"] = full["evaluations"]
+    benchmark.extra_info["converged_evaluations"] = stopped["evaluations"]
+    # Acceptance: strictly fewer trainings, same ranking.
+    assert stopped["evaluations"] < full["evaluations"]
+    assert stopped["ranking"] == full["ranking"]

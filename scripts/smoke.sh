@@ -2,7 +2,8 @@
 # Local mirror of the CI smoke gate: full test suite + benchmark collection
 # + the persistent-store CLI smoke (see scripts/store_smoke.sh) + the
 # scenario-robustness CLI smoke (see scripts/scenario_smoke.sh) + the
-# vectorized-backend parity smoke (see scripts/vectorized_smoke.sh).
+# vectorized-backend parity smoke (see scripts/vectorized_smoke.sh) + the
+# anytime-valuation smoke (see scripts/anytime_smoke.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,3 +12,4 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest benchmarks/ --collect
 bash scripts/store_smoke.sh
 bash scripts/scenario_smoke.sh
 bash scripts/vectorized_smoke.sh
+bash scripts/anytime_smoke.sh

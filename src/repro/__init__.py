@@ -28,10 +28,16 @@ Quickstart
 
 from repro.core import (
     IPSS,
+    BudgetRule,
+    ConvergenceRule,
+    EstimatorState,
     KGreedy,
     MCShapley,
     StratifiedSampling,
     ValuationResult,
+    ValuationSnapshot,
+    WallClockRule,
+    parse_stopping_rule,
     relative_error_l2,
 )
 from repro.fl import CoalitionUtility, FLConfig
@@ -45,6 +51,12 @@ __all__ = [
     "MCShapley",
     "StratifiedSampling",
     "ValuationResult",
+    "ValuationSnapshot",
+    "EstimatorState",
+    "BudgetRule",
+    "ConvergenceRule",
+    "WallClockRule",
+    "parse_stopping_rule",
     "relative_error_l2",
     "CoalitionUtility",
     "BatchUtilityOracle",

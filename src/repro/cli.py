@@ -15,6 +15,13 @@ Subcommands
 ``repro resume``
     Finish an interrupted run from its manifest: only missing cells are
     computed; with the same store attached their coalitions come from disk.
+    Cells interrupted mid-valuation continue from their estimator
+    checkpoints (``checkpoints/`` under the run dir), replaying at most the
+    in-flight chunk.
+``repro run/resume --stop-on --checkpoint-every --progress --json-stream``
+    The anytime surface (see docs/anytime.md): early-stop rules per cell
+    (``budget:64,ci:0.02,rank:2@top5,wallclock:30``), checkpoint cadence,
+    and per-chunk progress/snapshot streaming.
 ``repro scenarios list`` / ``repro scenarios show``
     Browse the registered client-behavior scenarios (see docs/scenarios.md).
 ``repro store stats`` / ``repro store gc``
@@ -60,6 +67,7 @@ from repro.experiments.pipeline import (
     resume_run,
     run_plan,
 )
+from repro.core import parse_stopping_rule
 from repro.experiments.reporting import format_table
 from repro.experiments.specs import SYNTHETIC_SETUPS, TaskSpec, available_tasks
 from repro.experiments.tables import robustness_table
@@ -112,11 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
         "in lockstep on stacked parameters — see docs/performance.md",
     )
     run.add_argument("--resume", action="store_true", help="continue an existing run dir")
+    _add_anytime_arguments(run)
     _add_store_arguments(run)
     _add_output_arguments(run)
 
     resume = subparsers.add_parser("resume", help="finish an interrupted run")
     resume.add_argument("--run-dir", required=True)
+    _add_anytime_arguments(resume)
     _add_store_arguments(resume)
     _add_output_arguments(resume)
 
@@ -150,6 +160,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_arguments(list_tasks)
     return parser
+
+
+def _add_anytime_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stop-on",
+        metavar="SPEC",
+        help="early-stop rule(s) per cell, e.g. 'budget:64', 'ci:0.02', "
+        "'rank:3@top5', 'wallclock:30'; comma-separated terms stop on "
+        "whichever fires first (see docs/anytime.md)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="persist the estimator state every N chunks so an interrupted "
+        "valuation resumes mid-run (0 disables; default 1)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per estimator chunk to stderr",
+    )
+    parser.add_argument(
+        "--json-stream",
+        action="store_true",
+        help="stream one JSON object per estimator chunk to stdout "
+        "(followed by a final {'event': 'report'} object)",
+    )
 
 
 def _add_store_arguments(parser: argparse.ArgumentParser, required: bool = False) -> None:
@@ -203,6 +242,43 @@ def _plan_from_args(args) -> ExperimentPlan:
     )
 
 
+def _stop_rule_from_args(args):
+    spec = getattr(args, "stop_on", None)
+    if not spec:
+        return None
+    return parse_stopping_rule(spec)
+
+
+def _snapshot_callback(args):
+    """Per-chunk observer for --json-stream / --progress (None otherwise)."""
+    if getattr(args, "json_stream", False):
+
+        def emit(spec, algorithm, snapshot):
+            payload = {"event": "snapshot", "task": spec.label(), **snapshot.to_dict()}
+            print(json.dumps(payload), flush=True)
+
+        return emit
+    if getattr(args, "progress", False) and not getattr(args, "json", False):
+
+        def emit(spec, algorithm, snapshot):
+            max_ci = snapshot.max_ci95()
+            extra = "" if max_ci is None else f", max-ci95 {max_ci:.4g}"
+            marker = "done" if snapshot.done else f"chunk {snapshot.chunk_index}"
+            print(
+                f"  {spec.label()} × {algorithm}: {marker}, "
+                f"{snapshot.evaluations} evaluations{extra}",
+                file=sys.stderr,
+            )
+
+        return emit
+    return None
+
+
+def _emit_report(report, args) -> None:
+    if getattr(args, "json_stream", False):
+        print(json.dumps({"event": "report", **report.to_dict()}, sort_keys=True))
+
+
 def _print_report(report: RunReport, as_json: bool) -> None:
     if as_json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -226,9 +302,13 @@ def _print_report(report: RunReport, as_json: bool) -> None:
     for row in report.rows:
         if row.get("status") == "skipped":
             print(f"skipped {row['task']} × {row['algorithm']}: {row['reason']}")
+    continued = (
+        f", {report.cells_continued} continued mid-run" if report.cells_continued else ""
+    )
     print(
         f"cells: {report.cells_run} run, {report.cells_resumed} resumed, "
-        f"{report.cells_skipped} skipped | fl_trainings: {report.fl_trainings} "
+        f"{report.cells_skipped} skipped{continued} "
+        f"| fl_trainings: {report.fl_trainings} "
         f"| store_hits: {report.store_hits}"
     )
 
@@ -244,18 +324,25 @@ def _cmd_run(args) -> int:
         return _cmd_run_scenarios(args)
     plan = _plan_from_args(args)
     store = _open_store_arg(args)
+    quiet = args.json or args.json_stream
     try:
         report = run_plan(
             plan,
             args.run_dir,
             store=store,
             resume=args.resume,
-            log=None if args.json else lambda message: print(message, file=sys.stderr),
+            log=None if quiet else lambda message: print(message, file=sys.stderr),
+            stop_rule=_stop_rule_from_args(args),
+            checkpoint_every=args.checkpoint_every,
+            on_snapshot=_snapshot_callback(args),
         )
     finally:
         if store is not None:
             store.close()
-    _print_report(report, args.json)
+    if args.json_stream:
+        _emit_report(report, args)
+    else:
+        _print_report(report, args.json)
     return 0
 
 
@@ -283,6 +370,7 @@ def _cmd_run_scenarios(args) -> int:
         )
     names = [name.strip() for name in args.scenario.split(",") if name.strip()]
     store = _open_store_arg(args)
+    quiet = args.json or args.json_stream
     try:
         report = run_robustness(
             names,
@@ -295,11 +383,17 @@ def _cmd_run_scenarios(args) -> int:
             n_workers=args.n_workers,
             backend=args.backend,
             resume=args.resume,
-            log=None if args.json else lambda message: print(message, file=sys.stderr),
+            log=None if quiet else lambda message: print(message, file=sys.stderr),
+            stop_rule=_stop_rule_from_args(args),
+            checkpoint_every=args.checkpoint_every,
+            on_snapshot=_snapshot_callback(args),
         )
     finally:
         if store is not None:
             store.close()
+    if args.json_stream:
+        _emit_report(report, args)
+        return 0
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -314,16 +408,23 @@ def _cmd_run_scenarios(args) -> int:
 
 def _cmd_resume(args) -> int:
     store = _open_store_arg(args)
+    quiet = args.json or args.json_stream
     try:
         report = resume_run(
             args.run_dir,
             store=store,
-            log=None if args.json else lambda message: print(message, file=sys.stderr),
+            log=None if quiet else lambda message: print(message, file=sys.stderr),
+            stop_rule=_stop_rule_from_args(args),
+            checkpoint_every=args.checkpoint_every,
+            on_snapshot=_snapshot_callback(args),
         )
     finally:
         if store is not None:
             store.close()
-    _print_report(report, args.json)
+    if args.json_stream:
+        _emit_report(report, args)
+    else:
+        _print_report(report, args.json)
     return 0
 
 

@@ -16,6 +16,17 @@ Support
 """
 
 from repro.core.result import ValuationResult
+from repro.core.anytime import (
+    AllOf,
+    AnyOf,
+    BudgetRule,
+    ConvergenceRule,
+    EstimatorState,
+    StoppingRule,
+    ValuationSnapshot,
+    WallClockRule,
+    parse_stopping_rule,
+)
 from repro.core.base import (
     GradientBasedValuation,
     SupportsBatchEvaluation,
@@ -58,6 +69,15 @@ from repro.core.baselines import (
 
 __all__ = [
     "ValuationResult",
+    "ValuationSnapshot",
+    "EstimatorState",
+    "StoppingRule",
+    "BudgetRule",
+    "ConvergenceRule",
+    "WallClockRule",
+    "AnyOf",
+    "AllOf",
+    "parse_stopping_rule",
     "ValuationAlgorithm",
     "GradientBasedValuation",
     "SupportsBatchEvaluation",

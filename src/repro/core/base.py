@@ -14,10 +14,18 @@ Two families exist, mirroring the paper's taxonomy (Sec. II-C):
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterable, Optional, Protocol, runtime_checkable
+from typing import Callable, Iterable, Iterator, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.core.anytime import (
+    EstimatorState,
+    StepResult,
+    StoppingRule,
+    ValuationSnapshot,
+    capture_rng_state,
+    restore_rng,
+)
 from repro.core.result import ValuationResult
 from repro.parallel.batch_oracle import coalition_batch_keys
 from repro.utils.rng import RandomState, SeedLike
@@ -72,10 +80,30 @@ def infer_n_clients(utility: UtilityFunction, n_clients: Optional[int]) -> int:
 
 
 class ValuationAlgorithm(abc.ABC):
-    """Base class for utility-oracle-based valuation algorithms."""
+    """Base class for utility-oracle-based valuation algorithms.
+
+    Algorithms implement *incremental chunks*: :meth:`_incremental_init`
+    prepares a checkpointable payload and :meth:`_incremental_step` advances
+    the estimate by one chunk (a coalition-size stratum, a permutation walk,
+    a block of Monte-Carlo rounds, ...).  :meth:`iter_run` drives the chunks
+    and yields a :class:`~repro.core.anytime.ValuationSnapshot` after each
+    one; :meth:`run` is a thin wrapper that consumes the snapshot stream.
+    The contract every implementation must honour: an uninterrupted
+    ``iter_run`` consumed to exhaustion — with or without a checkpoint
+    restore in the middle — produces values bitwise-identical to the
+    monolithic estimation at the same seed.
+
+    Algorithms that have not been migrated simply inherit the default
+    single-chunk adapter, which runs :meth:`_estimate` in one step (no
+    mid-run checkpoints, one terminal snapshot).
+    """
 
     #: short name used in result objects and experiment reports
     name: str = "base"
+
+    #: whether this algorithm yields more than one chunk (and therefore
+    #: supports mid-run checkpointing / convergence-based early stop)
+    incremental: bool = False
 
     def __init__(self, seed: SeedLike = None) -> None:
         self.seed = seed
@@ -88,6 +116,127 @@ class ValuationAlgorithm(abc.ABC):
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Return the estimated data values for all clients."""
+
+    # ------------------------------------------------------------------ #
+    # Incremental protocol
+    # ------------------------------------------------------------------ #
+    def _state_config(self) -> dict:
+        """Constructor parameters a checkpoint must match to be resumable."""
+        return {}
+
+    def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
+        """Build the initial (checkpointable) payload; may consume RNG."""
+        return {}
+
+    def _incremental_step(
+        self,
+        utility: UtilityFunction,
+        n_clients: int,
+        rng: np.random.Generator,
+        payload: dict,
+    ) -> StepResult:
+        """Advance the estimate by one chunk.
+
+        The default is the single-chunk adapter: run the monolithic
+        :meth:`_estimate` and finish.  Incremental algorithms override this
+        (together with :meth:`_incremental_init`) and keep *all* mutable
+        estimation state inside ``payload`` so a restored checkpoint resumes
+        exactly where the interrupted run left off.
+        """
+        values = self._estimate(utility, n_clients, rng)
+        return StepResult(
+            values=np.asarray(values, dtype=float), stderr=None, n_samples=None, done=True
+        )
+
+    def _drive_chunks(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Run the incremental chunks to exhaustion (used by ``_estimate``)."""
+        payload = self._incremental_init(n_clients, rng)
+        while True:
+            step = self._incremental_step(utility, n_clients, rng, payload)
+            if step.done:
+                return np.asarray(step.values, dtype=float)
+
+    def state_matches(self, state: EstimatorState, n_clients: int) -> bool:
+        """Whether a checkpoint belongs to this algorithm configuration."""
+        return (
+            isinstance(state, EstimatorState)
+            and state.algorithm == self.name
+            and int(state.n_clients) == int(n_clients)
+            and state.config == self._state_config()
+        )
+
+    def iter_run(
+        self,
+        utility: UtilityFunction,
+        n_clients: Optional[int] = None,
+        state: Optional[EstimatorState] = None,
+    ) -> Iterator[ValuationSnapshot]:
+        """Run the estimation incrementally, yielding a snapshot per chunk.
+
+        ``state`` resumes a previously checkpointed run: pass an
+        :class:`EstimatorState` restored via ``EstimatorState.from_dict`` and
+        the generator continues from the first unfinished chunk — evaluations
+        and elapsed time keep accumulating, and the final values are
+        bitwise-identical to an uninterrupted run at the same seed.
+        """
+        n = infer_n_clients(utility, n_clients)
+        if state is None:
+            rng = RandomState(self.seed)
+            state = EstimatorState(
+                algorithm=self.name, n_clients=n, config=self._state_config()
+            )
+            state.payload = self._incremental_init(n, rng)
+            state.rng_state = capture_rng_state(rng)
+        else:
+            if not self.state_matches(state, n):
+                raise ValueError(
+                    f"estimator state does not match this algorithm: state is for "
+                    f"{state.algorithm!r} (n={state.n_clients}, config="
+                    f"{state.config}), this is {self.name!r} (n={n}, config="
+                    f"{self._state_config()})"
+                )
+            if state.done:
+                yield self._snapshot(state)
+                return
+            if state.rng_state is None:
+                raise ValueError("estimator state carries no RNG state")
+            rng = restore_rng(state.rng_state)
+        while not state.done:
+            evaluations_before = _evaluation_count(utility)
+            with Timer() as timer:
+                step = self._incremental_step(utility, n, rng, state.payload)
+            state.evaluations += _evaluation_count(utility) - evaluations_before
+            state.elapsed_seconds += timer.elapsed
+            state.chunk_index += 1
+            state.done = bool(step.done)
+            state.rng_state = capture_rng_state(rng)
+            state.values = np.asarray(step.values, dtype=float)
+            state.stderr = (
+                None if step.stderr is None else np.asarray(step.stderr, dtype=float)
+            )
+            state.n_samples = (
+                None
+                if step.n_samples is None
+                else np.asarray(step.n_samples, dtype=float)
+            )
+            yield self._snapshot(state)
+
+    def _snapshot(self, state: EstimatorState) -> ValuationSnapshot:
+        return ValuationSnapshot(
+            algorithm=self.name,
+            n_clients=state.n_clients,
+            values=state.values,
+            evaluations=state.evaluations,
+            elapsed_seconds=state.elapsed_seconds,
+            chunk_index=state.chunk_index,
+            done=state.done,
+            stderr=state.stderr,
+            n_samples_per_client=state.n_samples,
+            metadata=self._metadata(),
+            state=state,
+        )
 
     def _batch_utilities(
         self,
@@ -117,22 +266,35 @@ class ValuationAlgorithm(abc.ABC):
         self,
         utility: UtilityFunction,
         n_clients: Optional[int] = None,
+        stopping_rule: Optional[StoppingRule] = None,
+        state: Optional[EstimatorState] = None,
+        on_snapshot: Optional[Callable[[ValuationSnapshot], None]] = None,
     ) -> ValuationResult:
-        """Estimate data values, measuring wall-clock time and oracle calls."""
-        n = infer_n_clients(utility, n_clients)
-        rng = RandomState(self.seed)
-        evaluations_before = _evaluation_count(utility)
-        with Timer() as timer:
-            values = self._estimate(utility, n, rng)
-        evaluations_after = _evaluation_count(utility)
-        return ValuationResult(
-            values=np.asarray(values, dtype=float),
-            algorithm=self.name,
-            n_clients=n,
-            utility_evaluations=evaluations_after - evaluations_before,
-            elapsed_seconds=timer.elapsed,
-            metadata=self._metadata(),
-        )
+        """Estimate data values, measuring wall-clock time and oracle calls.
+
+        A thin wrapper over :meth:`iter_run`: without a ``stopping_rule`` the
+        snapshot stream is consumed to exhaustion, which is seed-for-seed
+        identical to the pre-anytime blocking implementation.  With a rule,
+        the run may stop early; the returned result then records
+        ``metadata["stopped_early"]`` / ``metadata["stopped_by"]``.  ``state``
+        resumes a checkpointed run and ``on_snapshot`` observes every chunk.
+        """
+        if stopping_rule is not None:
+            stopping_rule.reset()
+        last: Optional[ValuationSnapshot] = None
+        stopped_by: Optional[str] = None
+        for snapshot in self.iter_run(utility, n_clients, state=state):
+            last = snapshot
+            if on_snapshot is not None:
+                on_snapshot(snapshot)
+            if snapshot.done:
+                break
+            if stopping_rule is not None and stopping_rule.should_stop(snapshot):
+                stopped_by = stopping_rule.fired or stopping_rule.describe()
+                break
+        if last is None:  # pragma: no cover - iter_run always yields
+            raise RuntimeError(f"{self.name}.iter_run produced no snapshots")
+        return last.result(stopped_by=stopped_by)
 
     def _metadata(self) -> dict:
         """Algorithm-specific extras attached to the result; override freely."""
@@ -201,6 +363,36 @@ class GradientBasedValuation(abc.ABC):
             utility_evaluations=1,
             elapsed_seconds=timer.elapsed,
             metadata={"model_evaluations": self._model_evaluations, **self._metadata()},
+        )
+
+    def iter_run(
+        self,
+        utility,
+        n_clients: Optional[int] = None,
+        state: Optional[EstimatorState] = None,
+    ) -> Iterator[ValuationSnapshot]:
+        """Single-chunk anytime adapter for the gradient-based family.
+
+        Gradient-based methods replay one recorded FL history, so there is no
+        meaningful chunk boundary to checkpoint at; the adapter exists so the
+        pipeline and CLI can treat every registered algorithm uniformly.
+        """
+        if state is not None:
+            raise ValueError(
+                f"{self.name} is gradient-based (single-chunk) and cannot "
+                "resume from an estimator checkpoint"
+            )
+        result = self.run(utility, n_clients)
+        yield ValuationSnapshot(
+            algorithm=self.name,
+            n_clients=result.n_clients,
+            values=result.values,
+            evaluations=result.utility_evaluations,
+            elapsed_seconds=result.elapsed_seconds,
+            chunk_index=1,
+            done=True,
+            metadata=dict(result.metadata),
+            state=None,
         )
 
     def _evaluate_parameters(self, model, parameters: np.ndarray, test_dataset) -> float:

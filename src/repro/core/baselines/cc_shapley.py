@@ -17,12 +17,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.anytime import StepResult, stratified_stderr
 from repro.core.base import UtilityFunction, ValuationAlgorithm
 from repro.utils.rng import SeedLike
 
 
 class CCShapleySampling(ValuationAlgorithm):
     """Complementary-contribution Monte Carlo estimator.
+
+    Incremental: the deterministic U(N) − U(∅) pair forms the first chunk,
+    then each chunk draws up to ``chunk_rounds`` complementary pairs.  Pairs
+    are evaluated one at a time through the oracle's single-coalition path —
+    the budget charges every evaluation, including re-drawn coalitions, so
+    batch deduplication would change the accounting.
 
     Parameters
     ----------
@@ -34,45 +41,86 @@ class CCShapleySampling(ValuationAlgorithm):
         When true (default) the coalition size is drawn uniformly from
         ``1..n−1`` (stratified over sizes); otherwise each client is included
         independently with probability 1/2.
+    chunk_rounds:
+        Sampling rounds per incremental chunk (checkpoint/early-stop
+        granularity only — values are chunk-boundary-invariant).
     """
 
     name = "CC-Shapley"
+    incremental = True
 
     def __init__(
         self,
         total_rounds: int = 32,
         stratified: bool = True,
+        chunk_rounds: int = 4,
         seed: SeedLike = None,
     ) -> None:
         super().__init__(seed=seed)
         if total_rounds < 2:
             raise ValueError("total_rounds must be at least 2")
+        if chunk_rounds < 1:
+            raise ValueError(f"chunk_rounds must be >= 1, got {chunk_rounds}")
         self.total_rounds = total_rounds
         self.stratified = stratified
+        self.chunk_rounds = chunk_rounds
         self._rounds_used = 0
 
-    def _estimate(
-        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    def _state_config(self) -> dict:
+        return {"total_rounds": self.total_rounds, "stratified": self.stratified}
+
+    def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
+        self._rounds_used = 0
+        return {
+            # Per-client per-stratum accumulators of complementary contributions.
+            "sums": np.zeros((n_clients, n_clients + 1)),
+            "sumsq": np.zeros((n_clients, n_clients + 1)),
+            "counts": np.zeros((n_clients, n_clients + 1)),
+            "budget": self.total_rounds,
+            "rounds_used": 0,
+            "anchored": False,
+        }
+
+    def _step_result(self, payload: dict, n_clients: int) -> StepResult:
+        sums, counts = payload["sums"], payload["counts"]
+        values = np.zeros(n_clients)
+        for client in range(n_clients):
+            total = 0.0
+            for stratum in range(1, n_clients + 1):
+                if counts[client, stratum] > 0:
+                    total += sums[client, stratum] / counts[client, stratum]
+            values[client] = total / n_clients
+        return StepResult(
+            values=values,
+            stderr=stratified_stderr(sums, payload["sumsq"], counts),
+            n_samples=counts.sum(axis=1),
+            done=payload["budget"] < 2,
+        )
+
+    def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
         everyone = frozenset(range(n_clients))
-        # Per-client per-stratum accumulators of complementary contributions.
-        sums = np.zeros((n_clients, n_clients + 1))
-        counts = np.zeros((n_clients, n_clients + 1))
+        sums, sumsq, counts = payload["sums"], payload["sumsq"], payload["counts"]
+        self._rounds_used = int(payload["rounds_used"])
 
-        budget = self.total_rounds
-        self._rounds_used = 0
+        if not payload["anchored"]:
+            payload["anchored"] = True
+            # The stratum of size n is a single deterministic complementary
+            # pair, U(N) − U(∅), shared by every client; evaluate it once up
+            # front so the estimator covers all strata (random sampling below
+            # only reaches sizes 1..n−1).
+            if payload["budget"] >= 2:
+                grand_minus_empty = utility(everyone) - utility(frozenset())
+                payload["budget"] -= 2
+                for client in range(n_clients):
+                    sums[client, n_clients] += grand_minus_empty
+                    sumsq[client, n_clients] += grand_minus_empty**2
+                    counts[client, n_clients] += 1
+            return self._step_result(payload, n_clients)
 
-        # The stratum of size n is a single deterministic complementary pair,
-        # U(N) − U(∅), shared by every client; evaluate it once up front so the
-        # estimator covers all strata (random sampling below only reaches sizes
-        # 1..n−1).
-        if budget >= 2:
-            grand_minus_empty = utility(everyone) - utility(frozenset())
-            budget -= 2
-            for client in range(n_clients):
-                sums[client, n_clients] += grand_minus_empty
-                counts[client, n_clients] += 1
-        while budget >= 2:
+        budget = int(payload["budget"])
+        attempts = 0
+        while budget >= 2 and attempts < self.chunk_rounds:
+            attempts += 1
             if self.stratified:
                 size = int(rng.integers(1, n_clients)) if n_clients > 1 else 1
                 members = rng.choice(n_clients, size=size, replace=False)
@@ -87,25 +135,26 @@ class CCShapleySampling(ValuationAlgorithm):
             coalition_utility = utility(coalition)
             complement_utility = utility(complement)
             budget -= 2
-            self._rounds_used += 1
+            payload["rounds_used"] += 1
+            self._rounds_used = int(payload["rounds_used"])
 
             contribution = coalition_utility - complement_utility
             size = len(coalition)
             for client in coalition:
                 sums[client, size] += contribution
+                sumsq[client, size] += contribution**2
                 counts[client, size] += 1
             for client in complement:
                 sums[client, n_clients - size] += -contribution
+                sumsq[client, n_clients - size] += contribution**2
                 counts[client, n_clients - size] += 1
+        payload["budget"] = budget
+        return self._step_result(payload, n_clients)
 
-        values = np.zeros(n_clients)
-        for client in range(n_clients):
-            total = 0.0
-            for stratum in range(1, n_clients + 1):
-                if counts[client, stratum] > 0:
-                    total += sums[client, stratum] / counts[client, stratum]
-            values[client] = total / n_clients
-        return values
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._drive_chunks(utility, n_clients, rng)
 
     def _metadata(self) -> dict:
         return {

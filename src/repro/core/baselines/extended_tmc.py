@@ -16,12 +16,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.anytime import StepResult
 from repro.core.base import UtilityFunction, ValuationAlgorithm
 from repro.utils.rng import SeedLike
 
 
 class ExtendedTMC(ValuationAlgorithm):
     """Truncated Monte Carlo permutation sampling under an evaluation budget.
+
+    Incremental: the anchor evaluations (U(N), U(∅)) form the first chunk and
+    every permutation walk is one further chunk.  Prefix utilities within a
+    walk are inherently sequential — whether to evaluate a prefix depends on
+    the previous prefix's utility (truncation) — so they go through the
+    oracle's single-coalition path, which still hits its cache/store tiers.
 
     Parameters
     ----------
@@ -38,6 +45,7 @@ class ExtendedTMC(ValuationAlgorithm):
     """
 
     name = "Extended-TMC"
+    incremental = True
 
     def __init__(
         self,
@@ -57,48 +65,101 @@ class ExtendedTMC(ValuationAlgorithm):
         self._permutations_used = 0
         self._truncations = 0
 
+    def _state_config(self) -> dict:
+        return {
+            "total_rounds": self.total_rounds,
+            "truncation_tolerance": self.truncation_tolerance,
+            "max_permutations": self.max_permutations,
+        }
+
+    def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
+        self._permutations_used = 0
+        self._truncations = 0
+        return {
+            "sums": np.zeros(n_clients),
+            "sumsq": np.zeros(n_clients),
+            "counts": np.zeros(n_clients),
+            "budget": self.total_rounds,
+            "permutations_used": 0,
+            "truncations": 0,
+            "grand": None,
+            "empty": None,
+            "anchored": False,
+        }
+
+    def _step_result(self, payload: dict, done: bool) -> StepResult:
+        sums, sumsq, counts = payload["sums"], payload["sumsq"], payload["counts"]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            values = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+            variance = np.where(
+                counts >= 2,
+                np.maximum(sumsq - counts * values**2, 0.0) / np.maximum(counts - 1, 1),
+                0.0,
+            )
+            # Fewer than two marginal samples -> stderr undefined (NaN), so
+            # CI-based stopping rules cannot mistake ignorance for certainty.
+            stderr = np.sqrt(
+                np.where(counts >= 2, variance / np.maximum(counts, 1), np.nan)
+            )
+        return StepResult(
+            values=values, stderr=stderr, n_samples=counts.copy(), done=done
+        )
+
+    def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
+        sums, sumsq, counts = payload["sums"], payload["sumsq"], payload["counts"]
+        self._permutations_used = int(payload["permutations_used"])
+        self._truncations = int(payload["truncations"])
+
+        if not payload["anchored"]:
+            # The grand- and empty-coalition utilities anchor truncation.
+            payload["grand"] = float(utility(frozenset(range(n_clients))))
+            payload["empty"] = float(utility(frozenset()))
+            payload["budget"] -= 2
+            payload["anchored"] = True
+            return self._step_result(payload, done=self._exhausted(payload))
+
+        grand_utility, empty_utility = payload["grand"], payload["empty"]
+        budget = int(payload["budget"])
+        permutation = rng.permutation(n_clients)
+        prefix: frozenset = frozenset()
+        previous_utility = empty_utility
+        payload["permutations_used"] += 1
+        self._permutations_used = int(payload["permutations_used"])
+        for position, client in enumerate(permutation):
+            client = int(client)
+            if budget <= 0:
+                break
+            if abs(grand_utility - previous_utility) < self.truncation_tolerance:
+                # Truncate: remaining clients contribute (approximately) zero.
+                payload["truncations"] += 1
+                self._truncations = int(payload["truncations"])
+                for remaining in permutation[position:]:
+                    counts[int(remaining)] += 1
+                break
+            prefix = prefix | {client}
+            if len(prefix) == n_clients:
+                current_utility = grand_utility
+            else:
+                current_utility = float(utility(prefix))
+                budget -= 1
+            marginal = current_utility - previous_utility
+            sums[client] += marginal
+            sumsq[client] += marginal**2
+            counts[client] += 1
+            previous_utility = current_utility
+        payload["budget"] = budget
+        return self._step_result(payload, done=self._exhausted(payload))
+
+    def _exhausted(self, payload: dict) -> bool:
+        return not (
+            payload["budget"] > 0
+            and payload["permutations_used"] < self.max_permutations
+        )
+
     def _estimate(
         self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
     ) -> np.ndarray:
-        budget = self.total_rounds
-        sums = np.zeros(n_clients)
-        counts = np.zeros(n_clients)
-        self._permutations_used = 0
-        self._truncations = 0
-
-        # The grand-coalition and empty-coalition utilities anchor truncation.
-        grand_utility = utility(frozenset(range(n_clients)))
-        empty_utility = utility(frozenset())
-        budget -= 2
-
-        while budget > 0 and self._permutations_used < self.max_permutations:
-            permutation = rng.permutation(n_clients)
-            prefix: frozenset = frozenset()
-            previous_utility = empty_utility
-            self._permutations_used += 1
-            for position, client in enumerate(permutation):
-                client = int(client)
-                if budget <= 0:
-                    break
-                if abs(grand_utility - previous_utility) < self.truncation_tolerance:
-                    # Truncate: remaining clients contribute (approximately) zero.
-                    self._truncations += 1
-                    for remaining in permutation[position:]:
-                        counts[int(remaining)] += 1
-                    break
-                prefix = prefix | {client}
-                if len(prefix) == n_clients:
-                    current_utility = grand_utility
-                else:
-                    current_utility = utility(prefix)
-                    budget -= 1
-                sums[client] += current_utility - previous_utility
-                counts[client] += 1
-                previous_utility = current_utility
-
-        with np.errstate(invalid="ignore", divide="ignore"):
-            values = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
-        return values
+        return self._drive_chunks(utility, n_clients, rng)
 
     def _metadata(self) -> dict:
         return {

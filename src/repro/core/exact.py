@@ -12,6 +12,13 @@ All three train/evaluate ``O(2^n)`` coalitions (``O(n!)`` orderings for the
 permutation form), so they are only usable for small ``n`` — which is exactly
 the paper's motivation for approximation.  They serve as ground truth in the
 experiments and tests.
+
+All three are *incremental*: evaluation proceeds one coalition-size stratum
+per chunk (smallest first, each planned through ``_batch_utilities`` so
+batch-capable oracles train the stratum concurrently), and every chunk yields
+an interim estimate restricted to the marginal pairs whose endpoints are both
+evaluated.  Consumed to exhaustion the chunks fold contributions in exactly
+the order the monolithic loop did, so the final values are bitwise-identical.
 """
 
 from __future__ import annotations
@@ -21,8 +28,9 @@ import math
 
 import numpy as np
 
+from repro.core.anytime import StepResult
 from repro.core.base import UtilityFunction, ValuationAlgorithm
-from repro.utils.combinatorics import all_coalitions, marginal_coefficient
+from repro.utils.combinatorics import coalitions_of_size, marginal_coefficient
 
 #: refuse exact permutation enumeration beyond this many clients
 MAX_EXACT_PERMUTATION_CLIENTS = 9
@@ -39,6 +47,36 @@ def _check_tractable(n_clients: int, limit: int, scheme: str) -> None:
         )
 
 
+def mc_accumulate_stratum(
+    utilities: dict,
+    n_clients: int,
+    base_size: int,
+    values: np.ndarray,
+    counts: np.ndarray,
+) -> None:
+    """Fold the MC contributions of all base coalitions of one size.
+
+    Called once the ``base_size + 1`` stratum is evaluated.  For any fixed
+    client the coalitions arrive in the same (size-ascending, lexicographic)
+    order as the monolithic per-client loop, and each ``+=`` touches a single
+    scalar accumulator — so the folded floats are bitwise-identical to the
+    one-shot computation.
+
+    This fold order is load-bearing for the bitwise-parity contract and is
+    shared by every MC-scheme estimator (MC/Perm-Shapley here, K-Greedy and
+    IPSS's exhaustive phase import it) — change it in one place or not at
+    all.
+    """
+    weight = marginal_coefficient(n_clients, base_size)
+    for coalition in coalitions_of_size(n_clients, base_size):
+        base_utility = utilities[coalition]
+        for client in range(n_clients):
+            if client in coalition:
+                continue
+            values[client] += weight * (utilities[coalition | {client}] - base_utility)
+            counts[client] += 1
+
+
 class MCShapley(ValuationAlgorithm):
     """Exact Shapley value via the marginal-contribution scheme (MC-SV).
 
@@ -46,23 +84,39 @@ class MCShapley(ValuationAlgorithm):
     """
 
     name = "MC-Shapley"
+    incremental = True
+
+    def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
+        _check_tractable(n_clients, MAX_EXACT_COALITION_CLIENTS, "MC-SV")
+        return {
+            "utilities": {},
+            "next_size": 0,
+            "values": np.zeros(n_clients),
+            "counts": np.zeros(n_clients),
+        }
+
+    def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
+        size = int(payload["next_size"])
+        payload["utilities"].update(
+            self._batch_utilities(utility, coalitions_of_size(n_clients, size))
+        )
+        if size >= 1:
+            mc_accumulate_stratum(
+                payload["utilities"], n_clients, size - 1,
+                payload["values"], payload["counts"],
+            )
+        payload["next_size"] = size + 1
+        return StepResult(
+            values=payload["values"].copy(),
+            stderr=None,
+            n_samples=payload["counts"].copy(),
+            done=size >= n_clients,
+        )
 
     def _estimate(
         self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
     ) -> np.ndarray:
-        _check_tractable(n_clients, MAX_EXACT_COALITION_CLIENTS, "MC-SV")
-        # Request every coalition as one batch: a batch-capable oracle trains
-        # them concurrently, a plain callable is fed them sequentially.
-        utilities = self._batch_utilities(utility, all_coalitions(n_clients))
-        values = np.zeros(n_clients)
-        for client in range(n_clients):
-            for coalition, value in utilities.items():
-                if client in coalition:
-                    continue
-                with_client = coalition | {client}
-                weight = marginal_coefficient(n_clients, len(coalition))
-                values[client] += weight * (utilities[with_client] - value)
-        return values
+        return self._drive_chunks(utility, n_clients, rng)
 
 
 class CCShapley(ValuationAlgorithm):
@@ -72,13 +126,23 @@ class CCShapley(ValuationAlgorithm):
     """
 
     name = "CC-Shapley-exact"
+    incremental = True
 
-    def _estimate(
-        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
         _check_tractable(n_clients, MAX_EXACT_COALITION_CLIENTS, "CC-SV")
+        return {"utilities": {}, "next_size": 0}
+
+    @staticmethod
+    def _restricted_values(utilities: dict, n_clients: int) -> np.ndarray:
+        """The CC-SV sum over pairs whose both endpoints are evaluated.
+
+        A coalition's complementary pair can live in a *larger* stratum than
+        the coalition itself, so contributions cannot be folded stratum by
+        stratum in the monolithic order; instead the (cheap) restricted sum is
+        recomputed per chunk.  Once every stratum is in, the guard never
+        skips and the loop *is* the monolithic one — identical fold order.
+        """
         everyone = frozenset(range(n_clients))
-        utilities = self._batch_utilities(utility, all_coalitions(n_clients))
         values = np.zeros(n_clients)
         for client in range(n_clients):
             for coalition in utilities:
@@ -86,11 +150,31 @@ class CCShapley(ValuationAlgorithm):
                     continue
                 with_client = coalition | {client}
                 complement = everyone - with_client
+                if with_client not in utilities or complement not in utilities:
+                    continue
                 weight = marginal_coefficient(n_clients, len(coalition))
                 values[client] += weight * (
                     utilities[with_client] - utilities[complement]
                 )
         return values
+
+    def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
+        size = int(payload["next_size"])
+        payload["utilities"].update(
+            self._batch_utilities(utility, coalitions_of_size(n_clients, size))
+        )
+        payload["next_size"] = size + 1
+        return StepResult(
+            values=self._restricted_values(payload["utilities"], n_clients),
+            stderr=None,
+            n_samples=None,
+            done=size >= n_clients,
+        )
+
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._drive_chunks(utility, n_clients, rng)
 
 
 class PermShapley(ValuationAlgorithm):
@@ -101,18 +185,54 @@ class PermShapley(ValuationAlgorithm):
     is the average over all ``n!`` orderings.  Equivalent to MC-SV but — as in
     the paper's Perm-Shapley baseline — far more expensive, so it is capped at
     :data:`MAX_EXACT_PERMUTATION_CLIENTS` clients.
+
+    Incrementally the coalition strata are evaluated one chunk at a time
+    (every prefix of every permutation is some subset of N); interim chunks
+    report the MC-SV estimate restricted to the evaluated strata, and the
+    final chunk runs the n!-ordering sweep over the complete table.
     """
 
     name = "Perm-Shapley"
+    incremental = True
 
-    def _estimate(
-        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
         _check_tractable(n_clients, MAX_EXACT_PERMUTATION_CLIENTS, "Perm-SV")
-        # Every prefix of every permutation is some subset of N, so the whole
-        # n!-ordering sweep needs exactly the 2^n coalition utilities — fetch
-        # them as one batch instead of one oracle call per prefix.
-        utilities = self._batch_utilities(utility, all_coalitions(n_clients))
+        return {
+            "utilities": {},
+            "next_size": 0,
+            "values": np.zeros(n_clients),
+            "counts": np.zeros(n_clients),
+        }
+
+    def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
+        size = int(payload["next_size"])
+        payload["utilities"].update(
+            self._batch_utilities(utility, coalitions_of_size(n_clients, size))
+        )
+        if size >= 1:
+            # Interim trajectory: the (equivalent) MC-SV estimate over the
+            # evaluated strata — the permutation sweep needs the full table.
+            mc_accumulate_stratum(
+                payload["utilities"], n_clients, size - 1,
+                payload["values"], payload["counts"],
+            )
+        payload["next_size"] = size + 1
+        if size < n_clients:
+            return StepResult(
+                values=payload["values"].copy(),
+                stderr=None,
+                n_samples=payload["counts"].copy(),
+                done=False,
+            )
+        return StepResult(
+            values=self._permutation_sweep(payload["utilities"], n_clients),
+            stderr=None,
+            n_samples=payload["counts"].copy(),
+            done=True,
+        )
+
+    @staticmethod
+    def _permutation_sweep(utilities: dict, n_clients: int) -> np.ndarray:
         values = np.zeros(n_clients)
         n_permutations = math.factorial(n_clients)
         for permutation in itertools.permutations(range(n_clients)):
@@ -124,6 +244,11 @@ class PermShapley(ValuationAlgorithm):
                 values[client] += current_utility - previous_utility
                 previous_utility = current_utility
         return values / n_permutations
+
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._drive_chunks(utility, n_clients, rng)
 
 
 def exact_shapley(utility: UtilityFunction, n_clients: int) -> np.ndarray:

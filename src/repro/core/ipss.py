@@ -15,17 +15,27 @@ exploits the *key combinations* phenomenon.  Given a sampling budget γ it
 Under the FL linear-regression model the relative error is bounded by
 ``O((n − k*) / (k* · n · t))`` (Thm. 3) and the time complexity is ``O(τ·γ)``
 where τ is the cost of one FL training.
+
+Evaluation is incremental: one coalition-size stratum per chunk during the
+exhaustive phase (each planned through ``_batch_utilities``), then one final
+chunk for the balanced partial stratum.  Marginal contributions fold as soon
+as both endpoints are evaluated — per client in the monolithic loop's exact
+order — so exhausting the chunks is bitwise-identical to the one-shot run,
+while a convergence-based stopping rule can cut the later (low-coefficient)
+strata and save their FL trainings.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.anytime import StepResult
 from repro.core.base import UtilityFunction, ValuationAlgorithm
+from repro.core.exact import mc_accumulate_stratum
 from repro.utils.combinatorics import (
-    all_coalitions,
     balanced_coalitions_of_size,
     client_appearance_counts,
+    coalitions_of_size,
     count_coalitions_up_to,
     marginal_coefficient,
     max_fully_enumerable_size,
@@ -45,19 +55,35 @@ class IPSS(ValuationAlgorithm):
         Whether to spend the leftover budget on the (k*+1)-sized stratum
         (lines 8-14 of Alg. 3).  Disabling this reduces IPSS to K-Greedy with
         ``K = k*`` and is exposed for the ablation benchmark.
+    partial_chunk_size:
+        Evaluation granularity of the phase-2 stratum in the anytime
+        protocol: the balanced sample is drawn once (one RNG consumption, so
+        values stay chunk-boundary-invariant) and then evaluated in slices of
+        this many coalitions, each slice yielding a snapshot.  The partial
+        stratum often dominates the budget — on the paper's n=10/γ=32 grid it
+        is 21 of 32 evaluations — so this is where convergence-based early
+        stop actually saves trainings.  ``None`` evaluates it in one chunk.
     """
+
+    incremental = True
 
     def __init__(
         self,
         total_rounds: int = 32,
         include_partial_stratum: bool = True,
+        partial_chunk_size: int | None = 8,
         seed: SeedLike = None,
     ) -> None:
         super().__init__(seed=seed)
         if total_rounds < 1:
             raise ValueError(f"total_rounds must be >= 1, got {total_rounds}")
+        if partial_chunk_size is not None and partial_chunk_size < 1:
+            raise ValueError(
+                f"partial_chunk_size must be >= 1 or None, got {partial_chunk_size}"
+            )
         self.total_rounds = total_rounds
         self.include_partial_stratum = include_partial_stratum
+        self.partial_chunk_size = partial_chunk_size
         self.name = "IPSS"
         self._last_k_star: int | None = None
         self._last_partial_count: int = 0
@@ -67,9 +93,13 @@ class IPSS(ValuationAlgorithm):
         """The largest fully enumerated coalition size for the current budget."""
         return max_fully_enumerable_size(n_clients, self.total_rounds)
 
-    def _estimate(
-        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    def _state_config(self) -> dict:
+        return {
+            "total_rounds": self.total_rounds,
+            "include_partial_stratum": self.include_partial_stratum,
+        }
+
+    def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
         k_star = self.k_star(n_clients)
         if k_star < 0:
             raise ValueError(
@@ -77,44 +107,101 @@ class IPSS(ValuationAlgorithm):
                 "empty coalition; increase total_rounds"
             )
         self._last_k_star = k_star
+        self._last_partial_count = 0
+        return {
+            "utilities": {},
+            "next_size": 0,
+            "k_star": k_star,
+            "partial": None,
+            "partial_evaluated": 0,
+            "partial_count": 0,
+            "values": np.zeros(n_clients),
+            "counts": np.zeros(n_clients),
+        }
 
-        # Phase 1 (lines 1-7): evaluate all coalitions of size <= k* — one
-        # batch, trained concurrently by batch-capable oracles.
-        utilities = self._batch_utilities(
-            utility,
-            (c for c in all_coalitions(n_clients) if len(c) <= k_star),
+    def _has_partial_phase(self, n_clients: int, k_star: int) -> bool:
+        if not self.include_partial_stratum or k_star + 1 > n_clients:
+            return False
+        return self.total_rounds - count_coalitions_up_to(n_clients, k_star) > 0
+
+    def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
+        k_star = int(payload["k_star"])
+        self._last_k_star = k_star
+        values, counts = payload["values"], payload["counts"]
+        size = int(payload["next_size"])
+
+        if size <= k_star:
+            # Phase 1 (lines 1-7): one exhaustively-enumerated stratum per
+            # chunk, trained concurrently by batch-capable oracles.
+            payload["utilities"].update(
+                self._batch_utilities(utility, coalitions_of_size(n_clients, size))
+            )
+            if 1 <= size:
+                # Marginals based on the (size-1) stratum now have both
+                # endpoints; fold them in the monolithic loop's order.
+                mc_accumulate_stratum(
+                    payload["utilities"], n_clients, size - 1, values, counts
+                )
+            payload["next_size"] = size + 1
+            done = size >= k_star and not self._has_partial_phase(n_clients, k_star)
+            self._last_partial_count = int(payload["partial_count"])
+            return StepResult(
+                values=values.copy(), stderr=None, n_samples=counts.copy(), done=done
+            )
+
+        # Phase 2 (lines 8-14): the balanced (k*+1)-stratum sample.  The whole
+        # sample is drawn in one RNG consumption (chunk boundaries must not
+        # move the stream), then evaluated slice by slice; each slice is one
+        # ``_batch_utilities`` plan and one snapshot.
+        if payload["partial"] is None:
+            leftover = self.total_rounds - count_coalitions_up_to(n_clients, k_star)
+            payload["partial"] = balanced_coalitions_of_size(
+                n_clients, k_star + 1, leftover, rng
+            )
+            payload["partial_evaluated"] = 0
+            payload["partial_count"] = len(payload["partial"])
+        partial = payload["partial"]
+        self._last_partial_count = len(partial)
+        cursor = int(payload["partial_evaluated"])
+        if self.partial_chunk_size is None:
+            chunk = partial[cursor:]
+        else:
+            chunk = partial[cursor : cursor + self.partial_chunk_size]
+        if chunk:
+            payload["utilities"].update(self._batch_utilities(utility, chunk))
+        cursor += len(chunk)
+        payload["partial_evaluated"] = cursor
+        evaluated_partial = set(partial[:cursor])
+
+        # Fold the size-k* marginals against the evaluated part of the sample
+        # onto a *copy* of the phase-1 accumulators: bases iterate in
+        # lexicographic order, which — once the sample is fully evaluated —
+        # is exactly the monolithic loop's order, so the final chunk is
+        # bitwise-identical to the one-shot computation.
+        values = values.copy()
+        counts = counts.copy()
+        if evaluated_partial and k_star <= n_clients - 1:
+            weight = marginal_coefficient(n_clients, k_star)
+            for coalition in coalitions_of_size(n_clients, k_star):
+                base_utility = payload["utilities"][coalition]
+                for client in range(n_clients):
+                    if client in coalition:
+                        continue
+                    with_client = coalition | {client}
+                    if with_client not in evaluated_partial:
+                        continue
+                    values[client] += weight * (
+                        payload["utilities"][with_client] - base_utility
+                    )
+                    counts[client] += 1
+        return StepResult(
+            values=values, stderr=None, n_samples=counts, done=cursor >= len(partial)
         )
 
-        # Phase 2 (lines 8-14): spend the leftover budget on balanced samples
-        # from the (k*+1)-sized stratum, again as a single batch.
-        partial: list[frozenset] = []
-        if self.include_partial_stratum and k_star + 1 <= n_clients:
-            leftover = self.total_rounds - count_coalitions_up_to(n_clients, k_star)
-            if leftover > 0:
-                partial = balanced_coalitions_of_size(
-                    n_clients, k_star + 1, leftover, rng
-                )
-                utilities.update(self._batch_utilities(utility, partial))
-        self._last_partial_count = len(partial)
-        partial_set = set(partial)
-
-        # Phase 3 (lines 15-17): MC-SV restricted to the evaluated coalitions.
-        values = np.zeros(n_clients)
-        for client in range(n_clients):
-            total = 0.0
-            for coalition, base_utility in utilities.items():
-                if client in coalition:
-                    continue
-                with_client = coalition | {client}
-                if len(coalition) < k_star:
-                    # Both endpoints were fully enumerated in phase 1.
-                    weight = marginal_coefficient(n_clients, len(coalition))
-                    total += weight * (utilities[with_client] - base_utility)
-                elif len(coalition) == k_star and with_client in partial_set:
-                    weight = marginal_coefficient(n_clients, len(coalition))
-                    total += weight * (utilities[with_client] - base_utility)
-            values[client] = total
-        return values
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._drive_chunks(utility, n_clients, rng)
 
     # ------------------------------------------------------------------ #
     def sampling_plan(self, n_clients: int) -> dict:

@@ -11,18 +11,21 @@ ten clients, K = 2 already brings the relative error below 1%, because
   ``1 / C(n−1, |S|)``.
 
 IPSS (Alg. 3) turns this observation into a budgeted algorithm.
+
+Evaluation is incremental: one coalition-size stratum per chunk (smallest
+first, each stratum planned through ``_batch_utilities``), folding marginal
+contributions as soon as both endpoints are evaluated — in the same order as
+the monolithic loop, so exhausting the chunks is bitwise-identical to it.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.anytime import StepResult
 from repro.core.base import UtilityFunction, ValuationAlgorithm
-from repro.utils.combinatorics import (
-    all_coalitions,
-    count_coalitions_up_to,
-    marginal_coefficient,
-)
+from repro.core.exact import mc_accumulate_stratum
+from repro.utils.combinatorics import coalitions_of_size, count_coalitions_up_to
 from repro.utils.rng import SeedLike
 
 
@@ -37,6 +40,8 @@ class KGreedy(ValuationAlgorithm):
         contributions whose *both* endpoints were evaluated (``|S| < K``).
     """
 
+    incremental = True
+
     def __init__(self, max_size: int, seed: SeedLike = None) -> None:
         super().__init__(seed=seed)
         if max_size < 1:
@@ -48,31 +53,42 @@ class KGreedy(ValuationAlgorithm):
         """Number of coalition evaluations Alg. 2 performs for ``n`` clients."""
         return count_coalitions_up_to(n_clients, self.max_size)
 
+    def _state_config(self) -> dict:
+        return {"max_size": self.max_size}
+
+    def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
+        return {
+            "utilities": {},
+            "next_size": 0,
+            "values": np.zeros(n_clients),
+            "counts": np.zeros(n_clients),
+        }
+
+    def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
+        effective_max = min(self.max_size, n_clients)
+        size = int(payload["next_size"])
+        payload["utilities"].update(
+            self._batch_utilities(utility, coalitions_of_size(n_clients, size))
+        )
+        if size >= 1:
+            # Both endpoints of the (size-1)-based marginals are now in; fold
+            # them in the monolithic loop's exact order.
+            mc_accumulate_stratum(
+                payload["utilities"], n_clients, size - 1,
+                payload["values"], payload["counts"],
+            )
+        payload["next_size"] = size + 1
+        return StepResult(
+            values=payload["values"].copy(),
+            stderr=None,
+            n_samples=payload["counts"].copy(),
+            done=size >= effective_max,
+        )
+
     def _estimate(
         self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
     ) -> np.ndarray:
-        max_size = min(self.max_size, n_clients)
-        # Phase 1: evaluate all coalitions of size <= K (lines 2-4 of Alg. 2)
-        # as one batch, so batch-capable oracles can train them concurrently.
-        utilities = self._batch_utilities(
-            utility,
-            (c for c in all_coalitions(n_clients) if len(c) <= max_size),
-        )
-
-        # Phase 2: MC-SV restricted to the evaluated coalitions.  Using the
-        # exact MC-SV coefficient 1 / (n · C(n−1, |S|)) guarantees the estimate
-        # converges to the exact value as K approaches n (cf. Fig. 4).
-        values = np.zeros(n_clients)
-        for coalition, base_utility in utilities.items():
-            if len(coalition) >= max_size:
-                continue
-            weight = marginal_coefficient(n_clients, len(coalition))
-            for client in range(n_clients):
-                if client in coalition:
-                    continue
-                with_client = coalition | {client}
-                values[client] += weight * (utilities[with_client] - base_utility)
-        return values
+        return self._drive_chunks(utility, n_clients, rng)
 
     def _metadata(self) -> dict:
         return {"max_size": self.max_size}

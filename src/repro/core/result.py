@@ -28,6 +28,16 @@ class ValuationResult:
         Wall-clock time of the estimation.
     metadata:
         Algorithm-specific extras (e.g. k*, sampled coalitions, truncations).
+    stderr:
+        Optional per-client standard errors of the estimate, for estimators
+        that define them (the Monte-Carlo samplers and the stratified
+        framework).  ``None`` for deterministic schemes.
+    n_samples_per_client:
+        Optional per-client count of contribution samples the estimate
+        averages over; ``None`` when the estimator has no sample notion.
+    ci_level:
+        The confidence level :meth:`ci_halfwidth` uses by default (metadata
+        for serialised results; the half-widths themselves are derived).
     """
 
     values: np.ndarray
@@ -36,6 +46,9 @@ class ValuationResult:
     utility_evaluations: int = 0
     elapsed_seconds: float = 0.0
     metadata: Dict[str, Any] = field(default_factory=dict)
+    stderr: Optional[np.ndarray] = None
+    n_samples_per_client: Optional[np.ndarray] = None
+    ci_level: float = 0.95
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=float)
@@ -43,6 +56,16 @@ class ValuationResult:
             raise ValueError(
                 f"values must have shape ({self.n_clients},), got {self.values.shape}"
             )
+        for name in ("stderr", "n_samples_per_client"):
+            current = getattr(self, name)
+            if current is None:
+                continue
+            current = np.asarray(current, dtype=float)
+            if current.shape != (self.n_clients,):
+                raise ValueError(
+                    f"{name} must have shape ({self.n_clients},), got {current.shape}"
+                )
+            setattr(self, name, current)
 
     def value_of(self, client_id: int) -> float:
         return float(self.values[client_id])
@@ -62,8 +85,21 @@ class ValuationResult:
             return self.values.copy()
         return self.values / total
 
+    def ci_halfwidth(self, level: Optional[float] = None) -> Optional[np.ndarray]:
+        """Per-client normal-approximation CI half-widths, if stderr is known."""
+        if self.stderr is None:
+            return None
+        from repro.core.anytime import normal_quantile
+
+        return normal_quantile(self.ci_level if level is None else level) * self.stderr
+
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form used by the experiment reports."""
+        """Plain-dict form used by the experiment reports and checkpoints.
+
+        The encoding is lossless: :meth:`from_dict` of a JSON round-trip
+        reconstructs bitwise-identical arrays (Python's ``json`` serialises
+        floats via shortest-round-trip ``repr``).
+        """
         return {
             "algorithm": self.algorithm,
             "n_clients": self.n_clients,
@@ -71,7 +107,33 @@ class ValuationResult:
             "utility_evaluations": self.utility_evaluations,
             "elapsed_seconds": self.elapsed_seconds,
             "metadata": dict(self.metadata),
+            "stderr": None if self.stderr is None else self.stderr.tolist(),
+            "n_samples_per_client": (
+                None
+                if self.n_samples_per_client is None
+                else self.n_samples_per_client.tolist()
+            ),
+            "ci_level": self.ci_level,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ValuationResult":
+        """Inverse of :meth:`to_dict` (tolerant of pre-anytime payloads)."""
+
+        def _array(value):
+            return None if value is None else np.asarray(value, dtype=float)
+
+        return cls(
+            values=np.asarray(payload["values"], dtype=float),
+            algorithm=str(payload["algorithm"]),
+            n_clients=int(payload["n_clients"]),
+            utility_evaluations=int(payload.get("utility_evaluations", 0)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            metadata=dict(payload.get("metadata", {})),
+            stderr=_array(payload.get("stderr")),
+            n_samples_per_client=_array(payload.get("n_samples_per_client")),
+            ci_level=float(payload.get("ci_level", 0.95)),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         rounded = np.round(self.values, 4).tolist()

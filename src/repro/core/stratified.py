@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.anytime import StepResult, stratified_stderr
 from repro.core.base import UtilityFunction, ValuationAlgorithm
 from repro.utils.combinatorics import (
     coalitions_of_size,
@@ -209,23 +210,91 @@ class StratifiedSampling(ValuationAlgorithm):
             return coalition - {client}
         return everyone - coalition
 
-    def _estimate(
-        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
-    ) -> np.ndarray:
-        sampled = self._sample_strata(n_clients, rng)
+    # ------------------------------------------------------------------ #
+    # Incremental protocol: one chunk per stratum (then a pairs chunk when
+    # pair_on_demand), each planned through ``_batch_utilities``.  The whole
+    # sampling plan is drawn up front — exactly the RNG stream the monolithic
+    # implementation consumed — so chunk boundaries change nothing but *when*
+    # the evaluations happen, and the exhausted run is bitwise-identical.
+    # ------------------------------------------------------------------ #
+    incremental = True
+
+    def _state_config(self) -> dict:
+        return {
+            "total_rounds": self.total_rounds,
+            "rounds_per_stratum": self.rounds_per_stratum,
+            "scheme": self.scheme,
+            "allocation": self.allocation,
+            "pair_on_demand": self.pair_on_demand,
+        }
+
+    def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
+        return {
+            "sampled": self._sample_strata(n_clients, rng),
+            "utilities": {},
+            "stage": 0,
+        }
+
+    def _estimate_from(self, payload: dict, n_clients: int) -> StepResult:
+        """Alg. 1's estimation loop restricted to the evaluated coalitions.
+
+        Once every stage ran the coalition-availability guard never fires and
+        this *is* the monolithic loop — same iteration order, same scalar
+        fold, bitwise-identical values.  The extra sum-of-squares accumulator
+        feeds the per-client stderr and never touches the value math.
+        """
+        sampled, utilities = payload["sampled"], payload["utilities"]
         everyone = frozenset(range(n_clients))
+        values = np.zeros(n_clients)
+        sums = np.zeros((n_clients, n_clients + 1))
+        sumsq = np.zeros((n_clients, n_clients + 1))
+        m_counts = np.zeros((n_clients, n_clients + 1))
+        for client in range(n_clients):
+            stratum_sums = np.zeros(n_clients + 1)
+            stratum_counts = np.zeros(n_clients + 1)
+            for stratum_index, coalitions in sampled.items():
+                for coalition in coalitions:
+                    if client not in coalition:
+                        continue
+                    if coalition not in utilities:
+                        continue  # stratum not evaluated yet (interim chunk)
+                    paired = self._paired(coalition, client, everyone)
+                    if paired not in utilities:
+                        # pair_on_demand=True prefetches every pair, so a miss
+                        # here means the literal variant dropped an unmatched
+                        # sample (Alg. 1 as printed) — or its chunk is pending.
+                        continue
+                    contribution = utilities[coalition] - utilities[paired]
+                    stratum_sums[stratum_index] += contribution
+                    stratum_counts[stratum_index] += 1
+                    sumsq[client, stratum_index] += contribution**2
+            total = 0.0
+            for stratum_index in range(1, n_clients + 1):
+                if stratum_counts[stratum_index] > 0:
+                    total += stratum_sums[stratum_index] / stratum_counts[stratum_index]
+            values[client] = total / n_clients
+            sums[client] = stratum_sums
+            m_counts[client] = stratum_counts
+        return StepResult(
+            values=values,
+            stderr=stratified_stderr(sums, sumsq, m_counts),
+            n_samples=m_counts.sum(axis=1),
+            done=False,
+        )
 
-        # Evaluate every sampled coalition (lines 5-7 of Alg. 1) as one batch
-        # — a batch-capable oracle trains the whole plan concurrently.  The
-        # empty coalition is always available: the untrained initial model.
-        plan: list[frozenset] = [frozenset()]
-        for coalitions in sampled.values():
-            plan.extend(coalitions)
-        utilities = self._batch_utilities(utility, plan)
-
-        if self.pair_on_demand:
+    def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
+        sampled, utilities = payload["sampled"], payload["utilities"]
+        everyone = frozenset(range(n_clients))
+        stage = int(payload["stage"])
+        last_stage = n_clients + 1 if self.pair_on_demand else n_clients
+        if stage == 0:
+            # The empty coalition is always available: the untrained model.
+            utilities.update(self._batch_utilities(utility, [frozenset()]))
+        elif stage <= n_clients:
+            utilities.update(self._batch_utilities(utility, sampled[stage]))
+        else:
             # The paired coalitions are fully determined by the sample, so
-            # the ones not already evaluated can join as a second batch.
+            # the ones not already evaluated join as the final batch.
             pairs: list[frozenset] = []
             for stratum_coalitions in sampled.values():
                 for coalition in stratum_coalitions:
@@ -235,31 +304,13 @@ class StratifiedSampling(ValuationAlgorithm):
                             pairs.append(paired)
             if pairs:
                 utilities.update(self._batch_utilities(utility, pairs))
+        payload["stage"] = stage + 1
+        return self._estimate_from(payload, n_clients)._replace(done=stage >= last_stage)
 
-        values = np.zeros(n_clients)
-        for client in range(n_clients):
-            stratum_sums = np.zeros(n_clients + 1)
-            stratum_counts = np.zeros(n_clients + 1)
-            for stratum_index, coalitions in sampled.items():
-                for coalition in coalitions:
-                    if client not in coalition:
-                        continue
-                    paired = self._paired(coalition, client, everyone)
-                    if paired not in utilities:
-                        # pair_on_demand=True prefetched every pair above, so
-                        # a miss here means the literal variant dropped an
-                        # unmatched sample (Alg. 1 as printed).
-                        continue
-                    stratum_sums[stratum_index] += (
-                        utilities[coalition] - utilities[paired]
-                    )
-                    stratum_counts[stratum_index] += 1
-            total = 0.0
-            for stratum_index in range(1, n_clients + 1):
-                if stratum_counts[stratum_index] > 0:
-                    total += stratum_sums[stratum_index] / stratum_counts[stratum_index]
-            values[client] = total / n_clients
-        return values
+    def _estimate(
+        self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._drive_chunks(utility, n_clients, rng)
 
     def _metadata(self) -> dict:
         return {

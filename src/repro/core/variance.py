@@ -13,7 +13,7 @@ variance than the CC-SV scheme.  This module provides
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -113,13 +113,21 @@ def contribution_variance(
 
 @dataclass
 class VarianceComparison:
-    """Empirical variance of both schemes over repeated runs of Alg. 1."""
+    """Empirical variance of both schemes over repeated runs of Alg. 1.
+
+    ``evaluations`` / ``store_hits`` record what the sweep cost: how many
+    oracle evaluations (FL trainings) were actually performed, and how many
+    lookups the persistent store served instead (always zero without a
+    store; ``evaluations`` is zero when the oracle exposes no counter).
+    """
 
     mc_variance: np.ndarray
     cc_variance: np.ndarray
     mc_mean: np.ndarray
     cc_mean: np.ndarray
     repetitions: int
+    evaluations: int = 0
+    store_hits: int = 0
 
     @property
     def mean_mc_variance(self) -> float:
@@ -141,28 +149,74 @@ def empirical_scheme_variance(
     total_rounds: int,
     repetitions: int = 20,
     seed: SeedLike = None,
+    store=None,
+    store_namespace: Optional[str] = None,
+    n_workers: int = 1,
 ) -> VarianceComparison:
     """Run Alg. 1 repeatedly with both schemes and measure estimator variance.
 
     This reproduces the procedure behind Fig. 10: the same utility oracle and
     sampling budget are used for both schemes; only the pairing rule differs.
+
+    With ``store=`` (a :class:`~repro.store.UtilityStore` instance or a path)
+    and/or ``n_workers > 1`` the raw oracle is wrapped in one shared
+    :class:`~repro.parallel.BatchUtilityOracle` for the whole sweep, so the
+    2 × ``repetitions`` stratified runs reuse every already-evaluated
+    coalition (within the sweep *and* across processes sharing the store)
+    instead of re-training it per repetition — the estimates themselves are
+    bitwise-unchanged, only the cost drops.  Because store keys are plain
+    coalition sets, ``store_namespace`` must content-address the *task* (use
+    :meth:`TaskSpec.fingerprint` or equivalent) — it is therefore required
+    whenever a store is attached, so two different tasks can never silently
+    serve each other's cached utilities.
     """
     if repetitions < 2:
         raise ValueError("at least two repetitions are needed to estimate variance")
+    if store is not None and store_namespace is None:
+        raise ValueError(
+            "store_namespace is required when a store is attached: store keys "
+            "are coalition sets, so the namespace must content-address the "
+            "task (e.g. its TaskSpec fingerprint) to keep sweeps over "
+            "different utilities from sharing cached values"
+        )
     rng = RandomState(seed)
     seeds = spawn_rng(rng, 2 * repetitions)
 
+    oracle = utility
+    owns_oracle = False
+    if store is not None or n_workers > 1:
+        from repro.parallel import BatchUtilityOracle
+
+        oracle = BatchUtilityOracle(
+            utility,
+            n_clients=n_clients,
+            n_workers=n_workers,
+            store=store,
+            store_namespace=store_namespace,
+        )
+        owns_oracle = True
+    evaluations_before = int(getattr(oracle, "evaluations", 0))
+    store_hits_before = int(getattr(oracle, "store_hits", 0))
+
     mc_estimates = np.zeros((repetitions, n_clients))
     cc_estimates = np.zeros((repetitions, n_clients))
-    for rep in range(repetitions):
-        mc_algorithm = StratifiedSampling(
-            total_rounds=total_rounds, scheme="mc", seed=seeds[2 * rep]
-        )
-        cc_algorithm = StratifiedSampling(
-            total_rounds=total_rounds, scheme="cc", seed=seeds[2 * rep + 1]
-        )
-        mc_estimates[rep] = mc_algorithm.run(utility, n_clients).values
-        cc_estimates[rep] = cc_algorithm.run(utility, n_clients).values
+    try:
+        for rep in range(repetitions):
+            mc_algorithm = StratifiedSampling(
+                total_rounds=total_rounds, scheme="mc", seed=seeds[2 * rep]
+            )
+            cc_algorithm = StratifiedSampling(
+                total_rounds=total_rounds, scheme="cc", seed=seeds[2 * rep + 1]
+            )
+            mc_estimates[rep] = mc_algorithm.run(oracle, n_clients).values
+            cc_estimates[rep] = cc_algorithm.run(oracle, n_clients).values
+        evaluations = int(getattr(oracle, "evaluations", 0)) - evaluations_before
+        store_hits = int(getattr(oracle, "store_hits", 0)) - store_hits_before
+    finally:
+        if owns_oracle:
+            # Closes any store the oracle opened from a path; stores passed in
+            # as instances stay with the caller.
+            oracle.close()
 
     return VarianceComparison(
         mc_variance=mc_estimates.var(axis=0, ddof=1),
@@ -170,4 +224,6 @@ def empirical_scheme_variance(
         mc_mean=mc_estimates.mean(axis=0),
         cc_mean=cc_estimates.mean(axis=0),
         repetitions=repetitions,
+        evaluations=evaluations,
+        store_hits=store_hits,
     )

@@ -24,6 +24,7 @@ from repro.core import (
     MCShapley,
     empirical_scheme_variance,
     fairness_proxy_error,
+    rank_correlation,
     relative_error_l2,
 )
 from repro.core.variance import contribution_variance
@@ -105,6 +106,63 @@ def figure4(
             errors.append(relative_error_l2(result.values, exact))
             evaluations.append(count_coalitions_up_to(n_clients, k))
     return {"k": ks, "relative_error": errors, "evaluations": evaluations}
+
+
+# --------------------------------------------------------------------------- #
+# Convergence curves: the anytime protocol's evaluations-vs-quality trace
+# --------------------------------------------------------------------------- #
+def convergence_curve(
+    algorithm,
+    utility,
+    n_clients: Optional[int] = None,
+    reference: Optional[np.ndarray] = None,
+    stopping_rule=None,
+) -> dict:
+    """Trace an estimator's convergence trajectory chunk by chunk.
+
+    Records, per chunk, the evaluations spent, elapsed wall-clock, the
+    largest per-client 95% CI half-width (where the estimator defines
+    standard errors for every client) and — when ``reference`` values (e.g.
+    exact MC-SV) are given — the relative ℓ2 error and Spearman rank
+    correlation against them.  With a ``stopping_rule`` the trace ends where
+    the rule fires, which is exactly the trade-off the curve is meant to
+    show: evaluations saved versus estimate quality at the stopping point.
+    The snapshot stream is driven by
+    :meth:`~repro.core.ValuationAlgorithm.run` — the same loop the pipeline
+    and CLI use — so a curve's stopping point is exactly where a real run
+    would stop.
+    """
+    reference = None if reference is None else np.asarray(reference, dtype=float)
+    series: dict = {
+        "algorithm": algorithm.name,
+        "chunk": [],
+        "evaluations": [],
+        "elapsed_s": [],
+        "max_ci95": [],
+        "error_l2": [],
+        "rank_correlation": [],
+        "stopped_by": None,
+        "done": False,
+    }
+
+    def record(snapshot) -> None:
+        series["chunk"].append(snapshot.chunk_index)
+        series["evaluations"].append(snapshot.evaluations)
+        series["elapsed_s"].append(snapshot.elapsed_seconds)
+        series["max_ci95"].append(snapshot.max_ci95())
+        series["error_l2"].append(
+            None if reference is None else relative_error_l2(snapshot.values, reference)
+        )
+        series["rank_correlation"].append(
+            None if reference is None else rank_correlation(snapshot.values, reference)
+        )
+        series["done"] = bool(snapshot.done)
+
+    result = algorithm.run(
+        utility, n_clients, stopping_rule=stopping_rule, on_snapshot=record
+    )
+    series["stopped_by"] = result.metadata.get("stopped_by")
+    return series
 
 
 # --------------------------------------------------------------------------- #

@@ -36,9 +36,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.anytime import restore_rng
 from repro.core import (
     CCShapleySampling,
     DIGFL,
+    EstimatorState,
     ExtendedGTB,
     ExtendedTMC,
     GTGShapley,
@@ -47,6 +49,8 @@ from repro.core import (
     MCShapley,
     ORBaseline,
     PermShapley,
+    StoppingRule,
+    ValuationAlgorithm,
     rank_correlation,
     relative_error_l2,
 )
@@ -58,6 +62,7 @@ from repro.store import StoreLike, fingerprint, resolve_store
 MANIFEST_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 RESULTS_DIR = "results"
+CHECKPOINTS_DIR = "checkpoints"
 
 #: algorithm registry: name -> factory(n_clients, gamma, seed).  Names match
 #: the ``ValuationAlgorithm.name`` identifiers used throughout the reports.
@@ -205,6 +210,7 @@ class RunReport:
     cells_run: int = 0
     cells_resumed: int = 0
     cells_skipped: int = 0
+    cells_continued: int = 0
     fl_trainings: int = 0
     store_hits: int = 0
 
@@ -215,6 +221,7 @@ class RunReport:
             "cells_run": self.cells_run,
             "cells_resumed": self.cells_resumed,
             "cells_skipped": self.cells_skipped,
+            "cells_continued": self.cells_continued,
             "fl_trainings": self.fl_trainings,
             "store_hits": self.store_hits,
             "rows": self.rows,
@@ -256,6 +263,9 @@ def run_plan(
     store: StoreLike = None,
     resume: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    stop_rule: Optional[StoppingRule] = None,
+    checkpoint_every: int = 1,
+    on_snapshot: Optional[Callable[[TaskSpec, str, object], None]] = None,
 ) -> RunReport:
     """Execute (or finish) a campaign, one manifest-tracked cell at a time.
 
@@ -266,11 +276,23 @@ def run_plan(
     the manifest's plan must fingerprint-match ``plan`` so a resumed campaign
     cannot silently compute different cells than it started.
 
+    Cells execute through the anytime protocol
+    (:meth:`~repro.core.ValuationAlgorithm.iter_run`): every
+    ``checkpoint_every`` chunks (0 disables) the estimator state is persisted
+    under ``checkpoints/``, so an interrupted campaign resumes *inside* the
+    interrupted cell — only the in-flight chunk is replayed, and with the
+    store attached that replay trains nothing.  ``stop_rule`` (reset per
+    cell) ends a cell early once converged; the cell is then recorded done
+    with ``metadata.stopped_early``.  ``on_snapshot(spec, algorithm,
+    snapshot)`` observes every chunk of every cell.
+
     The report's ``fl_trainings`` counts only trainings paid by *this*
     invocation — the number the acceptance bar requires to be zero when a
     finished campaign is rerun against its persistent store.
     """
     say = log if log is not None else (lambda message: None)
+    if checkpoint_every < 0:
+        raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
     os.makedirs(os.path.join(run_dir, RESULTS_DIR), exist_ok=True)
     manifest = load_manifest(run_dir)
     if manifest is None:
@@ -292,7 +314,18 @@ def run_plan(
     opened_store, owns_store = resolve_store(store)
     try:
         for spec in plan.tasks:
-            _run_task_cells(plan, spec, manifest, run_dir, opened_store, report, say)
+            _run_task_cells(
+                plan,
+                spec,
+                manifest,
+                run_dir,
+                opened_store,
+                report,
+                say,
+                stop_rule=stop_rule,
+                checkpoint_every=checkpoint_every,
+                on_snapshot=on_snapshot,
+            )
     finally:
         manifest["updated_at"] = time.time()
         _write_json(os.path.join(run_dir, MANIFEST_NAME), manifest)
@@ -306,18 +339,138 @@ def resume_run(
     run_dir: str,
     store: StoreLike = None,
     log: Optional[Callable[[str], None]] = None,
+    stop_rule: Optional[StoppingRule] = None,
+    checkpoint_every: int = 1,
+    on_snapshot: Optional[Callable[[TaskSpec, str, object], None]] = None,
 ) -> RunReport:
-    """Finish an interrupted campaign from its manifest alone."""
+    """Finish an interrupted campaign from its manifest alone.
+
+    Cells interrupted mid-valuation continue from their estimator checkpoint
+    (see :func:`run_plan`): the resumed run replays at most the in-flight
+    chunk and produces values bitwise-identical to an uninterrupted run.
+    """
     manifest = load_manifest(run_dir)
     if manifest is None:
         raise ValueError(f"no manifest found in {run_dir!r}; nothing to resume")
     plan = ExperimentPlan.from_dict(manifest["plan"])
-    return run_plan(plan, run_dir, store=store, resume=True, log=log)
+    return run_plan(
+        plan,
+        run_dir,
+        store=store,
+        resume=True,
+        log=log,
+        stop_rule=stop_rule,
+        checkpoint_every=checkpoint_every,
+        on_snapshot=on_snapshot,
+    )
 
 
 # --------------------------------------------------------------------------- #
 # Cell execution
 # --------------------------------------------------------------------------- #
+def _checkpoint_path(run_dir: str, cell: str) -> str:
+    return os.path.join(run_dir, CHECKPOINTS_DIR, f"{cell}.state.json")
+
+
+def _load_checkpoint(
+    run_dir: str, cell: str, algorithm, n_clients: int, say: Callable[[str], None]
+) -> Optional[EstimatorState]:
+    """Restore a cell's mid-valuation checkpoint, if one matches.
+
+    A checkpoint that fails to parse or belongs to a different algorithm
+    configuration (e.g. the budget changed between invocations) is ignored —
+    the cell simply restarts from scratch rather than failing the campaign.
+    """
+    path = _checkpoint_path(run_dir, cell)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            state = EstimatorState.from_dict(json.load(handle))
+        if not state.done:
+            # Vet the RNG snapshot now: a missing or unrestorable rng_state
+            # raising later, inside iter_run, would be mistaken for an
+            # inapplicable algorithm and record the cell as skipped for good.
+            if state.rng_state is None:
+                raise ValueError("checkpoint carries no RNG state")
+            restore_rng(state.rng_state)
+    except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
+        say(f"ignoring unreadable checkpoint {path}: {error}")
+        return None
+    if not algorithm.state_matches(state, n_clients):
+        say(f"ignoring stale checkpoint {path}: algorithm configuration changed")
+        return None
+    return state
+
+
+def _drop_checkpoint(run_dir: str, cell: str) -> None:
+    path = _checkpoint_path(run_dir, cell)
+    if os.path.exists(path):
+        os.remove(path)
+
+
+def _execute_cell(
+    algorithm,
+    utility,
+    spec: TaskSpec,
+    algorithm_name: str,
+    run_dir: str,
+    cell: str,
+    report: RunReport,
+    say: Callable[[str], None],
+    stop_rule: Optional[StoppingRule],
+    checkpoint_every: int,
+    on_snapshot,
+):
+    """Run one cell through the anytime protocol, checkpointing as it goes.
+
+    The stop-rule loop itself lives in :meth:`ValuationAlgorithm.run` — the
+    single driver of the snapshot stream; this function only contributes the
+    per-chunk observer (checkpoint write + external callback).  Gradient
+    algorithms stream through their single-chunk ``iter_run`` adapter, so
+    ``on_snapshot`` observes every cell either way.
+    """
+
+    def observe(snapshot) -> None:
+        # Persist the state before handing control to the observer, so an
+        # interrupt raised from the callback still finds this chunk on disk.
+        if (
+            snapshot.state is not None
+            and not snapshot.done
+            and checkpoint_every
+            and snapshot.chunk_index % checkpoint_every == 0
+        ):
+            os.makedirs(os.path.join(run_dir, CHECKPOINTS_DIR), exist_ok=True)
+            _write_json(_checkpoint_path(run_dir, cell), snapshot.state.to_dict())
+        if on_snapshot is not None:
+            on_snapshot(spec, algorithm_name, snapshot)
+
+    if not isinstance(algorithm, ValuationAlgorithm):
+        last = None
+        for last in algorithm.iter_run(utility, utility.n_clients):
+            observe(last)
+        return last.result()
+
+    state = _load_checkpoint(run_dir, cell, algorithm, utility.n_clients, say)
+    if state is not None:
+        report.cells_continued += 1
+        say(
+            f"continuing {spec.label()} × {algorithm_name} from checkpoint "
+            f"(chunk {state.chunk_index}, {state.evaluations} evaluations spent)"
+        )
+    result = algorithm.run(
+        utility,
+        utility.n_clients,
+        stopping_rule=stop_rule,
+        state=state,
+        on_snapshot=observe,
+    )
+    stopped_by = result.metadata.get("stopped_by")
+    if stopped_by:
+        say(f"early stop for {spec.label()} × {algorithm_name}: {stopped_by}")
+    return result
+
+
 def _run_task_cells(
     plan: ExperimentPlan,
     spec: TaskSpec,
@@ -326,6 +479,9 @@ def _run_task_cells(
     store,
     report: RunReport,
     say: Callable[[str], None],
+    stop_rule: Optional[StoppingRule] = None,
+    checkpoint_every: int = 1,
+    on_snapshot=None,
 ) -> None:
     task_fp = spec.fingerprint()
     cell_ids = {
@@ -365,9 +521,22 @@ def _run_task_cells(
             # making `evaluations` the cell's *incremental* training cost.
             utility.reset_cache()
             store_hits_before = utility.store_hits
+            trainings_before = utility.evaluations
             say(f"running {spec.label()} × {algorithm_name}")
             try:
-                result = algorithm.run(utility, utility.n_clients)
+                result = _execute_cell(
+                    algorithm,
+                    utility,
+                    spec,
+                    algorithm_name,
+                    run_dir,
+                    this_cell,
+                    report,
+                    say,
+                    stop_rule,
+                    checkpoint_every,
+                    on_snapshot,
+                )
             except (TypeError, ValueError) as error:
                 cell = {
                     "status": "skipped",
@@ -379,6 +548,7 @@ def _run_task_cells(
                 }
                 manifest["cells"][this_cell] = cell
                 _write_json(os.path.join(run_dir, MANIFEST_NAME), manifest)
+                _drop_checkpoint(run_dir, this_cell)
                 report.cells_skipped += 1
                 report.rows.append(_skip_row(spec, algorithm_name, cell))
                 continue
@@ -401,8 +571,19 @@ def _run_task_cells(
             }
             manifest["updated_at"] = time.time()
             _write_json(os.path.join(run_dir, MANIFEST_NAME), manifest)
+            # The cell is durably recorded; its mid-run checkpoint is obsolete.
+            _drop_checkpoint(run_dir, this_cell)
             report.cells_run += 1
-            report.fl_trainings += int(result.utility_evaluations)
+            # `fl_trainings` must count only what THIS invocation paid.  For
+            # a cell resumed from a mid-run checkpoint the result's
+            # `utility_evaluations` is cumulative across invocations, so read
+            # the oracle's own training counter instead.  Gradient-based
+            # cells train their grand coalition outside the oracle; keep the
+            # result's accounting (one FL training) for them.
+            if isinstance(algorithm, ValuationAlgorithm):
+                report.fl_trainings += int(utility.evaluations - trainings_before)
+            else:
+                report.fl_trainings += int(result.utility_evaluations)
             report.store_hits += int(payload["store_hits"])
             results[algorithm_name] = payload
     finally:

@@ -146,6 +146,36 @@ def render_table(rows: list[dict], title: str) -> str:
     )
 
 
+def convergence_table(curve: dict, title: Optional[str] = None) -> str:
+    """Render a :func:`repro.experiments.figures.convergence_curve` trace.
+
+    One row per incremental chunk: evaluations and wall-clock spent, the
+    widest 95% CI half-width (where defined) and — when the curve was traced
+    against reference values — the error/rank-correlation trajectory.  The
+    footer marks an early stop with the rule that fired.
+    """
+    rows = []
+    for index in range(len(curve["chunk"])):
+        rows.append(
+            {
+                "chunk": curve["chunk"][index],
+                "evaluations": curve["evaluations"][index],
+                "time_s": curve["elapsed_s"][index],
+                "max_ci95": curve["max_ci95"][index],
+                "error_l2": curve["error_l2"][index],
+                "rank_corr": curve["rank_correlation"][index],
+            }
+        )
+    rendered = format_table(
+        rows,
+        columns=["chunk", "evaluations", "time_s", "max_ci95", "error_l2", "rank_corr"],
+        title=title or f"convergence: {curve['algorithm']}",
+    )
+    if curve.get("stopped_by"):
+        rendered += f"\nstopped early by {curve['stopped_by']}"
+    return rendered
+
+
 def robustness_table(rows: list[dict], title: str = "valuation robustness") -> str:
     """Render :func:`repro.scenarios.run_robustness` rows as a summary table.
 

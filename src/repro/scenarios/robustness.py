@@ -97,6 +97,7 @@ class RobustnessReport:
     cells_run: int = 0
     cells_resumed: int = 0
     cells_skipped: int = 0
+    cells_continued: int = 0
     fl_trainings: int = 0
     store_hits: int = 0
 
@@ -106,6 +107,7 @@ class RobustnessReport:
             "cells_run": self.cells_run,
             "cells_resumed": self.cells_resumed,
             "cells_skipped": self.cells_skipped,
+            "cells_continued": self.cells_continued,
             "fl_trainings": self.fl_trainings,
             "store_hits": self.store_hits,
             "rows": self.rows,
@@ -200,6 +202,9 @@ def run_robustness(
     backend: Optional[str] = None,
     resume: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    stop_rule=None,
+    checkpoint_every: int = 1,
+    on_snapshot=None,
 ) -> RobustnessReport:
     """Run an algorithm × scenario grid and score every cell's robustness.
 
@@ -209,6 +214,11 @@ def run_robustness(
     tracked cell per task × algorithm), then each adversarial cell's value
     vector is scored.  Cells the pipeline skipped (inapplicable algorithms)
     surface as ``status: "skipped"`` rows.
+
+    ``stop_rule`` / ``checkpoint_every`` / ``on_snapshot`` are forwarded to
+    :func:`~repro.experiments.pipeline.run_plan`: cells can stop early on a
+    convergence rule (their robustness is then scored on the early-stopped
+    values) and interrupted cells resume from their estimator checkpoints.
     """
     from repro.experiments.pipeline import cell_id, load_manifest, run_plan
 
@@ -221,7 +231,16 @@ def run_robustness(
         n_workers=n_workers,
         backend=backend,
     )
-    run_report = run_plan(plan, run_dir, store=store, resume=resume, log=log)
+    run_report = run_plan(
+        plan,
+        run_dir,
+        store=store,
+        resume=resume,
+        log=log,
+        stop_rule=stop_rule,
+        checkpoint_every=checkpoint_every,
+        on_snapshot=on_snapshot,
+    )
     manifest = load_manifest(run_dir)
 
     report = RobustnessReport(
@@ -229,6 +248,7 @@ def run_robustness(
         cells_run=run_report.cells_run,
         cells_resumed=run_report.cells_resumed,
         cells_skipped=run_report.cells_skipped,
+        cells_continued=run_report.cells_continued,
         fl_trainings=run_report.fl_trainings,
         store_hits=run_report.store_hits,
     )

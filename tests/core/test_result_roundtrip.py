@@ -1,0 +1,112 @@
+"""ValuationResult: stderr/CI fields and the lossless JSON round-trip."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import ValuationResult
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "data", "golden_valuation_result.json"
+)
+
+
+def _tricky_result():
+    # Values chosen to break any non-shortest-round-trip encoder: repeating
+    # binary fractions, subnormal-adjacent magnitudes, negatives, zero.
+    values = np.array([0.1 + 0.2, 1 / 3, -1e-17, 0.0, np.pi])
+    return ValuationResult(
+        values=values,
+        algorithm="tricky",
+        n_clients=5,
+        utility_evaluations=7,
+        elapsed_seconds=0.123456789012345678,
+        metadata={"nested": {"a": [1, 2.5]}, "flag": False},
+        stderr=np.array([1e-9, 0.25, 0.5, 0.0, 2.0]),
+        n_samples_per_client=np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+    )
+
+
+class TestRoundTrip:
+    def test_json_roundtrip_is_bitwise_lossless(self):
+        original = _tricky_result()
+        restored = ValuationResult.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert restored.values.tolist() == original.values.tolist()
+        assert restored.stderr.tolist() == original.stderr.tolist()
+        assert (
+            restored.n_samples_per_client.tolist()
+            == original.n_samples_per_client.tolist()
+        )
+        assert restored.algorithm == original.algorithm
+        assert restored.n_clients == original.n_clients
+        assert restored.utility_evaluations == original.utility_evaluations
+        assert restored.elapsed_seconds == original.elapsed_seconds
+        assert restored.metadata == original.metadata
+        assert restored.ci_level == original.ci_level
+        # And the round-trip is a fixed point: dumping again changes nothing.
+        assert restored.to_dict() == original.to_dict()
+
+    def test_none_fields_survive_roundtrip(self):
+        result = ValuationResult(values=np.array([1.0, 2.0]), algorithm="x", n_clients=2)
+        restored = ValuationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored.stderr is None
+        assert restored.n_samples_per_client is None
+        assert restored.ci_halfwidth() is None
+
+    def test_pre_anytime_payloads_still_load(self):
+        # Results persisted before the anytime redesign lack the new keys.
+        legacy = {
+            "algorithm": "IPSS",
+            "n_clients": 3,
+            "values": [0.1, 0.2, 0.3],
+            "utility_evaluations": 5,
+            "elapsed_seconds": 0.5,
+            "metadata": {},
+        }
+        restored = ValuationResult.from_dict(legacy)
+        assert restored.stderr is None
+        assert restored.values.tolist() == [0.1, 0.2, 0.3]
+
+    def test_golden_file_decodes_exactly(self):
+        # The golden file pins the on-disk checkpoint/result format: loading
+        # it and re-encoding must reproduce the committed bytes' payload.
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        restored = ValuationResult.from_dict(payload)
+        assert restored.to_dict() == payload
+        assert restored.algorithm == "golden-algo"
+        assert restored.stderr is not None and restored.stderr.shape == (5,)
+
+
+class TestValidationAndCI:
+    def test_stderr_shape_is_validated(self):
+        with pytest.raises(ValueError, match="stderr"):
+            ValuationResult(
+                values=np.array([1.0, 2.0]),
+                algorithm="x",
+                n_clients=2,
+                stderr=np.array([0.1]),
+            )
+
+    def test_n_samples_shape_is_validated(self):
+        with pytest.raises(ValueError, match="n_samples_per_client"):
+            ValuationResult(
+                values=np.array([1.0, 2.0]),
+                algorithm="x",
+                n_clients=2,
+                n_samples_per_client=np.zeros(3),
+            )
+
+    def test_ci_halfwidth_uses_level(self):
+        result = ValuationResult(
+            values=np.array([1.0, 2.0]),
+            algorithm="x",
+            n_clients=2,
+            stderr=np.array([1.0, 2.0]),
+        )
+        ci95 = result.ci_halfwidth()
+        assert np.allclose(ci95, 1.959963984540054 * result.stderr)
+        ci99 = result.ci_halfwidth(level=0.99)
+        assert np.all(ci99 > ci95)

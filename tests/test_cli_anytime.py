@@ -1,0 +1,105 @@
+"""CLI surface of the anytime protocol: --stop-on, --json-stream, --progress,
+--checkpoint-every."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+TASK_FLAGS = [
+    "--task", "adult",
+    "--model", "logistic",
+    "--n-clients", "3",
+    "--scale", "tiny",
+    "--seed", "0",
+    "--algorithms", "IPSS",
+]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestStopOn:
+    def test_budget_rule_limits_evaluations(self, tmp_path, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "full"), *TASK_FLAGS, "--json",
+        )
+        full = json.loads(out)
+        code, out, _ = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "stopped"), *TASK_FLAGS,
+            "--stop-on", "budget:2", "--json",
+        )
+        assert code == 0
+        stopped = json.loads(out)
+        assert stopped["fl_trainings"] < full["fl_trainings"]
+        (row,) = [r for r in stopped["rows"] if r["status"] == "done"]
+        assert row["evaluations"] < full["rows"][0]["evaluations"]
+
+    def test_malformed_spec_is_a_clean_error(self, tmp_path, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "x"), *TASK_FLAGS,
+            "--stop-on", "nonsense:3",
+        )
+        assert code == 2
+        assert "stopping-rule" in err
+
+
+class TestJsonStream:
+    def test_stream_emits_snapshots_then_report(self, tmp_path, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "stream"), *TASK_FLAGS,
+            "--json-stream",
+        )
+        assert code == 0
+        events = [json.loads(line) for line in out.strip().splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds[-1] == "report"
+        snapshots = [event for event in events if event["event"] == "snapshot"]
+        assert snapshots, "expected at least one snapshot event"
+        assert snapshots[-1]["done"] is True
+        assert snapshots[-1]["algorithm"] == "IPSS"
+        assert {"task", "chunk", "evaluations", "values"} <= set(snapshots[0])
+        # Evaluations are cumulative within the cell.
+        evaluations = [s["evaluations"] for s in snapshots]
+        assert evaluations == sorted(evaluations)
+
+    def test_progress_goes_to_stderr(self, tmp_path, capsys):
+        code, out, err = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "progress"), *TASK_FLAGS,
+            "--progress",
+        )
+        assert code == 0
+        assert "chunk 1" in err
+        assert "chunk" not in out  # stdout stays the report table
+
+
+class TestCheckpointFlag:
+    def test_checkpoint_every_zero_leaves_no_state_files(self, tmp_path, capsys):
+        run_dir = tmp_path / "nocp"
+        code, _, _ = run_cli(
+            capsys,
+            "run", "--run-dir", str(run_dir), *TASK_FLAGS, "--checkpoint-every", "0",
+            "--json",
+        )
+        assert code == 0
+        assert not (run_dir / "checkpoints").exists()
+
+    def test_completed_run_cleans_checkpoints(self, tmp_path, capsys):
+        run_dir = tmp_path / "cp"
+        code, _, _ = run_cli(
+            capsys,
+            "run", "--run-dir", str(run_dir), *TASK_FLAGS, "--json",
+        )
+        assert code == 0
+        if (run_dir / "checkpoints").exists():
+            assert os.listdir(run_dir / "checkpoints") == []
