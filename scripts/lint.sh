@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Static gate: the repository's own contract checker plus (when installed)
+# pinned ruff and mypy.  `repro check` always runs — it has no dependencies
+# beyond the repo itself; ruff/mypy are skipped with a notice when absent so
+# the gate is still useful on machines without the lint extra.
+#
+# Install the external tools with:  pip install -e .[lint]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "== repro check (contract rules, empty baseline) =="
+PYTHONPATH=src python -m repro.cli check src tests || status=1
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff (lint + import sort) =="
+    ruff check src tests || status=1
+else
+    echo "== ruff not installed; skipping (pip install -e .[lint]) =="
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy (strict on analysis + store.fingerprint, ratchet elsewhere) =="
+    mypy || status=1
+else
+    echo "== mypy not installed; skipping (pip install -e .[lint]) =="
+fi
+
+exit "$status"

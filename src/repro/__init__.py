@@ -80,6 +80,8 @@ def quick_valuation(
     logistic-regression FL clients and estimates their data values with IPSS
     under a budget of ``total_rounds`` coalition evaluations.
     """
+    from functools import partial
+
     from repro.datasets import make_classification_blobs, partition_iid, train_test_split
     from repro.models import LogisticRegressionModel
 
@@ -94,8 +96,10 @@ def quick_valuation(
     utility = CoalitionUtility(
         client_datasets=clients,
         test_dataset=test,
-        model_factory=lambda: LogisticRegressionModel(
-            n_features=8, n_classes=3, epochs=5
+        # partial, not a lambda: the oracle stays picklable, so this helper
+        # also works under the process executor backend (RPR004).
+        model_factory=partial(
+            LogisticRegressionModel, n_features=8, n_classes=3, epochs=5
         ),
         config=FLConfig(rounds=3, local_epochs=1),
         seed=seed,

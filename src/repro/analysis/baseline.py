@@ -1,0 +1,88 @@
+"""Committed finding baselines with stale-entry detection.
+
+A baseline lets ``repro check`` gate *new* findings while a known backlog is
+being worked off: entries in the file suppress their matching findings.  Two
+properties keep a baseline from rotting into a blanket waiver:
+
+* an entry matches one finding occurrence at most — a second finding of the
+  same code on another line is new and fails the gate;
+* an entry whose finding no longer exists is **stale** and itself fails the
+  gate (as a :data:`~repro.analysis.findings.META_CODE` finding), so the
+  baseline can only ever shrink toward the committed goal of being empty.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import META_CODE, Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> list[Finding]:
+    """Read a baseline file written by :func:`write_baseline`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    return [Finding.from_dict(entry) for entry in payload.get("findings", [])]
+
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> None:
+    """Persist the current findings as the new accepted baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Sequence[Finding], baseline_path: Path
+) -> tuple[list[Finding], int]:
+    """Split findings into (kept + stale-entry findings, suppressed count).
+
+    Matching is by :meth:`Finding.baseline_key` — (path, code, line) — and
+    one entry consumes one finding.  Unconsumed entries become stale-baseline
+    findings anchored at the baseline file itself.
+    """
+    budget: dict[tuple[str, str, int], int] = {}
+    for entry in baseline:
+        key = entry.baseline_key()
+        budget[key] = budget.get(key, 0) + 1
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    for entry in baseline:
+        key = entry.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            kept.append(
+                Finding(
+                    path=str(baseline_path),
+                    line=1,
+                    col=1,
+                    code=META_CODE,
+                    message=(
+                        f"stale baseline entry {entry.path}:{entry.line} "
+                        f"[{entry.code}]: the finding no longer fires; remove "
+                        "the entry so the baseline keeps shrinking"
+                    ),
+                )
+            )
+    return kept, suppressed

@@ -1,0 +1,101 @@
+"""Per-module context shared by every rule: source, AST, resolved imports.
+
+The rules never guess what a name means from its spelling alone — ``np.random``
+is only numpy's legacy RNG module if ``np`` was actually bound by
+``import numpy as np``.  :class:`ImportMap` records what every imported local
+name stands for, and :meth:`ImportMap.resolve` turns an attribute chain such
+as ``np.random.default_rng`` back into its canonical dotted path
+(``numpy.random.default_rng``).  Names bound by assignment or as parameters
+resolve to ``None`` and rules skip them: the checker prefers silence over a
+false positive it cannot prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: modules whose output *is* content identity: any ambient read here would
+#: silently change fingerprints (see RPR002 and docs/static-analysis.md)
+FINGERPRINT_MODULES = (
+    "repro/store/fingerprint.py",
+    "repro/experiments/specs.py",
+    "repro/scenarios/scenario.py",
+)
+
+
+def dotted_parts(node: ast.AST) -> Optional[list[str]]:
+    """Flatten ``a.b.c`` into ``["a", "b", "c"]``; ``None`` if not a pure chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class ImportMap:
+    """Maps local names to the canonical dotted module path they were bound to."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.names[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds only the root name ``a``.
+                        root = alias.name.split(".", 1)[0]
+                        self.names[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of an expression, or ``None`` if unprovable."""
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        base = self.names.get(parts[0])
+        if base is None:
+            return None
+        return ".".join([base, *parts[1:]])
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one parsed source file."""
+
+    path: Path
+    relpath: str  # posix-style path as reported in findings
+    source: str
+    tree: ast.Module
+    imports: ImportMap = field(init=False)
+    lines: list[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportMap(self.tree)
+        self.lines = self.source.splitlines()
+
+    @property
+    def is_test(self) -> bool:
+        """Whether this file is test code (rules may scope themselves out)."""
+        parts = Path(self.relpath).parts
+        return "tests" in parts or Path(self.relpath).name.startswith("test_")
+
+    @property
+    def is_fingerprint_module(self) -> bool:
+        """Whether this module's output participates in content identity."""
+        return self.relpath.endswith(FINGERPRINT_MODULES)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        return self.imports.resolve(node)

@@ -1,0 +1,136 @@
+"""The checker driver: collect files, parse, run rules, suppress, report.
+
+:func:`check_paths` is the library face of ``repro check``: it walks the
+given files/directories, parses each Python module once, runs every selected
+rule over the shared :class:`~repro.analysis.context.ModuleContext`, applies
+pragma suppressions and the optional baseline, and returns a
+:class:`CheckReport`.  Unparseable files are findings, not crashes — a gate
+that dies on bad input is a gate that gets disabled.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+# The rule modules register themselves on import; keep these imports even
+# though nothing references them by name.
+from repro.analysis import (  # noqa: F401
+    rules_concurrency,
+    rules_determinism,
+    rules_protocol,
+)
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import META_CODE, Finding
+from repro.analysis.pragmas import apply_suppressions, scan_pragmas
+from repro.analysis.rules import RULES, Rule, resolve_selection
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``repro check`` invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_by_pragma: int = 0
+    suppressed_by_baseline: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed_by_pragma": self.suppressed_by_pragma,
+            "suppressed_by_baseline": self.suppressed_by_baseline,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories, sorted."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(part in _SKIP_DIR_NAMES for part in candidate.parts):
+                yield candidate
+
+
+def _relpath(path: Path) -> str:
+    """Posix-style path as reported in findings (relative to cwd if below it)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def check_file(path: Path, rules: Sequence[Rule]) -> tuple[list[Finding], int]:
+    """Run the selected rules over one file; returns (findings, suppressed)."""
+    relpath = _relpath(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return (
+            [
+                Finding(
+                    path=relpath,
+                    line=int(error.lineno or 1),
+                    col=int(error.offset or 1),
+                    code=META_CODE,
+                    message=f"file does not parse: {error.msg}",
+                )
+            ],
+            0,
+        )
+    ctx = ModuleContext(path=path, relpath=relpath, source=source, tree=tree)
+    pragmas, pragma_errors = scan_pragmas(relpath, source, set(RULES))
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(ctx):
+            findings.extend(rule.check(ctx))
+    kept, suppressed = apply_suppressions(findings, pragmas)
+    # Pragma errors are appended *after* suppression: a malformed pragma must
+    # not be able to suppress the finding that reports it.
+    kept.extend(pragma_errors)
+    return sorted(kept), suppressed
+
+
+def check_paths(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    baseline: Optional[Path] = None,
+) -> CheckReport:
+    """Check every Python file under ``paths`` and assemble the report."""
+    rules = resolve_selection(select, ignore)
+    report = CheckReport()
+    for path in iter_python_files(paths):
+        findings, suppressed = check_file(path, rules)
+        report.findings.extend(findings)
+        report.suppressed_by_pragma += suppressed
+        report.files_checked += 1
+    if baseline is not None:
+        entries = load_baseline(baseline)
+        report.findings, suppressed = apply_baseline(
+            report.findings, entries, baseline
+        )
+        report.suppressed_by_baseline = suppressed
+    report.findings.sort()
+    return report

@@ -1,0 +1,59 @@
+"""Finding objects produced by the contract checker.
+
+A :class:`Finding` is one rule violation at one source location.  Findings are
+value objects: hashable, totally ordered (by path, then line/column, then
+code), and round-trippable through JSON — the baseline file and the
+``repro check --json`` output are both built from :meth:`Finding.to_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+#: code carried by checker-level findings that no rule owns: unparseable
+#: files, malformed suppression pragmas, stale baseline entries.
+META_CODE = "RPR000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render in the conventional ``file:line:col: CODE message`` shape."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload.get("col", 0)),
+            code=str(payload["code"]),
+            message=str(payload.get("message", "")),
+        )
+
+    def baseline_key(self) -> tuple[str, str, int]:
+        """Identity used to match a finding against a baseline entry.
+
+        Column and message are excluded: a baseline should survive message
+        rewording and small same-line edits, but not code moving to another
+        line — a moved finding is a changed finding and must be re-triaged.
+        """
+        return (self.path, self.code, self.line)

@@ -1,0 +1,129 @@
+"""The ``# repro: allow[...]`` suppression pragma.
+
+A finding is suppressed by a pragma on the *same line*, or by a pragma that
+is a comment-only line immediately *above* it (for lines too long to carry a
+trailing comment)::
+
+    manifest["updated_at"] = time.time()  # repro: allow[RPR002] reason=telemetry
+
+    # repro: allow[RPR002] reason=store timestamps are telemetry, not identity
+    entry = {"key": key, "value": value, "ts": time.time()}
+
+Two properties keep pragmas honest, and both are enforced as findings rather
+than silently tolerated (:data:`~repro.analysis.findings.META_CODE`):
+
+* every pragma must carry a non-empty ``reason=`` — an unexplained
+  suppression is indistinguishable from a silenced bug;
+* every code listed must be a registered rule code — a typo'd code would
+  suppress nothing while looking like it does.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable
+
+from repro.analysis.findings import META_CODE, Finding
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<codes>[^\]]*)\]\s*(?:reason=(?P<reason>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    own_line: bool  # comment-only line: also covers the line below
+
+
+def _comment_tokens(source: str) -> list[tokenize.TokenInfo]:
+    """Real COMMENT tokens only — pragma-shaped text inside string literals
+    and docstrings (e.g. documentation *about* the pragma) must not parse."""
+    return [
+        token
+        for token in tokenize.generate_tokens(io.StringIO(source).readline)
+        if token.type == tokenize.COMMENT
+    ]
+
+
+def scan_pragmas(
+    relpath: str, source: str, known_codes: AbstractSet[str]
+) -> tuple[list[Pragma], list[Finding]]:
+    """Parse every pragma in a file; malformed ones come back as findings."""
+    pragmas: list[Pragma] = []
+    errors: list[Finding] = []
+    for token in _comment_tokens(source):
+        match = PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        col = token.start[1] + match.start() + 1
+        line_prefix = source.splitlines()[lineno - 1][: token.start[1]]
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",") if code.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        unknown = [code for code in codes if code not in known_codes]
+        if not codes:
+            errors.append(
+                Finding(relpath, lineno, col, META_CODE, "pragma lists no rule codes")
+            )
+            continue
+        if unknown:
+            errors.append(
+                Finding(
+                    relpath,
+                    lineno,
+                    col,
+                    META_CODE,
+                    f"pragma names unknown rule code(s) {', '.join(unknown)}; "
+                    "see `repro check --list-rules`",
+                )
+            )
+            continue
+        if not reason:
+            errors.append(
+                Finding(
+                    relpath,
+                    lineno,
+                    col,
+                    META_CODE,
+                    "pragma must justify itself: add reason=<why this is allowed>",
+                )
+            )
+            continue
+        own_line = line_prefix.strip() == ""
+        pragmas.append(Pragma(lineno, codes, reason, own_line))
+    return pragmas, errors
+
+
+def suppressed_lines(pragmas: Iterable[Pragma]) -> dict[int, set[str]]:
+    """Map line number -> rule codes suppressed on that line."""
+    covered: dict[int, set[str]] = {}
+    for pragma in pragmas:
+        covered.setdefault(pragma.line, set()).update(pragma.codes)
+        if pragma.own_line:
+            covered.setdefault(pragma.line + 1, set()).update(pragma.codes)
+    return covered
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], pragmas: Iterable[Pragma]
+) -> tuple[list[Finding], int]:
+    """Drop findings covered by a pragma; return (kept, suppressed count)."""
+    covered = suppressed_lines(pragmas)
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if finding.code in covered.get(finding.line, ()):  # META_CODE included
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -1,0 +1,87 @@
+"""Rule framework: base class, registry, selection.
+
+A rule is one machine-checked repository contract.  Each has a stable
+``RPR0xx`` code (used in output, pragmas, ``--select``/``--ignore`` and the
+baseline file), a one-line summary shown by ``repro check --list-rules``, and
+a :meth:`Rule.check` that walks one module's AST and yields findings.
+
+Rules must be *provably right* before they speak: the conventions in
+:mod:`repro.analysis.context` (resolve imports, skip what cannot be proven)
+mean a finding is always an actual occurrence of the flagged pattern, never a
+spelling coincidence.  Intentional occurrences are then suppressed explicitly
+with a ``# repro: allow[...] reason=...`` pragma — visible, justified, and
+checked for staleness — rather than by loosening the rule.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import Iterable, Iterator, Optional, Type
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+
+class Rule(abc.ABC):
+    """One contract check over a single module."""
+
+    #: stable RPR0xx identifier (pragmas, selection, baseline entries)
+    code: str = "RPR999"
+
+    #: short kebab-case name used in docs and ``--list-rules``
+    name: str = "unnamed-rule"
+
+    #: one-line description of the contract the rule protects
+    summary: str = ""
+
+    #: whether the rule also applies to test code; contract rules that only
+    #: guard library invariants (fingerprint purity, executor picklability)
+    #: stay out of tests, where e.g. lambdas fed to a serial backend are fine
+    applies_in_tests: bool = True
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return self.applies_in_tests or not ctx.is_test
+
+    @abc.abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in one module."""
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.relpath,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+#: registry: code -> rule instance, populated by :func:`register_rule`
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (one instance per code)."""
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code!r}")
+    RULES[cls.code] = cls()
+    return cls
+
+
+def all_codes() -> list[str]:
+    return sorted(RULES)
+
+
+def resolve_selection(
+    select: Optional[Iterable[str]] = None, ignore: Optional[Iterable[str]] = None
+) -> list[Rule]:
+    """Resolve ``--select``/``--ignore`` code lists into rule instances."""
+    selected = set(RULES) if select is None else {code.strip() for code in select}
+    ignored = set() if ignore is None else {code.strip() for code in ignore}
+    unknown = sorted((selected | ignored) - set(RULES))
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s) {', '.join(unknown)}; known: {', '.join(all_codes())}"
+        )
+    return [RULES[code] for code in sorted(selected - ignored)]

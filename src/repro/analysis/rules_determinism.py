@@ -1,0 +1,272 @@
+"""Determinism rules: seeded randomness, fingerprint purity, stable ordering.
+
+These protect the repository's foundational guarantee (ROADMAP, PRs 1-5):
+the same spec at the same seed produces bitwise-identical values across every
+executor backend, and content-addressed store entries never alias.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register_rule
+
+#: numpy.random attributes that are legitimate in seeded, reproducible code
+_NUMPY_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: ambient reads that would leak wall-clock / environment into computed values
+_AMBIENT_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.getenv",
+        "os.getcwd",
+        "os.uname",
+        "os.getpid",
+        "socket.gethostname",
+        "getpass.getuser",
+        "platform.node",
+        "platform.platform",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: reads of these names are ambient even without a call
+_AMBIENT_ATTRIBUTES = frozenset({"os.environ", "sys.argv"})
+
+
+@register_rule
+class UnseededRandomness(Rule):
+    """RPR001 — all randomness must flow from an explicit seed.
+
+    Three unconditional bans: ``numpy.random.default_rng()`` with no seed
+    argument (OS entropy), the legacy ``numpy.random.*`` module functions
+    (global mutable state, shared across threads), and the stdlib ``random``
+    module (per-process salted for str/bytes hashing concerns aside, it is
+    unseedable per-call-site).  In library code a fourth pattern is flagged:
+    a bare integer literal seed inside a function body — magic inline seeds
+    are content-identity-bearing and belong in a named, documented
+    module-level constant (see e.g. ``repro.datasets.mnist_like``).
+    """
+
+    code = "RPR001"
+    name = "unseeded-randomness"
+    summary = (
+        "randomness must come from repro.utils.rng seeds: no unseeded "
+        "default_rng(), no legacy np.random.* / stdlib random, no magic "
+        "inline literal seeds in library code"
+    )
+    applies_in_tests = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        in_function = _function_line_spans(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved == "numpy.random.default_rng":
+                yield from self._check_default_rng(ctx, node, in_function)
+            elif resolved.startswith("numpy.random."):
+                attr = resolved.removeprefix("numpy.random.")
+                if "." not in attr and attr not in _NUMPY_RANDOM_OK:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"legacy global-state RNG call numpy.random.{attr}(); "
+                        "draw from a seeded Generator "
+                        "(repro.utils.rng.RandomState) instead",
+                    )
+            elif resolved.split(".", 1)[0] == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stdlib random call {resolved}(); use a seeded "
+                    "numpy Generator from repro.utils.rng so the draw is "
+                    "reproducible and checkpointable",
+                )
+
+    def _check_default_rng(
+        self, ctx: ModuleContext, node: ast.Call, in_function: list[tuple[int, int]]
+    ) -> Iterator[Finding]:
+        if not node.args and not node.keywords:
+            yield self.finding(
+                ctx,
+                node,
+                "default_rng() without a seed draws OS entropy; every "
+                "generator must derive from an explicit seed "
+                "(repro.utils.rng.RandomState / spawn_rng)",
+            )
+            return
+        if ctx.is_test or not node.args:
+            return
+        seed = node.args[0]
+        is_literal_int = isinstance(seed, ast.Constant) and isinstance(seed.value, int)
+        inside = any(lo <= node.lineno <= hi for lo, hi in in_function)
+        if is_literal_int and inside:
+            yield self.finding(
+                ctx,
+                node,
+                f"magic inline seed default_rng({seed.value}); this literal is "
+                "content-identity-bearing — hoist it into a named, documented "
+                "module-level constant",
+            )
+
+
+def _function_line_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """(first, last) line ranges of every function/method body in the module."""
+    spans = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+@register_rule
+class AmbientStateRead(Rule):
+    """RPR002 — no wall-clock or environment reads in library code.
+
+    The store is content-addressed: fingerprints must depend only on declared
+    inputs.  An ambient read (``time.time``, ``datetime.now``, ``os.environ``,
+    hostnames, uuid4, ...) anywhere in ``src/`` is either a fingerprint-purity
+    bug — fatal in the fingerprint-producing modules themselves — or
+    intentional telemetry, which must say so with a pragma.
+    """
+
+    code = "RPR002"
+    name = "ambient-state-read"
+    summary = (
+        "wall-clock / environment reads are banned in library code; "
+        "fingerprinted content must be a pure function of declared inputs "
+        "(pragma intentional telemetry)"
+    )
+    applies_in_tests = False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()
+        for node in ast.walk(ctx.tree):
+            resolved: Optional[str] = None
+            if isinstance(node, ast.Call):
+                resolved = ctx.resolve(node.func)
+                if resolved not in _AMBIENT_CALLS:
+                    continue
+                what = f"{resolved}()"
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                resolved = ctx.resolve(node)
+                if resolved not in _AMBIENT_ATTRIBUTES:
+                    continue
+                what = resolved
+            else:
+                continue
+            key = (node.lineno, node.col_offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            if ctx.is_fingerprint_module:
+                detail = (
+                    "this module produces content fingerprints — an ambient "
+                    "read here silently changes content identity and aliases "
+                    "store entries"
+                )
+            else:
+                detail = (
+                    "values derived from it must never reach a fingerprint; "
+                    "if this is telemetry (timestamps, logs), say so with "
+                    "`# repro: allow[RPR002] reason=...`"
+                )
+            yield self.finding(ctx, node, f"ambient state read {what}: {detail}")
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Whether an expression *provably* evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        # set algebra results are sets again: s.union(t), s & t spelled out
+        return node.func.attr in {"union", "intersection", "difference",
+                                  "symmetric_difference"} and _is_set_expression(
+            node.func.value
+        )
+    return False
+
+
+#: consuming one of these with a set argument folds values in hash order
+_ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "sum", "enumerate"})
+
+
+@register_rule
+class UnstableIterationOrder(Rule):
+    """RPR003 — never fold numeric work over hash-ordered iteration.
+
+    Set iteration order is hash-based: salted for strings, and in general not
+    part of any compatibility promise.  Feeding it into ordering-sensitive
+    numeric work (floating-point sums, array construction, enumeration) makes
+    results process-dependent.  Iterating a set expression — in a ``for``
+    loop, a comprehension, or an order-sensitive consumer such as ``list``/
+    ``sum`` — requires ``sorted(...)``.  Plain dict iteration is deliberately
+    not flagged: insertion order is guaranteed and the anytime checkpoint
+    codec depends on it (see repro.core.anytime).
+    """
+
+    code = "RPR003"
+    name = "unstable-iteration-order"
+    summary = (
+        "iterating a bare set/frozenset feeds hash order into downstream "
+        "numeric work; wrap it in sorted(...)"
+    )
+    applies_in_tests = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expression(node.iter):
+                    yield self._order_finding(ctx, node.iter, "for loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expression(gen.iter):
+                        yield self._order_finding(ctx, gen.iter, "comprehension")
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_SENSITIVE_CONSUMERS
+                and node.args
+                and _is_set_expression(node.args[0])
+            ):
+                yield self._order_finding(ctx, node.args[0], f"{node.func.id}(...)")
+
+    def _order_finding(self, ctx: ModuleContext, node: ast.AST, where: str) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"set iterated in {where}: iteration order is hash-based and not "
+            "reproducible across processes; wrap the set in sorted(...) before "
+            "any ordering-sensitive (numeric) consumption",
+        )

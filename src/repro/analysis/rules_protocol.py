@@ -1,0 +1,129 @@
+"""Estimator-protocol rules: checkpoint completeness for anytime valuation.
+
+Protects the PR 5 contract: an interrupted ``iter_run`` serialized through
+:class:`repro.core.anytime.EstimatorState` and restored later finishes with
+values bitwise-identical to an uninterrupted run.  That only holds if *all*
+mutable estimation state lives in the checkpointable payload and all
+randomness flows through the framework-managed generator (which
+``iter_run`` serializes via ``capture_rng_state`` / ``restore_rng`` after
+every chunk).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register_rule
+
+_INCREMENTAL_METHODS = frozenset({"_incremental_init", "_incremental_step"})
+
+#: generator constructors that would create RNG state invisible to the
+#: checkpoint (iter_run only serializes the generator it passes in)
+_RNG_CONSTRUCTORS = frozenset({"RandomState", "default_rng", "spawn_rng", "fixed_rng"})
+
+
+@register_rule
+class CheckpointIncomplete(Rule):
+    """RPR005 — incremental estimators must keep checkpoints lossless.
+
+    Three checks on any class implementing the incremental protocol
+    (``_incremental_step``):
+
+    * overriding ``_incremental_step`` without ``_incremental_init`` leaves
+      the payload unprepared — a restored checkpoint would re-derive initial
+      state from a generator that has already advanced;
+    * constructing a fresh generator inside the protocol methods creates RNG
+      state the checkpoint cannot see; consume the framework-managed ``rng``
+      parameter, which ``iter_run`` round-trips via
+      ``capture_rng_state``/``restore_rng`` after every chunk;
+    * storing the live generator object in the payload would not survive
+      JSON serialisation — checkpoint its *state*, never the object.
+    """
+
+    code = "RPR005"
+    name = "checkpoint-incomplete"
+    summary = (
+        "incremental estimators must define _incremental_init alongside "
+        "_incremental_step, use the framework rng (serialized via "
+        "capture_rng_state/restore_rng), and never store live generators "
+        "in the payload"
+    )
+    applies_in_tests = False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: ModuleContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "_incremental_step" not in methods:
+            return
+        if "_incremental_init" not in methods:
+            yield self.finding(
+                ctx,
+                methods["_incremental_step"],
+                f"{cls.name} overrides _incremental_step without "
+                "_incremental_init: the checkpointable payload is never "
+                "prepared, so interrupt->resume cannot reproduce the "
+                "uninterrupted run (see repro.core.base.ValuationAlgorithm)",
+            )
+        for name in sorted(_INCREMENTAL_METHODS & set(methods)):
+            yield from self._check_method(ctx, cls.name, methods[name])
+
+    def _check_method(
+        self, ctx: ModuleContext, cls_name: str, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = func.attr if isinstance(func, ast.Attribute) else getattr(
+                    func, "id", None
+                )
+                if name in _RNG_CONSTRUCTORS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{cls_name}.{method.name} constructs a generator via "
+                        f"{name}(...): its state is invisible to the "
+                        "EstimatorState checkpoint; draw from the rng "
+                        "parameter instead (iter_run serializes it with "
+                        "capture_rng_state/restore_rng every chunk)",
+                    )
+            elif isinstance(node, ast.Assign):
+                yield from self._check_payload_store(ctx, cls_name, method, node)
+            elif isinstance(node, (ast.Dict,)):
+                for value in node.values:
+                    if isinstance(value, ast.Name) and value.id == "rng":
+                        yield self._live_rng_finding(ctx, cls_name, method, value)
+
+    def _check_payload_store(
+        self,
+        ctx: ModuleContext,
+        cls_name: str,
+        method: ast.FunctionDef,
+        node: ast.Assign,
+    ) -> Iterator[Finding]:
+        if not (isinstance(node.value, ast.Name) and node.value.id == "rng"):
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                yield self._live_rng_finding(ctx, cls_name, method, node.value)
+
+    def _live_rng_finding(
+        self, ctx: ModuleContext, cls_name: str, method: ast.FunctionDef, node: ast.AST
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"{cls_name}.{method.name} stores the live rng object in the "
+            "payload: generators do not survive JSON checkpointing; "
+            "serialize with capture_rng_state and rebuild with restore_rng",
+        )

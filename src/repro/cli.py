@@ -28,6 +28,12 @@ Subcommands
     Inspect or compact a utility store.
 ``repro list-tasks``
     Show the registered task kinds and algorithm names a plan may reference.
+``repro check [paths]``
+    Run the determinism & concurrency contract checker
+    (:mod:`repro.analysis`, see docs/static-analysis.md) over the given
+    files/directories (default: ``src tests``).  Exits non-zero on findings;
+    ``--json`` for machine-readable output, ``--baseline`` to gate against a
+    committed (shrinking) baseline, ``--select``/``--ignore`` to pick rules.
 
 Example
 -------
@@ -159,6 +165,34 @@ def build_parser() -> argparse.ArgumentParser:
         "list-tasks", help="registered task kinds and algorithms"
     )
     _add_output_arguments(list_tasks)
+
+    check = subparsers.add_parser(
+        "check", help="run the determinism/concurrency contract checker"
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to check (default: src tests)",
+    )
+    check.add_argument(
+        "--baseline",
+        help="JSON baseline file: listed findings are accepted, stale "
+        "entries fail the gate",
+    )
+    check.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    check.add_argument(
+        "--select", help="comma-separated rule codes to run (default: all)"
+    )
+    check.add_argument("--ignore", help="comma-separated rule codes to skip")
+    check.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    _add_output_arguments(check)
     return parser
 
 
@@ -520,12 +554,66 @@ def _cmd_scenarios_show(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    """``repro check``: the contract checker (see repro.analysis)."""
+    from pathlib import Path
+
+    from repro.analysis import RULES, check_paths, write_baseline
+
+    if args.list_rules:
+        rules = [RULES[code] for code in sorted(RULES)]
+        if args.json:
+            payload = {
+                rule.code: {"name": rule.name, "summary": rule.summary}
+                for rule in rules
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return 0
+    if args.write_baseline and not args.baseline:
+        raise ValueError("--write-baseline requires --baseline FILE")
+    select = None if not args.select else args.select.split(",")
+    ignore = None if not args.ignore else args.ignore.split(",")
+    if args.write_baseline:
+        report = check_paths(
+            [Path(p) for p in args.paths], select=select, ignore=ignore
+        )
+        write_baseline(report.findings, Path(args.baseline))
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    report = check_paths(
+        [Path(p) for p in args.paths],
+        select=select,
+        ignore=ignore,
+        baseline=None if not args.baseline else Path(args.baseline),
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return report.exit_code
+    for finding in report.findings:
+        print(finding.format())
+    suppressed = report.suppressed_by_pragma + report.suppressed_by_baseline
+    suffix = f" ({suppressed} suppressed)" if suppressed else ""
+    print(
+        f"repro check: {len(report.findings)} finding(s) in "
+        f"{report.files_checked} file(s){suffix}",
+        file=sys.stderr,
+    )
+    return report.exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
         "resume": _cmd_resume,
         "list-tasks": _cmd_list_tasks,
+        "check": _cmd_check,
     }
     try:
         if args.command == "store":

@@ -139,7 +139,11 @@ class JsonlUtilityStore(UtilityStore):
     def _write(self, key: str, value: float) -> None:
         shard = self._shard_for(key)
         line = json.dumps(
-            {"key": key, "value": value, "ts": time.time()}, separators=(",", ":")
+            # Entry timestamps aid store forensics; keys and values are
+            # content-addressed without them.
+            # repro: allow[RPR002] reason=ts is forensic telemetry, not identity
+            {"key": key, "value": value, "ts": time.time()},
+            separators=(",", ":"),
         )
         with open(shard.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")

@@ -76,6 +76,9 @@ class SqliteUtilityStore(UtilityStore):
         self._connection.execute(
             "INSERT OR REPLACE INTO utilities (key, namespace, value, created_at) "
             "VALUES (?, ?, ?, ?)",
+            # created_at aids store forensics; keys and values are
+            # content-addressed without it.
+            # repro: allow[RPR002] reason=created_at is telemetry, not identity
             (key, key_namespace(key), float(value), time.time()),
         )
         self._connection.commit()

@@ -1,0 +1,43 @@
+"""Fixtures for the contract-checker suite.
+
+Rule fixtures are source snippets written to ``tmp_path`` and checked
+through the real engine entry points (:func:`repro.analysis.check_file`),
+so every test also exercises parsing, context building and suppression —
+not just the rule's ``check`` method in isolation.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import RULES, check_file
+
+
+@pytest.fixture
+def check_source(tmp_path):
+    """Write a snippet to disk and run the checker over it.
+
+    ``filename`` controls rule scoping: the default ``mod.py`` is library
+    code; pass ``tests/test_mod.py`` to check the snippet as test code.
+    ``codes`` restricts the run to specific rules (default: all).
+    """
+
+    def _check(source, *, filename="mod.py", codes=None):
+        path = tmp_path / filename
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        rules = (
+            list(RULES.values())
+            if codes is None
+            else [RULES[code] for code in codes]
+        )
+        findings, _suppressed = check_file(path, rules)
+        return findings
+
+    return _check
+
+
+def codes_of(findings):
+    return [finding.code for finding in findings]

@@ -1,0 +1,104 @@
+"""Baseline workflow: entries suppress matching findings one-for-one, stale
+entries fail the gate, and the file round-trips losslessly."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    META_CODE,
+    Finding,
+    check_paths,
+    load_baseline,
+    write_baseline,
+)
+
+VIOLATING = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+
+def _write_module(tmp_path, source=VIOLATING, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def test_round_trip(tmp_path):
+    findings = [
+        Finding("a.py", 3, 1, "RPR002", "ambient read"),
+        Finding("b.py", 7, 5, "RPR001", "unseeded rng"),
+    ]
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(findings, baseline_path)
+    assert load_baseline(baseline_path) == sorted(findings)
+
+
+def test_unsupported_version_is_rejected(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+    with pytest.raises(ValueError, match="baseline version"):
+        load_baseline(baseline_path)
+
+
+def test_baseline_suppresses_known_findings(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    module = _write_module(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+
+    before = check_paths([module])
+    assert [f.code for f in before.findings] == ["RPR002"]
+    write_baseline(before.findings, baseline_path)
+
+    after = check_paths([module], baseline=baseline_path)
+    assert after.ok
+    assert after.exit_code == 0
+    assert after.suppressed_by_baseline == 1
+
+
+def test_new_finding_is_not_covered_by_the_baseline(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    module = _write_module(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(check_paths([module]).findings, baseline_path)
+
+    # A second ambient read on a new line is a new finding: the existing
+    # entry matches one occurrence at most.
+    _write_module(
+        tmp_path,
+        VIOLATING + "\n\ndef stamp_again():\n    return time.time()\n",
+    )
+    report = check_paths([module], baseline=baseline_path)
+    assert report.exit_code == 1
+    assert [f.code for f in report.findings] == ["RPR002"]
+    assert report.suppressed_by_baseline == 1
+
+
+def test_stale_entry_fails_the_gate(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    module = _write_module(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(check_paths([module]).findings, baseline_path)
+
+    # Fix the violation: the baseline entry is now stale and must itself
+    # fail the gate so the file keeps shrinking toward empty.
+    _write_module(tmp_path, "def stamp():\n    return 0.0\n")
+    report = check_paths([module], baseline=baseline_path)
+    assert report.exit_code == 1
+    assert [f.code for f in report.findings] == [META_CODE]
+    assert "stale baseline entry" in report.findings[0].message
+    assert report.findings[0].path == str(baseline_path)
+
+
+def test_baseline_key_ignores_column_and_message():
+    entry = Finding("a.py", 3, 1, "RPR002", "old wording")
+    moved_col = Finding("a.py", 3, 9, "RPR002", "new wording")
+    moved_line = Finding("a.py", 4, 1, "RPR002", "old wording")
+    assert entry.baseline_key() == moved_col.baseline_key()
+    assert entry.baseline_key() != moved_line.baseline_key()

@@ -1,0 +1,189 @@
+"""Engine + CLI behavior: discovery, selection, output contract, exit codes —
+and the repository-wide self-check the CI gate runs."""
+
+from __future__ import annotations
+
+import json
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    META_CODE,
+    RULES,
+    all_codes,
+    check_paths,
+    iter_python_files,
+    resolve_selection,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+UNSEEDED = """\
+import numpy as np
+
+
+def draw():
+    return np.random.default_rng().random()
+"""
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+class TestEngine:
+    def test_discovery_skips_caches_and_sorts(self, tmp_path):
+        _write(tmp_path, "pkg/b.py", "x = 1\n")
+        _write(tmp_path, "pkg/a.py", "x = 1\n")
+        _write(tmp_path, "pkg/__pycache__/a.cpython-311.py", "x = 1\n")
+        _write(tmp_path, "pkg/readme.txt", "not python\n")
+        files = list(iter_python_files([tmp_path / "pkg"]))
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_missing_path_is_an_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([tmp_path / "nope"]))
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        module = _write(tmp_path, "broken.py", "def f(:\n    pass\n")
+        report = check_paths([module])
+        assert [f.code for f in report.findings] == [META_CODE]
+        assert "does not parse" in report.findings[0].message
+        assert report.exit_code == 1
+
+    def test_select_and_ignore(self, tmp_path):
+        module = _write(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+            import numpy as np
+
+            def f():
+                return (time.time(), np.random.default_rng())
+            """,
+        )
+        both = check_paths([module])
+        assert sorted(f.code for f in both.findings) == ["RPR001", "RPR002"]
+        only_rng = check_paths([module], select=["RPR001"])
+        assert [f.code for f in only_rng.findings] == ["RPR001"]
+        no_rng = check_paths([module], ignore=["RPR001"])
+        assert [f.code for f in no_rng.findings] == ["RPR002"]
+
+    def test_unknown_selection_code_raises(self):
+        with pytest.raises(ValueError, match="RPR999"):
+            resolve_selection(select=["RPR999"])
+
+    def test_registry_has_the_documented_rules(self):
+        assert all_codes() == [
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+            "RPR007",
+        ]
+        for rule in RULES.values():
+            assert rule.summary, rule.code
+            assert re.fullmatch(r"RPR\d{3}", rule.code)
+
+
+class TestCli:
+    def test_findings_print_file_line_col_code_and_exit_1(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "mod.py", UNSEEDED)
+        exit_code = main(["check", "mod.py"])
+        out = capsys.readouterr()
+        assert exit_code == 1
+        assert re.search(r"^mod\.py:5:12: RPR001 ", out.out, re.MULTILINE)
+        assert "1 finding(s) in 1 file(s)" in out.err
+
+    def test_clean_tree_exits_0(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "mod.py", "x = 1\n")
+        assert main(["check", "mod.py"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_json_output_is_machine_readable(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "mod.py", UNSEEDED)
+        exit_code = main(["check", "--json", "mod.py"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        [finding] = payload["findings"]
+        assert finding["code"] == "RPR001"
+        assert finding["path"] == "mod.py"
+        assert finding["line"] == 5
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in all_codes():
+            assert code in out
+
+    def test_list_rules_json(self, capsys):
+        assert main(["check", "--json", "--list-rules"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == all_codes()
+        assert all("summary" in entry for entry in payload.values())
+
+    def test_unknown_select_code_exits_2(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "mod.py", "x = 1\n")
+        assert main(["check", "--select", "RPR999", "mod.py"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_write_baseline_requires_baseline_path(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "mod.py", "x = 1\n")
+        assert main(["check", "--write-baseline", "mod.py"]) == 2
+        assert "--write-baseline requires" in capsys.readouterr().err
+
+    def test_baseline_workflow_end_to_end(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "mod.py", UNSEEDED)
+        assert (
+            main(["check", "--baseline", "bl.json", "--write-baseline", "mod.py"])
+            == 0
+        )
+        capsys.readouterr()
+        # Baselined: gate passes without touching the code.
+        assert main(["check", "--baseline", "bl.json", "mod.py"]) == 0
+        assert "1 suppressed" in capsys.readouterr().err
+        # Fixed: the now-stale entry fails the gate until it is removed.
+        _write(tmp_path, "mod.py", "x = 1\n")
+        assert main(["check", "--baseline", "bl.json", "mod.py"]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestRepositoryContract:
+    def test_src_and_tests_are_clean_with_an_empty_baseline(self):
+        # The acceptance gate of this subsystem: the repository satisfies
+        # its own contracts, with every intentional exception pragma'd.
+        report = check_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+        assert report.findings == [], "\n".join(
+            f.format() for f in report.findings
+        )
+        assert report.files_checked > 100
+
+    def test_reintroducing_unseeded_rng_into_core_fails_the_gate(self, tmp_path):
+        # What the CI job protects against: an unseeded generator slipping
+        # back into library code makes `repro check` (and the check job) red.
+        core_like = _write(tmp_path, "src/repro/core/regression.py", UNSEEDED)
+        report = check_paths([core_like])
+        assert report.exit_code == 1
+        assert [f.code for f in report.findings] == ["RPR001"]

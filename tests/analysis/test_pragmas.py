@@ -1,0 +1,149 @@
+"""The ``# repro: allow[...]`` suppression pragma: honest suppressions only.
+
+A pragma must name registered codes and justify itself with ``reason=``;
+anything else is itself a finding (RPR000), and a malformed pragma can never
+suppress the finding that reports it."""
+
+from __future__ import annotations
+
+from repro.analysis import META_CODE
+
+from tests.analysis.conftest import codes_of
+
+
+class TestSuppression:
+    def test_same_line_pragma_with_reason_suppresses(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro: allow[RPR002] reason=telemetry only
+            """,
+            codes=["RPR002"],
+        )
+        assert findings == []
+
+    def test_own_line_pragma_covers_the_next_line(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            def stamp():
+                # repro: allow[RPR002] reason=manifest telemetry, not identity
+                return time.time()
+            """,
+            codes=["RPR002"],
+        )
+        assert findings == []
+
+    def test_pragma_only_covers_its_own_code(self, check_source):
+        findings = check_source(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng()  # repro: allow[RPR002] reason=wrong code
+            """,
+            codes=["RPR001", "RPR002"],
+        )
+        assert codes_of(findings) == ["RPR001"]
+
+    def test_pragma_on_unrelated_line_does_not_suppress(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            # repro: allow[RPR002] reason=too far away to cover line 6
+            x = 1
+
+            def stamp():
+                return time.time()
+            """,
+            codes=["RPR002"],
+        )
+        assert codes_of(findings) == ["RPR002"]
+
+    def test_multiple_codes_in_one_pragma(self, check_source):
+        findings = check_source(
+            """
+            import time
+            import numpy as np
+
+            def stamp():
+                return (time.time(), np.random.default_rng())  # repro: allow[RPR001,RPR002] reason=fixture
+            """,
+            codes=["RPR001", "RPR002"],
+        )
+        assert findings == []
+
+
+class TestPragmaHygiene:
+    def test_missing_reason_is_a_finding_and_suppresses_nothing(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro: allow[RPR002]
+            """,
+            codes=["RPR002"],
+        )
+        assert sorted(codes_of(findings)) == [META_CODE, "RPR002"]
+        meta = next(f for f in findings if f.code == META_CODE)
+        assert "reason=" in meta.message
+
+    def test_unknown_code_is_a_finding(self, check_source):
+        findings = check_source(
+            """
+            x = 1  # repro: allow[RPR999] reason=typo'd code
+            """,
+            codes=["RPR001"],
+        )
+        assert codes_of(findings) == [META_CODE]
+        assert "RPR999" in findings[0].message
+
+    def test_empty_code_list_is_a_finding(self, check_source):
+        findings = check_source(
+            """
+            x = 1  # repro: allow[] reason=nothing named
+            """,
+            codes=["RPR001"],
+        )
+        assert codes_of(findings) == [META_CODE]
+        assert "no rule codes" in findings[0].message
+
+    def test_pragma_shaped_text_in_docstring_is_ignored(self, check_source):
+        # Documentation *about* the pragma must neither suppress nor error:
+        # only real comment tokens count.
+        findings = check_source(
+            '''
+            def helper():
+                """Suppress with ``# repro: allow[RPRxyz] reason=...``."""
+                return 1
+            ''',
+            codes=["RPR001"],
+        )
+        assert findings == []
+
+    def test_pragma_shaped_string_literal_is_ignored(self, check_source):
+        findings = check_source(
+            """
+            EXAMPLE = "# repro: allow[NOTACODE]"
+            """,
+            codes=["RPR001"],
+        )
+        assert findings == []
+
+    def test_meta_code_is_not_suppressible(self, check_source):
+        # RPR000 is the checker's own voice (parse errors, bad pragmas,
+        # stale baselines); it is not a registered rule, so a pragma can
+        # never name it — meta findings always reach the report.
+        findings = check_source(
+            """
+            x = 1  # repro: allow[RPR000] reason=trying to silence the checker
+            """,
+            codes=["RPR001"],
+        )
+        assert codes_of(findings) == [META_CODE]
+        assert "unknown rule code" in findings[0].message

@@ -1,0 +1,325 @@
+"""RPR001/RPR002/RPR003: each fires on its positive fixture, stays silent on
+the negative one, and only speaks when the import resolution *proves* the
+flagged name is what it looks like."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import codes_of
+
+
+class TestUnseededRandomness:
+    def test_unseeded_default_rng_fires(self, check_source):
+        findings = check_source(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng().random()
+            """,
+            codes=["RPR001"],
+        )
+        assert codes_of(findings) == ["RPR001"]
+        assert "without a seed" in findings[0].message
+
+    def test_seeded_default_rng_is_silent(self, check_source):
+        findings = check_source(
+            """
+            import numpy as np
+
+            def draw(seed):
+                return np.random.default_rng(seed).random()
+            """,
+            codes=["RPR001"],
+        )
+        assert findings == []
+
+    def test_from_import_alias_resolves(self, check_source):
+        findings = check_source(
+            """
+            from numpy.random import default_rng as make_rng
+
+            def draw():
+                return make_rng().random()
+            """,
+            codes=["RPR001"],
+        )
+        assert codes_of(findings) == ["RPR001"]
+
+    def test_unrelated_default_rng_name_is_silent(self, check_source):
+        # No numpy import: the call is unprovable and the checker stays quiet.
+        findings = check_source(
+            """
+            def default_rng():
+                return 4
+
+            def draw():
+                return default_rng()
+            """,
+            codes=["RPR001"],
+        )
+        assert findings == []
+
+    def test_legacy_numpy_random_module_fires(self, check_source):
+        findings = check_source(
+            """
+            import numpy as np
+
+            def draw(n):
+                return np.random.rand(n)
+            """,
+            codes=["RPR001"],
+        )
+        assert codes_of(findings) == ["RPR001"]
+        assert "legacy global-state" in findings[0].message
+
+    def test_generator_constructors_are_allowed(self, check_source):
+        findings = check_source(
+            """
+            import numpy as np
+
+            def build(seed):
+                return np.random.Generator(np.random.PCG64(seed))
+            """,
+            codes=["RPR001"],
+        )
+        assert findings == []
+
+    def test_stdlib_random_fires(self, check_source):
+        findings = check_source(
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+            codes=["RPR001"],
+        )
+        assert codes_of(findings) == ["RPR001"]
+        assert "stdlib random" in findings[0].message
+
+    def test_magic_inline_seed_fires_in_library_code(self, check_source):
+        findings = check_source(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng(12345).random()
+            """,
+            codes=["RPR001"],
+        )
+        assert codes_of(findings) == ["RPR001"]
+        assert "magic inline seed" in findings[0].message
+
+    def test_module_level_constant_seed_is_the_sanctioned_form(self, check_source):
+        findings = check_source(
+            """
+            import numpy as np
+
+            TEMPLATE_SEED = 12345
+
+            def draw():
+                return np.random.default_rng(TEMPLATE_SEED).random()
+            """,
+            codes=["RPR001"],
+        )
+        assert findings == []
+
+    def test_magic_inline_seed_is_tolerated_in_tests(self, check_source):
+        findings = check_source(
+            """
+            import numpy as np
+
+            def helper():
+                return np.random.default_rng(12345).random()
+            """,
+            filename="tests/test_mod.py",
+            codes=["RPR001"],
+        )
+        assert findings == []
+
+    def test_unseeded_rng_still_fires_in_tests(self, check_source):
+        # Unseeded entropy is banned everywhere, including test code.
+        findings = check_source(
+            """
+            import numpy as np
+
+            def helper():
+                return np.random.default_rng().random()
+            """,
+            filename="tests/test_mod.py",
+            codes=["RPR001"],
+        )
+        assert codes_of(findings) == ["RPR001"]
+
+
+class TestAmbientStateRead:
+    def test_wall_clock_fires(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            codes=["RPR002"],
+        )
+        assert codes_of(findings) == ["RPR002"]
+        assert "time.time()" in findings[0].message
+
+    def test_os_environ_fires(self, check_source):
+        findings = check_source(
+            """
+            import os
+
+            def debug_enabled():
+                return os.environ.get("DEBUG") == "1"
+            """,
+            codes=["RPR002"],
+        )
+        assert codes_of(findings) == ["RPR002"]
+        assert "os.environ" in findings[0].message
+
+    def test_datetime_now_fires(self, check_source):
+        findings = check_source(
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+            codes=["RPR002"],
+        )
+        assert codes_of(findings) == ["RPR002"]
+
+    def test_monotonic_timing_is_allowed(self, check_source):
+        # perf_counter / monotonic measure duration; they never become content.
+        findings = check_source(
+            """
+            import time
+
+            def measure(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+            """,
+            codes=["RPR002"],
+        )
+        assert findings == []
+
+    def test_does_not_apply_to_tests(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            filename="tests/test_mod.py",
+            codes=["RPR002"],
+        )
+        assert findings == []
+
+    def test_fingerprint_module_gets_the_fatal_message(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            def fingerprint(spec):
+                return hash((spec, time.time()))
+            """,
+            filename="repro/store/fingerprint.py",
+            codes=["RPR002"],
+        )
+        assert codes_of(findings) == ["RPR002"]
+        assert "content identity" in findings[0].message
+
+
+class TestUnstableIterationOrder:
+    def test_for_loop_over_set_literal_fires(self, check_source):
+        findings = check_source(
+            """
+            def total(values):
+                acc = 0.0
+                for v in {1.0, 2.0, 3.0}:
+                    acc += v
+                return acc
+            """,
+            codes=["RPR003"],
+        )
+        assert codes_of(findings) == ["RPR003"]
+
+    def test_sorted_wrapper_is_silent(self, check_source):
+        findings = check_source(
+            """
+            def total(values):
+                acc = 0.0
+                for v in sorted({1.0, 2.0, 3.0}):
+                    acc += v
+                return acc
+            """,
+            codes=["RPR003"],
+        )
+        assert findings == []
+
+    def test_comprehension_over_set_call_fires(self, check_source):
+        findings = check_source(
+            """
+            def dedupe(items):
+                return [x * 2 for x in set(items)]
+            """,
+            codes=["RPR003"],
+        )
+        assert codes_of(findings) == ["RPR003"]
+
+    def test_sum_of_set_fires(self, check_source):
+        findings = check_source(
+            """
+            def total(a, b):
+                return sum({a, b})
+            """,
+            codes=["RPR003"],
+        )
+        assert codes_of(findings) == ["RPR003"]
+
+    def test_set_algebra_result_fires(self, check_source):
+        findings = check_source(
+            """
+            def merge(a, b):
+                return list(set(a).union(b))
+            """,
+            codes=["RPR003"],
+        )
+        assert codes_of(findings) == ["RPR003"]
+
+    def test_dict_iteration_is_deliberately_allowed(self, check_source):
+        # Dicts are insertion-ordered; the anytime checkpoint codec relies
+        # on exactly that, so plain dict iteration must never be flagged.
+        findings = check_source(
+            """
+            def keys_of(payload):
+                return [key for key in payload]
+            """,
+            codes=["RPR003"],
+        )
+        assert findings == []
+
+    def test_membership_tests_are_silent(self, check_source):
+        findings = check_source(
+            """
+            def allowed(name):
+                return name in {"a", "b"}
+            """,
+            codes=["RPR003"],
+        )
+        assert findings == []
+
+    def test_applies_to_tests_too(self, check_source):
+        findings = check_source(
+            """
+            def helper():
+                return sum({1.0, 2.0})
+            """,
+            filename="tests/test_mod.py",
+            codes=["RPR003"],
+        )
+        assert codes_of(findings) == ["RPR003"]

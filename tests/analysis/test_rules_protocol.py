@@ -1,0 +1,133 @@
+"""RPR005: incremental estimators must keep EstimatorState checkpoints
+lossless — interrupt -> serialize -> resume reproduces the uninterrupted
+run bitwise."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import codes_of
+
+
+class TestCheckpointIncomplete:
+    def test_step_without_init_fires(self, check_source):
+        findings = check_source(
+            """
+            class Estimator:
+                def _incremental_step(self, payload, rng):
+                    payload["t"] = payload.get("t", 0) + 1
+            """,
+            codes=["RPR005"],
+        )
+        assert codes_of(findings) == ["RPR005"]
+        assert "_incremental_init" in findings[0].message
+
+    def test_full_protocol_drawing_from_framework_rng_is_silent(self, check_source):
+        findings = check_source(
+            """
+            class Estimator:
+                def _incremental_init(self, payload, rng):
+                    payload["sums"] = [0.0] * self.n
+                    payload["t"] = 0
+
+                def _incremental_step(self, payload, rng):
+                    order = rng.permutation(self.n)
+                    payload["t"] += 1
+                    return order
+            """,
+            codes=["RPR005"],
+        )
+        assert findings == []
+
+    def test_fresh_generator_inside_step_fires(self, check_source):
+        findings = check_source(
+            """
+            import numpy as np
+
+            class Estimator:
+                def _incremental_init(self, payload, rng):
+                    payload["t"] = 0
+
+                def _incremental_step(self, payload, rng):
+                    shadow = np.random.default_rng(payload["t"])
+                    payload["t"] += 1
+                    return shadow.permutation(self.n)
+            """,
+            codes=["RPR005"],
+        )
+        assert codes_of(findings) == ["RPR005"]
+        assert "invisible to the" in findings[0].message
+
+    def test_spawn_rng_inside_init_fires(self, check_source):
+        findings = check_source(
+            """
+            from repro.utils.rng import spawn_rng
+
+            class Estimator:
+                def _incremental_init(self, payload, rng):
+                    payload["streams"] = spawn_rng(rng, 4)
+
+                def _incremental_step(self, payload, rng):
+                    payload["t"] = payload.get("t", 0) + 1
+            """,
+            codes=["RPR005"],
+        )
+        assert codes_of(findings) == ["RPR005"]
+
+    def test_storing_live_rng_in_payload_fires(self, check_source):
+        findings = check_source(
+            """
+            class Estimator:
+                def _incremental_init(self, payload, rng):
+                    payload["rng"] = rng
+
+                def _incremental_step(self, payload, rng):
+                    payload["t"] = payload.get("t", 0) + 1
+            """,
+            codes=["RPR005"],
+        )
+        assert codes_of(findings) == ["RPR005"]
+        assert "capture_rng_state" in findings[0].message
+
+    def test_live_rng_as_dict_literal_value_fires(self, check_source):
+        findings = check_source(
+            """
+            class Estimator:
+                def _incremental_init(self, payload, rng):
+                    payload.update({"rng": rng, "t": 0})
+
+                def _incremental_step(self, payload, rng):
+                    payload["t"] += 1
+            """,
+            codes=["RPR005"],
+        )
+        assert codes_of(findings) == ["RPR005"]
+
+    def test_rng_construction_outside_protocol_methods_is_out_of_scope(
+        self, check_source
+    ):
+        # run()-style one-shot entry points manage their own generator; only
+        # the checkpointable incremental protocol is constrained.
+        findings = check_source(
+            """
+            import numpy as np
+
+            class Estimator:
+                def run(self, seed):
+                    rng = np.random.default_rng(seed)
+                    return rng.permutation(self.n)
+            """,
+            codes=["RPR005"],
+        )
+        assert findings == []
+
+    def test_real_estimators_satisfy_the_protocol(self):
+        # The shipped incremental estimators are the rule's reference
+        # implementations: the checker must stay clean on them.
+        from pathlib import Path
+
+        from repro.analysis import RULES, check_file
+
+        core = Path(__file__).resolve().parents[2] / "src" / "repro" / "core"
+        rule = RULES["RPR005"]
+        for module in sorted(core.glob("*.py")):
+            findings, _ = check_file(module, [rule])
+            assert findings == [], f"{module.name}: {findings}"
