@@ -22,6 +22,22 @@ from repro.fl import TabularUtility
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--peak-rss",
+        action="store_true",
+        default=False,
+        help="capture OS-level peak RSS (ru_maxrss) alongside tracemalloc "
+        "peaks in benchmarks that measure memory",
+    )
+
+
+@pytest.fixture(scope="session")
+def peak_rss(request) -> bool:
+    """Whether ``--peak-rss`` capture was requested for this run."""
+    return bool(request.config.getoption("--peak-rss"))
+
+
 def monotone_game(n_clients: int, seed: int = 0, concavity: float = 0.6) -> TabularUtility:
     """A saturating utility game standing in for an FL accuracy oracle.
 

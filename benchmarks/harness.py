@@ -35,9 +35,15 @@ from __future__ import annotations
 import json
 import os
 import time
+import tracemalloc
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
+
+try:
+    import resource
+except ImportError:  # non-POSIX platforms: RSS capture degrades to None
+    resource = None  # type: ignore[assignment]
 
 BENCH_FORMAT_VERSION = 1
 
@@ -59,6 +65,39 @@ class BenchResult:
         if self.speedup is not None:
             payload["speedup"] = float(self.speedup)
         return payload
+
+
+@dataclass
+class PeakMemory:
+    """Peak memory of one measured call (see :func:`measure_peak_memory`)."""
+
+    #: tracemalloc high-water mark of Python allocations during the call —
+    #: per-call, so it is the right series for scaling curves
+    traced_bytes: int
+    #: ``ru_maxrss`` after the call, in bytes (``None`` off-POSIX).  A
+    #: process-lifetime high-water mark: monotone across calls, so within a
+    #: sweep it only bounds, never isolates, a single configuration
+    rss_bytes: Optional[int]
+
+
+def measure_peak_memory(function, *args, **kwargs):
+    """Run ``function`` and capture its peak memory → ``(result, PeakMemory)``.
+
+    Used by the ``--peak-rss`` benchmark option: ``traced_bytes`` is the
+    tracemalloc peak attributable to the call itself, ``rss_bytes`` the
+    OS-level resident high-water mark of the whole process.
+    """
+    tracemalloc.start()
+    try:
+        result = function(*args, **kwargs)
+        _, traced = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    rss_bytes = None
+    if resource is not None:
+        rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        rss_bytes = int(rss_kib) * 1024
+    return result, PeakMemory(traced_bytes=int(traced), rss_bytes=rss_bytes)
 
 
 def save_bench_json(

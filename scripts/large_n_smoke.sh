@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Large-federation smoke gate (shared by scripts/smoke.sh and CI):
+#
+# 1. the tracemalloc memory-regression tests: planning/sampling a stratum at
+#    n=500 must allocate O(batch), never anything 2^n-shaped;
+# 2. an end-to-end n=100 IPSS CLI run under a tight budget with CI-width
+#    stopping (`--stop-on ci:...`) must complete, stop early, and spend
+#    strictly fewer FL trainings than the budget γ allows.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CLI="python -m repro.cli"
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q \
+    tests/core/test_plans.py::TestMemoryRegression
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $CLI run \
+    --run-dir "$SMOKE_DIR/large" \
+    --task synthetic --setup same-size-same-distribution --model mlp \
+    --n-clients 100 --scale tiny --seed 1 --algorithms IPSS \
+    --stop-on ci:0.01 --json > "$SMOKE_DIR/large.json"
+
+python - "$SMOKE_DIR" <<'EOF'
+import json, os, sys
+
+smoke_dir = sys.argv[1]
+report = json.load(open(os.path.join(smoke_dir, "large.json")))
+results = os.path.join(smoke_dir, "large", "results")
+(name,) = os.listdir(results)
+cell = json.load(open(os.path.join(results, name)))["result"]
+
+n = 100
+gamma = 461  # ⌈100·ln 100⌉, the runner's default budget for n=100
+assert len(cell["values"]) == n, f"expected {n} values, got {len(cell['values'])}"
+assert report["fl_trainings"] > 0
+assert cell["metadata"].get("stopped_early") is True, cell["metadata"]
+assert cell["utility_evaluations"] < gamma, (
+    f"CI stopping saved nothing: {cell['utility_evaluations']} of {gamma}"
+)
+print(
+    f"large-n smoke ok: n={n} IPSS valued in {cell['utility_evaluations']} "
+    f"of {gamma} evaluations ({cell['metadata']['stopped_by']}), "
+    "O(batch) planning verified at n=500"
+)
+EOF

@@ -4,7 +4,8 @@
 # + the persistent-store CLI smoke (see scripts/store_smoke.sh) + the
 # scenario-robustness CLI smoke (see scripts/scenario_smoke.sh) + the
 # vectorized-backend parity smoke (see scripts/vectorized_smoke.sh) + the
-# anytime-valuation smoke (see scripts/anytime_smoke.sh).
+# anytime-valuation smoke (see scripts/anytime_smoke.sh) + the
+# large-federation smoke (see scripts/large_n_smoke.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,3 +16,4 @@ bash scripts/store_smoke.sh
 bash scripts/scenario_smoke.sh
 bash scripts/vectorized_smoke.sh
 bash scripts/anytime_smoke.sh
+bash scripts/large_n_smoke.sh

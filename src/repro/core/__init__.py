@@ -12,7 +12,8 @@ Baselines
     :class:`DIGFL`, :class:`ORBaseline`, :class:`LambdaMR`, :class:`GTGShapley`
 Support
     :class:`ValuationResult`, error/fairness metrics, variance analysis and
-    the closed-form theory of Lemma 1 / Theorem 3.
+    the closed-form theory of Lemma 1 / Theorem 3; :class:`StratumPlan` and
+    the shared :func:`check_enumeration_limit` guard for large federations.
 """
 
 from repro.core.result import ValuationResult
@@ -34,6 +35,12 @@ from repro.core.base import (
     ValuationAlgorithm,
 )
 from repro.core.exact import CCShapley, MCShapley, PermShapley, exact_shapley
+from repro.core.plans import (
+    DEFAULT_PLAN_BATCH,
+    StratumPlan,
+    check_enumeration_limit,
+    iter_combinations_from,
+)
 from repro.core.stratified import StratifiedSampling, allocate_rounds
 from repro.core.k_greedy import KGreedy
 from repro.core.ipss import IPSS
@@ -86,6 +93,10 @@ __all__ = [
     "CCShapley",
     "PermShapley",
     "exact_shapley",
+    "StratumPlan",
+    "DEFAULT_PLAN_BATCH",
+    "check_enumeration_limit",
+    "iter_combinations_from",
     "StratifiedSampling",
     "allocate_rounds",
     "KGreedy",

@@ -242,7 +242,8 @@ class ValuationSnapshot:
 
     Yielded by :meth:`ValuationAlgorithm.iter_run` after every incremental
     chunk.  ``stderr`` is ``None`` for estimators that do not define a
-    per-client standard error (the exact schemes, IPSS's pruned enumeration);
+    per-client standard error (the exact schemes, IPSS's exhaustive phase 1 —
+    IPSS's phase-2 chunks report a remaining-uncertainty residual instead);
     ``state`` references the live :class:`EstimatorState` (checkpoint it with
     ``state.to_dict()``) and is ``None`` for single-chunk adapters that cannot
     be resumed mid-run.

@@ -14,6 +14,7 @@ Two families exist, mirroring the paper's taxonomy (Sec. II-C):
 from __future__ import annotations
 
 import abc
+import itertools
 from typing import Callable, Iterable, Iterator, Optional, Protocol, runtime_checkable
 
 import numpy as np
@@ -242,6 +243,7 @@ class ValuationAlgorithm(abc.ABC):
         self,
         utility: UtilityFunction,
         coalitions: Iterable[Iterable[int]],
+        batch_size: Optional[int] = None,
     ) -> dict[frozenset, float]:
         """Evaluate a planned batch of coalitions through the oracle.
 
@@ -255,12 +257,41 @@ class ValuationAlgorithm(abc.ABC):
         calls in the same deduplicated order, so the returned mapping — and
         hence every downstream floating-point reduction — is identical either
         way.
+
+        ``batch_size`` streams a (possibly lazy) coalition iterable through
+        the oracle in bounded slices, never materialising the whole plan:
+        peak plan memory is ``O(batch_size)``, which is what lets an
+        exhaustive stratum walk survive federations where a stratum has
+        billions of coalitions.  Per-coalition utilities are deterministic
+        and duplicates are skipped across slices exactly as
+        :func:`~repro.parallel.batch_oracle.coalition_batch_keys` skips them
+        within one plan, so the returned mapping — keys in first-appearance
+        order, values bit-for-bit — is identical to the unstreamed call.
         """
-        ordered = coalition_batch_keys(coalitions)
-        if isinstance(utility, SupportsBatchEvaluation):
-            results = utility.evaluate_batch(ordered)
-            return {key: float(results[key]) for key in ordered}
-        return {key: float(utility(key)) for key in ordered}
+        if batch_size is None:
+            ordered = coalition_batch_keys(coalitions)
+            if isinstance(utility, SupportsBatchEvaluation):
+                results = utility.evaluate_batch(ordered)
+                return {key: float(results[key]) for key in ordered}
+            return {key: float(utility(key)) for key in ordered}
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1 or None, got {batch_size}")
+        merged: dict[frozenset, float] = {}
+        stream = iter(coalitions)
+        while True:
+            block = list(itertools.islice(stream, batch_size))
+            if not block:
+                return merged
+            ordered = [
+                key for key in coalition_batch_keys(block) if key not in merged
+            ]
+            if not ordered:
+                continue
+            if isinstance(utility, SupportsBatchEvaluation):
+                results = utility.evaluate_batch(ordered)
+                merged.update({key: float(results[key]) for key in ordered})
+            else:
+                merged.update({key: float(utility(key)) for key in ordered})
 
     def run(
         self,

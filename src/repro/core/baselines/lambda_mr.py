@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import GradientBasedValuation
+from repro.core.plans import check_enumeration_limit
 from repro.utils.combinatorics import all_coalitions, marginal_coefficient
 from repro.utils.rng import SeedLike
 
@@ -31,15 +32,29 @@ class LambdaMR(GradientBasedValuation):
         ``decay**r``, normalised to sum to one.  ``decay=1`` weights every
         round equally, matching the plain MR scheme; values below one emphasise
         early rounds where most of the accuracy is gained.
+    max_exact_clients:
+        Cap on the per-round coalition enumeration (default
+        :data:`MAX_CLIENTS_FOR_FULL_ENUMERATION`); larger federations fail
+        fast with the shared actionable guard.
     """
 
     name = "lambda-MR"
 
-    def __init__(self, decay: float = 1.0, seed: SeedLike = None) -> None:
+    def __init__(
+        self,
+        decay: float = 1.0,
+        max_exact_clients: int | None = None,
+        seed: SeedLike = None,
+    ) -> None:
         super().__init__(seed=seed)
         if decay <= 0:
             raise ValueError(f"decay must be positive, got {decay}")
         self.decay = decay
+        self.max_exact_clients = (
+            MAX_CLIENTS_FOR_FULL_ENUMERATION
+            if max_exact_clients is None
+            else int(max_exact_clients)
+        )
 
     def _round_weights(self, n_rounds: int) -> np.ndarray:
         weights = np.power(self.decay, np.arange(n_rounds, dtype=float))
@@ -48,11 +63,9 @@ class LambdaMR(GradientBasedValuation):
     def _estimate(self, history, model, test_dataset, rng) -> np.ndarray:
         clients = history.clients()
         n_clients = len(clients)
-        if n_clients > MAX_CLIENTS_FOR_FULL_ENUMERATION:
-            raise ValueError(
-                "lambda-MR enumerates all coalitions per round and is limited to "
-                f"{MAX_CLIENTS_FOR_FULL_ENUMERATION} clients"
-            )
+        check_enumeration_limit(
+            n_clients, self.max_exact_clients, "lambda-MR (per-round MC-SV)"
+        )
         index_to_client = {index: client for index, client in enumerate(clients)}
         weights = self._round_weights(history.n_rounds)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import GradientBasedValuation
+from repro.core.plans import check_enumeration_limit
 from repro.utils.combinatorics import all_coalitions, marginal_coefficient
 from repro.utils.rng import SeedLike
 
@@ -27,21 +28,31 @@ MAX_CLIENTS_FOR_FULL_ENUMERATION = 16
 
 
 class ORBaseline(GradientBasedValuation):
-    """Exact MC-SV over gradient-reconstructed coalition models."""
+    """Exact MC-SV over gradient-reconstructed coalition models.
+
+    ``max_exact_clients`` bounds the coalition enumeration (default
+    :data:`MAX_CLIENTS_FOR_FULL_ENUMERATION`); beyond it the run fails fast
+    with the shared actionable guard instead of reconstructing 2^n models.
+    """
 
     name = "OR"
 
-    def __init__(self, seed: SeedLike = None) -> None:
+    def __init__(
+        self, max_exact_clients: int | None = None, seed: SeedLike = None
+    ) -> None:
         super().__init__(seed=seed)
+        self.max_exact_clients = (
+            MAX_CLIENTS_FOR_FULL_ENUMERATION
+            if max_exact_clients is None
+            else int(max_exact_clients)
+        )
 
     def _estimate(self, history, model, test_dataset, rng) -> np.ndarray:
         clients = history.clients()
         n_clients = len(clients)
-        if n_clients > MAX_CLIENTS_FOR_FULL_ENUMERATION:
-            raise ValueError(
-                "OR enumerates all coalitions over the reconstructed models and "
-                f"is limited to {MAX_CLIENTS_FOR_FULL_ENUMERATION} clients"
-            )
+        check_enumeration_limit(
+            n_clients, self.max_exact_clients, "OR (reconstruction MC-SV)"
+        )
         index_to_client = {index: client for index, client in enumerate(clients)}
 
         utilities: dict[frozenset, float] = {}

@@ -30,21 +30,15 @@ import numpy as np
 
 from repro.core.anytime import StepResult
 from repro.core.base import UtilityFunction, ValuationAlgorithm
+from repro.core.plans import DEFAULT_PLAN_BATCH, check_enumeration_limit
 from repro.utils.combinatorics import coalitions_of_size, marginal_coefficient
+from repro.utils.rng import SeedLike
 
 #: refuse exact permutation enumeration beyond this many clients
 MAX_EXACT_PERMUTATION_CLIENTS = 9
 
 #: refuse exact coalition enumeration beyond this many clients
 MAX_EXACT_COALITION_CLIENTS = 20
-
-
-def _check_tractable(n_clients: int, limit: int, scheme: str) -> None:
-    if n_clients > limit:
-        raise ValueError(
-            f"exact {scheme} is intractable for {n_clients} clients "
-            f"(limit {limit}); use an approximation algorithm instead"
-        )
 
 
 def mc_accumulate_stratum(
@@ -86,8 +80,18 @@ class MCShapley(ValuationAlgorithm):
     name = "MC-Shapley"
     incremental = True
 
+    def __init__(
+        self, max_exact_clients: int | None = None, seed: SeedLike = None
+    ) -> None:
+        super().__init__(seed=seed)
+        self.max_exact_clients = (
+            MAX_EXACT_COALITION_CLIENTS
+            if max_exact_clients is None
+            else int(max_exact_clients)
+        )
+
     def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
-        _check_tractable(n_clients, MAX_EXACT_COALITION_CLIENTS, "MC-SV")
+        check_enumeration_limit(n_clients, self.max_exact_clients, "MC-SV")
         return {
             "utilities": {},
             "next_size": 0,
@@ -98,7 +102,11 @@ class MCShapley(ValuationAlgorithm):
     def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
         size = int(payload["next_size"])
         payload["utilities"].update(
-            self._batch_utilities(utility, coalitions_of_size(n_clients, size))
+            self._batch_utilities(
+                utility,
+                coalitions_of_size(n_clients, size),
+                batch_size=DEFAULT_PLAN_BATCH,
+            )
         )
         if size >= 1:
             mc_accumulate_stratum(
@@ -128,8 +136,18 @@ class CCShapley(ValuationAlgorithm):
     name = "CC-Shapley-exact"
     incremental = True
 
+    def __init__(
+        self, max_exact_clients: int | None = None, seed: SeedLike = None
+    ) -> None:
+        super().__init__(seed=seed)
+        self.max_exact_clients = (
+            MAX_EXACT_COALITION_CLIENTS
+            if max_exact_clients is None
+            else int(max_exact_clients)
+        )
+
     def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
-        _check_tractable(n_clients, MAX_EXACT_COALITION_CLIENTS, "CC-SV")
+        check_enumeration_limit(n_clients, self.max_exact_clients, "CC-SV")
         return {"utilities": {}, "next_size": 0}
 
     @staticmethod
@@ -161,7 +179,11 @@ class CCShapley(ValuationAlgorithm):
     def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
         size = int(payload["next_size"])
         payload["utilities"].update(
-            self._batch_utilities(utility, coalitions_of_size(n_clients, size))
+            self._batch_utilities(
+                utility,
+                coalitions_of_size(n_clients, size),
+                batch_size=DEFAULT_PLAN_BATCH,
+            )
         )
         payload["next_size"] = size + 1
         return StepResult(
@@ -195,8 +217,18 @@ class PermShapley(ValuationAlgorithm):
     name = "Perm-Shapley"
     incremental = True
 
+    def __init__(
+        self, max_exact_clients: int | None = None, seed: SeedLike = None
+    ) -> None:
+        super().__init__(seed=seed)
+        self.max_exact_clients = (
+            MAX_EXACT_PERMUTATION_CLIENTS
+            if max_exact_clients is None
+            else int(max_exact_clients)
+        )
+
     def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
-        _check_tractable(n_clients, MAX_EXACT_PERMUTATION_CLIENTS, "Perm-SV")
+        check_enumeration_limit(n_clients, self.max_exact_clients, "Perm-SV")
         return {
             "utilities": {},
             "next_size": 0,
@@ -207,7 +239,11 @@ class PermShapley(ValuationAlgorithm):
     def _incremental_step(self, utility, n_clients, rng, payload) -> StepResult:
         size = int(payload["next_size"])
         payload["utilities"].update(
-            self._batch_utilities(utility, coalitions_of_size(n_clients, size))
+            self._batch_utilities(
+                utility,
+                coalitions_of_size(n_clients, size),
+                batch_size=DEFAULT_PLAN_BATCH,
+            )
         )
         if size >= 1:
             # Interim trajectory: the (equivalent) MC-SV estimate over the

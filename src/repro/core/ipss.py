@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.anytime import StepResult
 from repro.core.base import UtilityFunction, ValuationAlgorithm
 from repro.core.exact import mc_accumulate_stratum
+from repro.core.plans import DEFAULT_PLAN_BATCH
 from repro.utils.combinatorics import (
     balanced_coalitions_of_size,
     client_appearance_counts,
@@ -132,9 +133,14 @@ class IPSS(ValuationAlgorithm):
 
         if size <= k_star:
             # Phase 1 (lines 1-7): one exhaustively-enumerated stratum per
-            # chunk, trained concurrently by batch-capable oracles.
+            # chunk, streamed through the oracle in bounded plan batches so
+            # nothing C(n, size)-shaped is materialised at once.
             payload["utilities"].update(
-                self._batch_utilities(utility, coalitions_of_size(n_clients, size))
+                self._batch_utilities(
+                    utility,
+                    coalitions_of_size(n_clients, size),
+                    batch_size=DEFAULT_PLAN_BATCH,
+                )
             )
             if 1 <= size:
                 # Marginals based on the (size-1) stratum now have both
@@ -171,32 +177,97 @@ class IPSS(ValuationAlgorithm):
             payload["utilities"].update(self._batch_utilities(utility, chunk))
         cursor += len(chunk)
         payload["partial_evaluated"] = cursor
-        evaluated_partial = set(partial[:cursor])
+        evaluated_partial = partial[:cursor]
 
         # Fold the size-k* marginals against the evaluated part of the sample
-        # onto a *copy* of the phase-1 accumulators: bases iterate in
-        # lexicographic order, which — once the sample is fully evaluated —
-        # is exactly the monolithic loop's order, so the final chunk is
-        # bitwise-identical to the one-shot computation.
+        # onto a *copy* of the phase-1 accumulators.  Rather than re-walking
+        # the entire C(n, k*) base stratum per chunk, only the pairs the
+        # sample can actually form are folded: each evaluated (k*+1)-sized
+        # coalition T yields one (T \ {i}, i) pair per member, and sorting
+        # the pairs by (base, client) reproduces the monolithic nested loop's
+        # (lexicographic base, ascending client) visit order restricted to
+        # its hits — so once the sample is fully evaluated the final chunk is
+        # bitwise-identical to the one-shot computation, at
+        # O(|sample|·k*·log|sample|) per chunk instead of O(C(n, k*)·n).
         values = values.copy()
         counts = counts.copy()
-        if evaluated_partial and k_star <= n_clients - 1:
-            weight = marginal_coefficient(n_clients, k_star)
-            for coalition in coalitions_of_size(n_clients, k_star):
-                base_utility = payload["utilities"][coalition]
-                for client in range(n_clients):
-                    if client in coalition:
-                        continue
-                    with_client = coalition | {client}
-                    if with_client not in evaluated_partial:
-                        continue
-                    values[client] += weight * (
-                        payload["utilities"][with_client] - base_utility
-                    )
-                    counts[client] += 1
-        return StepResult(
-            values=values, stderr=None, n_samples=counts, done=cursor >= len(partial)
+        weight = (
+            marginal_coefficient(n_clients, k_star)
+            if k_star <= n_clients - 1
+            else 0.0
         )
+        contrib_sum = np.zeros(n_clients)
+        contrib_sumsq = np.zeros(n_clients)
+        contrib_count = np.zeros(n_clients)
+        if evaluated_partial and k_star <= n_clients - 1:
+            pairs = [
+                (tuple(sorted(with_client - {client})), client, with_client)
+                for with_client in evaluated_partial
+                for client in with_client
+            ]
+            pairs.sort(key=lambda pair: (pair[0], pair[1]))
+            for base_members, client, with_client in pairs:
+                contribution = (
+                    payload["utilities"][with_client]
+                    - payload["utilities"][frozenset(base_members)]
+                )
+                values[client] += weight * contribution
+                counts[client] += 1
+                contrib_sum[client] += contribution
+                contrib_sumsq[client] += contribution * contribution
+                contrib_count[client] += 1
+        return StepResult(
+            values=values,
+            stderr=self._remaining_uncertainty(
+                n_clients, partial, weight, contrib_sum, contrib_sumsq, contrib_count
+            ),
+            n_samples=counts,
+            done=cursor >= len(partial),
+        )
+
+    @staticmethod
+    def _remaining_uncertainty(
+        n_clients: int,
+        partial: list,
+        weight: float,
+        contrib_sum: np.ndarray,
+        contrib_sumsq: np.ndarray,
+        contrib_count: np.ndarray,
+    ) -> np.ndarray:
+        """Per-client scale of the not-yet-evaluated phase-2 contribution.
+
+        IPSS is a deterministic plan, so this is *convergence-to-plan*
+        uncertainty, not a statistical CI on the true Shapley value: for each
+        client it bounds how far the value can still move before the plan is
+        exhausted, by projecting the sample standard deviation of the
+        client's evaluated phase-2 marginals onto its remaining planned
+        appearances (``weight · sqrt(remaining · s²)``).  Clients whose
+        planned appearances are all evaluated report exactly ``0.0``;
+        clients with fewer than two evaluated marginals but work remaining
+        report ``NaN`` (unknown, never a false-certainty zero) — matching
+        the stderr policy of the sampling estimators, so
+        ``ConvergenceRule(metric="ci")`` can stop IPSS early once every
+        client's residual is small, and never stops on ignorance.
+        """
+        planned = client_appearance_counts(partial, n_clients).astype(float)
+        remaining = planned - contrib_count
+        stderr = np.zeros(n_clients)
+        for client in range(n_clients):
+            if remaining[client] <= 0:
+                stderr[client] = 0.0
+            elif contrib_count[client] >= 2:
+                mean = contrib_sum[client] / contrib_count[client]
+                variance = max(
+                    0.0,
+                    (contrib_sumsq[client] - contrib_count[client] * mean * mean)
+                    / (contrib_count[client] - 1.0),
+                )
+                stderr[client] = weight * float(
+                    np.sqrt(remaining[client] * variance)
+                )
+            else:
+                stderr[client] = np.nan
+        return stderr
 
     def _estimate(
         self, utility: UtilityFunction, n_clients: int, rng: np.random.Generator

@@ -25,8 +25,13 @@ import numpy as np
 from repro.core.anytime import StepResult
 from repro.core.base import UtilityFunction, ValuationAlgorithm
 from repro.core.exact import mc_accumulate_stratum
+from repro.core.plans import DEFAULT_PLAN_BATCH, SAMPLING_ALTERNATIVES
 from repro.utils.combinatorics import coalitions_of_size, count_coalitions_up_to
 from repro.utils.rng import SeedLike
+
+#: refuse K-Greedy plans beyond this many coalition evaluations by default —
+#: C(n, K) grows polynomially but still reaches billions at n=500, K=4
+MAX_PLANNED_EVALUATIONS = 10_000_000
 
 
 class KGreedy(ValuationAlgorithm):
@@ -38,15 +43,26 @@ class KGreedy(ValuationAlgorithm):
         The constant ``K`` of Alg. 2: every coalition with ``|S| ≤ K`` is
         trained and evaluated; the MC-SV sums are then restricted to marginal
         contributions whose *both* endpoints were evaluated (``|S| < K``).
+    max_planned_evaluations:
+        Fail-fast guard: refuse to start when the plan requires more than
+        this many coalition evaluations — ``C(n, K)`` blows up quietly at
+        large ``n`` (n=500, K=4 is ~2.6 billion FL trainings).  ``None``
+        disables the guard.
     """
 
     incremental = True
 
-    def __init__(self, max_size: int, seed: SeedLike = None) -> None:
+    def __init__(
+        self,
+        max_size: int,
+        max_planned_evaluations: int | None = MAX_PLANNED_EVALUATIONS,
+        seed: SeedLike = None,
+    ) -> None:
         super().__init__(seed=seed)
         if max_size < 1:
             raise ValueError(f"max_size must be >= 1, got {max_size}")
         self.max_size = max_size
+        self.max_planned_evaluations = max_planned_evaluations
         self.name = f"K-Greedy(K={max_size})"
 
     def evaluations_required(self, n_clients: int) -> int:
@@ -57,6 +73,15 @@ class KGreedy(ValuationAlgorithm):
         return {"max_size": self.max_size}
 
     def _incremental_init(self, n_clients: int, rng: np.random.Generator) -> dict:
+        planned = self.evaluations_required(n_clients)
+        limit = self.max_planned_evaluations
+        if limit is not None and planned > limit:
+            raise ValueError(
+                f"K-Greedy(K={self.max_size}) would evaluate {planned} "
+                f"coalitions for {n_clients} clients (limit {limit}): lower "
+                f"K, raise max_planned_evaluations, or use a budgeted "
+                f"sampling estimator ({SAMPLING_ALTERNATIVES})."
+            )
         return {
             "utilities": {},
             "next_size": 0,
@@ -68,7 +93,11 @@ class KGreedy(ValuationAlgorithm):
         effective_max = min(self.max_size, n_clients)
         size = int(payload["next_size"])
         payload["utilities"].update(
-            self._batch_utilities(utility, coalitions_of_size(n_clients, size))
+            self._batch_utilities(
+                utility,
+                coalitions_of_size(n_clients, size),
+                batch_size=DEFAULT_PLAN_BATCH,
+            )
         )
         if size >= 1:
             # Both endpoints of the (size-1)-based marginals are now in; fold

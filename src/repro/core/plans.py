@@ -1,0 +1,166 @@
+"""Lazy coalition plans for large-federation valuation.
+
+Every valuation scheme ultimately walks coalitions grouped by size
+("strata").  Up to PR 6 the walk materialised each stratum as a Python list
+before evaluating it, which is fine at the paper's n=10 grid (largest stratum
+C(10,5) = 252) and hopeless at n=500 (C(500,250) ≈ 10^149).  This module
+replaces materialised strata with *plans*:
+
+* :class:`StratumPlan` — a cursor-resumable lazy enumeration of one stratum
+  in lexicographic order, yielding bounded batches.  Peak memory is
+  ``O(batch_size)`` regardless of ``C(n, k)``; the cursor is a plain integer
+  rank, so a plan can be checkpointed and resumed mid-stratum.
+* :func:`iter_combinations_from` — the underlying generator: unrank the
+  cursor once (combinatorial number system, ``O(n)``), then step the
+  lexicographic successor in amortised ``O(1)``.
+* :func:`check_enumeration_limit` — the shared fail-fast guard for exact and
+  gradient-reconstruction schemes whose cost is inherently ``O(2^n)``: rather
+  than hanging (or OOMing) on a misconfigured large-n run, they raise with an
+  actionable message naming the limit and the sampling alternatives.
+
+Sampling from a stratum without enumerating it lives next door in
+:func:`repro.utils.combinatorics.sample_coalitions_of_size`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.utils.combinatorics import n_choose_k, unrank_combination
+
+#: default number of coalitions per planned batch — large enough to amortise
+#: batch-oracle overhead, small enough that a batch of frozensets is a few MB
+#: even at n=1000
+DEFAULT_PLAN_BATCH = 4096
+
+#: the sampling estimators to point users at when an exact path refuses
+SAMPLING_ALTERNATIVES = "IPSS, StratifiedSampling, ExtendedTMC"
+
+
+def check_enumeration_limit(n_clients: int, limit: int, scheme: str) -> None:
+    """Refuse an exact enumeration that cannot finish at this federation size.
+
+    Raises ``ValueError`` with an actionable message: which scheme refused,
+    the configured limit, how to raise it, and which sampling estimators
+    scale instead.  Shared by the exact Shapley schemes, the
+    gradient-reconstruction baselines (OR, λ-MR) and the exact-table utility
+    helper so a misconfigured 500-client run fails in milliseconds rather
+    than hanging on 2^500 coalitions.
+    """
+    if n_clients > limit:
+        raise ValueError(
+            f"exact {scheme} is intractable for {n_clients} clients "
+            f"(limit {limit}): it enumerates O(2^n) coalitions. Raise the "
+            f"limit via max_exact_clients if you really mean it, or use a "
+            f"sampling estimator ({SAMPLING_ALTERNATIVES}) which scales to "
+            f"hundreds of clients."
+        )
+
+
+def iter_combinations_from(n: int, k: int, start_rank: int = 0) -> Iterator[frozenset]:
+    """Yield size-``k`` subsets of ``range(n)`` lexicographically from a rank.
+
+    Equivalent to skipping the first ``start_rank`` elements of
+    ``itertools.combinations(range(n), k)`` — but the skip costs ``O(n)``
+    (one :func:`~repro.utils.combinatorics.unrank_combination`) instead of
+    ``O(start_rank)``, which is what makes mid-stratum resumption free even
+    when the stratum holds 10^100 coalitions.
+    """
+    total = n_choose_k(n, k)
+    if start_rank < 0 or start_rank > total:
+        raise ValueError(
+            f"start_rank must lie in [0, C({n},{k})={total}], got {start_rank}"
+        )
+    if start_rank == total:
+        return
+    if k == 0:
+        yield frozenset()
+        return
+    members = sorted(unrank_combination(n, k, start_rank))
+    while True:
+        yield frozenset(members)
+        # Lexicographic successor: bump the rightmost member that has room,
+        # reset everything after it to the tightest run.
+        pivot = k - 1
+        while pivot >= 0 and members[pivot] == n - k + pivot:
+            pivot -= 1
+        if pivot < 0:
+            return
+        members[pivot] += 1
+        for index in range(pivot + 1, k):
+            members[index] = members[index - 1] + 1
+
+
+class StratumPlan:
+    """A lazy, cursor-resumable plan over one coalition-size stratum.
+
+    The plan yields the stratum's coalitions in lexicographic order — the
+    exact order :func:`~repro.utils.combinatorics.coalitions_of_size`
+    enumerates, which the bitwise fold-order contract of the MC schemes
+    depends on — in batches of at most ``batch_size``.  Nothing
+    ``C(n, k)``-shaped is ever allocated: peak memory is one batch.
+
+    ``cursor`` is the rank of the next coalition to yield; it advances as
+    batches are consumed and can be persisted and fed back to resume a
+    half-walked stratum.
+    """
+
+    def __init__(
+        self,
+        n_clients: int,
+        size: int,
+        batch_size: int = DEFAULT_PLAN_BATCH,
+        cursor: int = 0,
+    ) -> None:
+        if size < 0 or size > n_clients:
+            raise ValueError(
+                f"stratum size must lie in [0, {n_clients}], got {size}"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.n_clients = int(n_clients)
+        self.size = int(size)
+        self.batch_size = int(batch_size)
+        self.total = n_choose_k(n_clients, size)
+        if cursor < 0 or cursor > self.total:
+            raise ValueError(
+                f"cursor must lie in [0, {self.total}], got {cursor}"
+            )
+        self.cursor = int(cursor)
+
+    def __len__(self) -> int:
+        return self.total
+
+    @property
+    def remaining(self) -> int:
+        """Coalitions not yet yielded."""
+        return self.total - self.cursor
+
+    @property
+    def exhausted(self) -> bool:
+        return self.cursor >= self.total
+
+    def next_batch(self) -> list[frozenset]:
+        """The next ``<= batch_size`` coalitions; empty once exhausted."""
+        take = min(self.batch_size, self.remaining)
+        if take == 0:
+            return []
+        stream = iter_combinations_from(self.n_clients, self.size, self.cursor)
+        batch = [next(stream) for _ in range(take)]
+        self.cursor += take
+        return batch
+
+    def batches(self) -> Iterator[list[frozenset]]:
+        """Yield successive batches until the stratum is exhausted."""
+        while not self.exhausted:
+            yield self.next_batch()
+
+    def __iter__(self) -> Iterator[frozenset]:
+        for batch in self.batches():
+            yield from batch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StratumPlan(n={self.n_clients}, size={self.size}, "
+            f"cursor={self.cursor}/{self.total}, batch={self.batch_size})"
+        )

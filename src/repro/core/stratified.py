@@ -24,17 +24,12 @@ import numpy as np
 from repro.core.anytime import StepResult, stratified_stderr
 from repro.core.base import UtilityFunction, ValuationAlgorithm
 from repro.utils.combinatorics import (
-    coalitions_of_size,
     n_choose_k,
-    random_coalition_of_size,
+    sample_coalitions_of_size,
 )
 from repro.utils.rng import SeedLike
 
 SCHEMES = ("mc", "cc")
-
-#: strata at most this large are enumerated exactly when sampling from them;
-#: larger strata fall back to (uncapped) rejection sampling to bound memory
-_ENUMERATION_LIMIT = 4096
 
 
 def allocate_rounds(
@@ -91,8 +86,10 @@ def allocate_rounds(
             break
         share = weights * mask
         share = share / share.sum()
-        extra = np.floor(share * remaining).astype(int)
-        extra = np.minimum(extra, free.astype(int))
+        # Min in float *before* casting: ``free`` reaches C(n, n/2) ≈ 10^149
+        # at n=500, far past int64, while the min is bounded by ``remaining``
+        # and always cast-safe.
+        extra = np.minimum(np.floor(share * remaining), free).astype(int)
         if extra.sum() == 0:
             # Give one round to the largest stratum that still has room.
             candidate = int(np.argmax(np.where(mask, weights, -1)))
@@ -172,27 +169,12 @@ class StratifiedSampling(ValuationAlgorithm):
             if target == 0:
                 sampled[stratum_index] = []
                 continue
-            if stratum_size <= _ENUMERATION_LIMIT:
-                # Small stratum: enumerate it exactly and draw without
-                # replacement.  Rejection sampling with an attempt cap would
-                # under-fill here (duplicates dominate as m_k → C(n, k)).
-                population = list(coalitions_of_size(n_clients, stratum_index))
-                if target == stratum_size:
-                    coalitions = set(population)
-                else:
-                    picks = rng.choice(stratum_size, size=target, replace=False)
-                    coalitions = {population[int(i)] for i in picks}
-            else:
-                # Large stratum (memory-bounded path): uncapped rejection
-                # sampling, which terminates almost surely — expected draws
-                # are coupon-collector bounded, and any budget dense enough
-                # to make this slow would be infeasible to *evaluate* anyway
-                # (each sampled coalition costs one FL training).
-                coalitions = set()
-                while len(coalitions) < target:
-                    coalitions.add(
-                        random_coalition_of_size(n_clients, stratum_index, rng)
-                    )
+            # O(target) memory whatever the stratum size: small strata draw
+            # ranks without replacement and unrank them, huge strata
+            # rejection-sample — never a materialised C(n, k) population.
+            coalitions = sample_coalitions_of_size(
+                n_clients, stratum_index, rng, target
+            )
             sampled[stratum_index] = sorted(coalitions, key=sorted)
         return sampled
 

@@ -225,13 +225,30 @@ class TabularUtility:
         self._table = {frozenset(k): float(v) for k, v in table.items()}
         self._counter = 0
 
+    #: materialising a 2^n-entry table beyond this many clients fails fast
+    MAX_EXACT_CLIENTS = 20
+
     @classmethod
     def from_function(
-        cls, n_clients: int, function: Callable[[frozenset], float]
+        cls,
+        n_clients: int,
+        function: Callable[[frozenset], float],
+        max_exact_clients: int | None = None,
     ) -> "TabularUtility":
-        """Materialise a full utility table from a coalition function."""
+        """Materialise a full utility table from a coalition function.
+
+        The table holds all ``2^n`` coalitions, so the shared enumeration
+        guard applies (default :attr:`MAX_EXACT_CLIENTS`, override via
+        ``max_exact_clients``): a misconfigured large-n call raises with the
+        sampling alternatives instead of exhausting memory.
+        """
+        from repro.core.plans import check_enumeration_limit
         from repro.utils.combinatorics import all_coalitions
 
+        limit = cls.MAX_EXACT_CLIENTS if max_exact_clients is None else int(
+            max_exact_clients
+        )
+        check_enumeration_limit(n_clients, limit, "utility-table materialisation")
         table = {s: function(s) for s in all_coalitions(n_clients)}
         return cls(n_clients, table)
 

@@ -48,6 +48,46 @@ from repro.utils.rng import RandomState, spawn_rng
 #: backends (the measured divergence is ~0: see docs/performance.md)
 PARITY_ATOL = 1e-9
 
+#: fraction of available RAM the auto-detected batch budget claims
+DEFAULT_MEMORY_FRACTION = 0.25
+
+#: batch budget when available RAM cannot be probed (256 MiB)
+FALLBACK_BATCH_BYTES = 256 * 1024 * 1024
+
+
+def available_memory_bytes() -> Optional[int]:
+    """``MemAvailable`` from ``/proc/meminfo`` in bytes, or ``None``.
+
+    Linux-only by design; other platforms (or containers hiding
+    ``/proc``) fall back to :data:`FALLBACK_BATCH_BYTES`.
+    """
+    try:
+        with open("/proc/meminfo", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def resolve_batch_budget(max_batch_bytes: Optional[int]) -> int:
+    """Resolve the stacked-batch byte budget.
+
+    ``None`` auto-detects :data:`DEFAULT_MEMORY_FRACTION` of available RAM
+    (falling back to :data:`FALLBACK_BATCH_BYTES` when it cannot be probed);
+    an explicit integer overrides the detection unconditionally.
+    """
+    if max_batch_bytes is not None:
+        budget = int(max_batch_bytes)
+        if budget < 1:
+            raise ValueError(f"max_batch_bytes must be >= 1, got {budget}")
+        return budget
+    available = available_memory_bytes()
+    if available is None:
+        return FALLBACK_BATCH_BYTES
+    return max(1, int(available * DEFAULT_MEMORY_FRACTION))
+
 
 def vectorization_blocker(trainer: FederatedTrainer) -> Optional[str]:
     """Why ``trainer`` cannot be trained on the vectorized path, or ``None``.
@@ -91,9 +131,23 @@ class VectorizedCoalitionTrainer:
         Maximum number of coalitions trained in one stacked batch; larger
         batches amortise more Python overhead but hold ``chunk_size ×
         coalition-size × P`` floats of local parameters per round.
+    max_batch_bytes:
+        Memory budget for one stacked batch.  Batches are additionally
+        packed by estimated footprint (see :meth:`estimated_batch_bytes`):
+        a chunk closes as soon as adding the next coalition would exceed the
+        budget, so a 500-client stratum streams through in RAM-sized slices
+        instead of one giant stack.  ``None`` (the default) auto-detects
+        :data:`DEFAULT_MEMORY_FRACTION` of available RAM; chunk boundaries
+        are seed-for-seed value-invariant (per-coalition seeds), so any
+        budget produces bitwise-identical utilities.
     """
 
-    def __init__(self, trainer: FederatedTrainer, chunk_size: int = 64) -> None:
+    def __init__(
+        self,
+        trainer: FederatedTrainer,
+        chunk_size: int = 64,
+        max_batch_bytes: Optional[int] = None,
+    ) -> None:
         blocker = vectorization_blocker(trainer)
         if blocker is not None:
             raise ValueError(f"trainer cannot be vectorized: {blocker}")
@@ -102,6 +156,7 @@ class VectorizedCoalitionTrainer:
         self.trainer = trainer
         self.model = trainer._probe
         self.chunk_size = int(chunk_size)
+        self.max_batch_bytes = resolve_batch_budget(max_batch_bytes)
         # Per dataset size: stacked (features, targets, client → row) over
         # *all* non-empty clients of that size; built lazily, reused by every
         # batch (client data never changes under a trainer).
@@ -127,12 +182,74 @@ class VectorizedCoalitionTrainer:
             if invalid:
                 raise ValueError(f"unknown client ids in coalition: {invalid}")
         values: List[float] = []
-        for start in range(0, len(keys), self.chunk_size):
-            chunk = keys[start : start + self.chunk_size]
+        for chunk in self.plan_chunks(keys):
             parameters = self.train_parameters(chunk)
             evaluated = self.model.batch_evaluate(parameters, self.trainer.test_dataset)
             values.extend(float(v) for v in evaluated)
         return values
+
+    # ------------------------------------------------------------------ #
+    # Memory-budgeted batch planning
+    # ------------------------------------------------------------------ #
+    def estimated_coalition_bytes(self, coalition: frozenset) -> int:
+        """Estimated stacked-training footprint of one coalition, in bytes.
+
+        Counts the float64 tensors whose size scales with the batch: the
+        coalition's parameter row, per-member local parameter rows plus the
+        aggregation update stack (2·|S|·P), and the per-epoch permuted
+        feature/target gathers (≈2× the member datasets).  Fixed engine
+        state (the shared client data stacks, the model) is excluded — it
+        does not grow with the batch, so it has no business in the packing
+        decision.
+        """
+        members = sorted(
+            self.trainer._effective_members(frozenset(coalition))
+        )
+        itemsize = 8
+        n_parameters = self.model.num_parameters()
+        parameter_floats = n_parameters * (1 + 2 * len(members))
+        data_floats = 0
+        datasets = self.trainer.client_datasets
+        for client in members:
+            dataset = datasets[client]
+            data_floats += 2 * (
+                int(np.asarray(dataset.features).size)
+                + int(np.asarray(dataset.targets).size)
+            )
+        return itemsize * (parameter_floats + data_floats)
+
+    def estimated_batch_bytes(self, coalitions: Sequence[frozenset]) -> int:
+        """Estimated footprint of training the given coalitions as one stack."""
+        return sum(self.estimated_coalition_bytes(key) for key in coalitions)
+
+    def plan_chunks(self, keys: Sequence[frozenset]) -> List[List[frozenset]]:
+        """Split a batch into chunks respecting both caps, in input order.
+
+        Greedy packing: a chunk closes when it holds ``chunk_size``
+        coalitions or when the next coalition's estimated footprint would
+        push it past ``max_batch_bytes``.  Every chunk holds at least one
+        coalition (an oversized single coalition still trains — the budget
+        bounds *batching* overhead, it cannot shrink one model).  Chunk
+        boundaries never change utilities: per-coalition seeds make slices
+        independent, so packing is free to follow the RAM budget.
+        """
+        chunks: List[List[frozenset]] = []
+        current: List[frozenset] = []
+        current_bytes = 0
+        for key in keys:
+            cost = self.estimated_coalition_bytes(key)
+            if current and (
+                len(current) >= self.chunk_size
+                or current_bytes + cost > self.max_batch_bytes
+            ):
+                chunks.append(current)
+                current = []
+                current_bytes = 0
+            current.append(key)
+            current_bytes += cost
+        if current:
+            chunks.append(current)
+        return chunks
 
     def train_parameters(self, coalitions: Sequence[frozenset]) -> np.ndarray:
         """Final global parameters of every coalition's FL run → ``(B, P)``."""

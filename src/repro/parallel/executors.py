@@ -168,11 +168,19 @@ class VectorizedExecutor(CoalitionExecutor):
     shares_memory = False
     name = "vectorized"
 
-    def __init__(self, chunk_size: int = 64, strict: bool = False) -> None:
+    def __init__(
+        self,
+        chunk_size: int = 64,
+        strict: bool = False,
+        max_batch_bytes: Optional[int] = None,
+    ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = int(chunk_size)
         self.strict = bool(strict)
+        # None auto-detects from available RAM inside the engine; an explicit
+        # integer caps each stacked batch's estimated footprint at that size.
+        self.max_batch_bytes = max_batch_bytes
         self.last_fallback_reason: Optional[str] = None
         self._trainer_cache: Optional[tuple] = None  # (trainer id, engine)
 
@@ -196,7 +204,11 @@ class VectorizedExecutor(CoalitionExecutor):
 
         if self._trainer_cache is not None and self._trainer_cache[0] is trainer:
             return self._trainer_cache[1]
-        engine = VectorizedCoalitionTrainer(trainer, chunk_size=self.chunk_size)
+        engine = VectorizedCoalitionTrainer(
+            trainer,
+            chunk_size=self.chunk_size,
+            max_batch_bytes=self.max_batch_bytes,
+        )
         self._trainer_cache = (trainer, engine)
         return engine
 

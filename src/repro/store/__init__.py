@@ -27,6 +27,8 @@ from typing import Optional, Union
 from repro.store.base import GCResult, MemoryUtilityStore, StoreStats, UtilityStore
 from repro.store.fingerprint import (
     FINGERPRINT_SCHEMA_VERSION,
+    HASHED_KEY_TAG,
+    HASHED_KEY_THRESHOLD,
     canonical_json,
     canonicalize,
     coalition_token,
@@ -95,6 +97,8 @@ __all__ = [
     "canonical_json",
     "canonicalize",
     "coalition_token",
+    "HASHED_KEY_TAG",
+    "HASHED_KEY_THRESHOLD",
     "fingerprint",
     "key_namespace",
     "open_store",

@@ -71,9 +71,35 @@ def fingerprint(payload: Any) -> str:
     return digest[:FINGERPRINT_LENGTH]
 
 
+#: coalitions with more members than this use a fixed-width hashed token —
+#: a plain member list for a 500-client grand coalition is ~1.9 kB *per key*,
+#: a hashed token is 67 bytes regardless of coalition size
+HASHED_KEY_THRESHOLD = 16
+
+#: version tag prefixing hashed coalition tokens.  The tag namespaces hashed
+#: tokens away from plain ones (a plain token is digits and commas, so it can
+#: never read ``h1:...``) — existing small-n store entries stay valid, and a
+#: future change to the hashing scheme bumps the tag instead of aliasing.
+HASHED_KEY_TAG = "h1"
+
+
 def coalition_token(coalition: Iterable[int]) -> str:
-    """Canonical text form of a coalition: sorted, comma-joined member ids."""
-    return ",".join(str(m) for m in sorted(int(c) for c in coalition))
+    """Canonical text form of a coalition.
+
+    Small coalitions (at most :data:`HASHED_KEY_THRESHOLD` members) stay a
+    sorted, comma-joined member list — readable in store dumps and identical
+    to the pre-hashing format, so existing stores keep resolving.  Larger
+    member sets become ``h1:<sha256 hex>`` of that same member list: fixed
+    64-hex-character width however large the coalition, with the full
+    256-bit digest kept (collision probability is negligible at any
+    conceivable store size).
+    """
+    members = sorted(int(c) for c in coalition)
+    plain = ",".join(str(m) for m in members)
+    if len(members) <= HASHED_KEY_THRESHOLD:
+        return plain
+    digest = hashlib.sha256(plain.encode("ascii")).hexdigest()
+    return f"{HASHED_KEY_TAG}:{digest}"
 
 
 def utility_key(namespace: str, coalition: Iterable[int]) -> str:
@@ -82,7 +108,8 @@ def utility_key(namespace: str, coalition: Iterable[int]) -> str:
     The namespace (a task fingerprint from
     :func:`repro.experiments.tasks.task_fingerprint`) identifies everything
     *except* the coalition; the member list stays readable so store dumps can
-    be inspected by eye.
+    be inspected by eye — unless the coalition is large, in which case the
+    token is the fixed-width hash described at :func:`coalition_token`.
     """
     if ":" in namespace:
         raise ValueError(f"namespace must not contain ':', got {namespace!r}")

@@ -65,6 +65,87 @@ def coalitions_of_size(n: int, size: int) -> Iterator[frozenset]:
     return (frozenset(c) for c in itertools.combinations(range(n), size))
 
 
+def unrank_combination(n: int, k: int, rank: int) -> frozenset:
+    """The ``rank``-th size-``k`` subset of ``range(n)`` in lexicographic order.
+
+    Ranks follow the combinatorial number system and match the enumeration
+    order of ``itertools.combinations(range(n), k)`` (hence of
+    :func:`coalitions_of_size`):  ``unrank_combination(n, k, r)`` equals the
+    ``r``-th element of that stream, computed in ``O(n)`` without enumerating
+    the ``C(n, k)`` predecessors.  This is what lets a sampler draw from a
+    stratum of astronomically many coalitions while allocating only the
+    coalitions it actually returns.
+    """
+    total = n_choose_k(n, k)
+    if rank < 0 or rank >= total:
+        raise ValueError(
+            f"rank must lie in [0, C({n},{k})={total}), got {rank}"
+        )
+    members: list[int] = []
+    remaining = k
+    candidate = 0
+    while remaining > 0:
+        with_candidate = n_choose_k(n - candidate - 1, remaining - 1)
+        if rank < with_candidate:
+            members.append(candidate)
+            remaining -= 1
+        else:
+            rank -= with_candidate
+        candidate += 1
+    return frozenset(members)
+
+
+#: strata at most this large draw sample *ranks* in one vectorised
+#: ``rng.choice(total, replace=False)`` call; larger strata use rejection
+#: sampling on coalitions so nothing C(n, k)-shaped is ever allocated
+SAMPLING_ENUMERATION_LIMIT = 4096
+
+
+def sample_coalitions_of_size(
+    n: int,
+    k: int,
+    rng: np.random.Generator,
+    count: int,
+):
+    """Sample ``count`` coalitions of exactly ``k`` clients uniformly.
+
+    Memory is ``O(count)`` regardless of how large the stratum is — the
+    2^n-shaped coalition list is never materialised:
+
+    * ``count >= C(n, k)`` — the whole stratum, enumerated lazily into a list
+      (no RNG consumed: every coalition is in the sample).
+    * stratum of at most :data:`SAMPLING_ENUMERATION_LIMIT` coalitions —
+      ``count`` distinct *ranks* are drawn without replacement in one
+      ``rng.choice`` call and unranked lexicographically
+      (:func:`unrank_combination`).
+    * larger strata — rejection-sampled without replacement, one
+      :func:`random_coalition_of_size` draw per attempt; duplicates are
+      vanishingly rare at any budget that could actually be *evaluated*
+      (each sampled coalition costs one FL training), so the expected number
+      of draws stays within a whisker of ``count``.
+
+    Returns a list of ``frozenset`` coalitions without replacement; ordering
+    is deterministic given the RNG state (lexicographic-rank order on the
+    vectorised path, draw order on the rejection path).
+    """
+    if k < 0 or k > n:
+        raise ValueError(f"coalition size must lie in [0, {n}], got {k}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return []
+    total = n_choose_k(n, k)
+    if count >= total:
+        return list(coalitions_of_size(n, k))
+    if total <= SAMPLING_ENUMERATION_LIMIT:
+        picks = rng.choice(total, size=count, replace=False)
+        return [unrank_combination(n, k, int(rank)) for rank in picks]
+    chosen: dict[frozenset, None] = {}
+    while len(chosen) < count:
+        chosen.setdefault(random_coalition_of_size(n, k, rng), None)
+    return list(chosen)
+
+
 def count_coalitions_up_to(n: int, max_size: int) -> int:
     """Number of coalitions with at most ``max_size`` members (including ∅)."""
     max_size = min(max_size, n)

@@ -194,3 +194,73 @@ def test_ipss_with_full_budget_matches_exact_property(seed):
     exact = MCShapley().run(game, 5).values
     estimate = IPSS(total_rounds=32, seed=seed).run(game, 5).values
     assert np.allclose(estimate, exact, atol=1e-9)
+
+
+class TestIPSSRemainingUncertainty:
+    """Phase-2 stderr: convergence-to-plan residual feeding CI-based stopping."""
+
+    def _snapshots(self, n=8, gamma=60, chunk=2, seed=3):
+        game = monotone_game(n, seed=seed)
+        algorithm = IPSS(total_rounds=gamma, partial_chunk_size=chunk, seed=seed)
+        return list(algorithm.iter_run(game, n))
+
+    def test_phase1_chunks_report_no_stderr(self):
+        snapshots = self._snapshots()
+        phase2_started = False
+        for snapshot in snapshots:
+            if snapshot.stderr is None:
+                assert not phase2_started, "stderr must not vanish once phase 2 runs"
+            else:
+                phase2_started = True
+        assert phase2_started
+
+    def test_final_snapshot_residual_is_exactly_zero(self):
+        final = self._snapshots()[-1]
+        assert final.done
+        assert final.stderr is not None
+        np.testing.assert_array_equal(final.stderr, np.zeros(8))
+
+    def test_midrun_residual_shrinks_to_zero_without_false_certainty(self):
+        snapshots = [s for s in self._snapshots() if s.stderr is not None]
+        assert len(snapshots) >= 2
+        first, last = snapshots[0], snapshots[-1]
+        # Mid-run every entry is a residual (finite >= 0) or NaN (ignorance:
+        # fewer than two evaluated marginals while appearances remain) —
+        # never a negative or infinite value.
+        for snapshot in snapshots:
+            finite = snapshot.stderr[np.isfinite(snapshot.stderr)]
+            assert np.all(finite >= 0.0)
+            assert not np.any(np.isinf(snapshot.stderr))
+        # The summed residual is monotonically consumed as the plan drains.
+        assert np.nansum(last.stderr) <= np.nansum(first.stderr) + 1e-12
+
+    def test_values_and_counts_are_unchanged_by_the_stderr_channel(self):
+        # The residual is an additional reporting channel: the value fold and
+        # sample counts must match a plain run bitwise.
+        game = monotone_game(8, seed=3)
+        reference = IPSS(total_rounds=60, seed=3).run(game, 8)
+        final = self._snapshots(n=8, gamma=60, chunk=2, seed=3)[-1]
+        np.testing.assert_array_equal(final.values, reference.values)
+
+    def test_convergence_rule_can_stop_ipss(self):
+        from repro.core.anytime import ConvergenceRule
+
+        game = monotone_game(8, seed=3)
+        algorithm = IPSS(total_rounds=60, partial_chunk_size=2, seed=3)
+        rule = ConvergenceRule(metric="ci", threshold=1e6, patience=1)
+        result = algorithm.run(game, 8, stopping_rule=rule)
+        assert result.metadata["stopped_by"] == rule.describe()
+        # A huge threshold fires on the first phase-2 snapshot whose stderr
+        # is defined for every client, so trainings were genuinely saved.
+        full = IPSS(total_rounds=60, partial_chunk_size=2, seed=3).run(game, 8)
+        assert result.utility_evaluations < full.utility_evaluations
+
+    def test_convergence_rule_never_fires_during_phase1(self):
+        from repro.core.anytime import ConvergenceRule
+
+        game = monotone_game(8, seed=3)
+        algorithm = IPSS(total_rounds=9, seed=3)  # k*=1, no leftover → no phase 2
+        assert not algorithm._has_partial_phase(8, algorithm.k_star(8))
+        rule = ConvergenceRule(metric="ci", threshold=1e6, patience=1)
+        result = algorithm.run(game, 8, stopping_rule=rule)
+        assert "stopped_by" not in result.metadata

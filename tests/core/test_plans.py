@@ -1,0 +1,184 @@
+"""Lazy coalition plans: correctness, resumability and O(batch) memory."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IPSS,
+    CCShapley,
+    KGreedy,
+    MCShapley,
+    PermShapley,
+    StratifiedSampling,
+    StratumPlan,
+    check_enumeration_limit,
+    iter_combinations_from,
+)
+from repro.fl.utility import TabularUtility
+from repro.utils.combinatorics import (
+    coalitions_of_size,
+    n_choose_k,
+    sample_coalitions_of_size,
+)
+
+
+class TestIterCombinationsFrom:
+    def test_matches_itertools_from_every_start(self):
+        for n in range(0, 8):
+            for k in range(0, n + 1):
+                full = list(coalitions_of_size(n, k))
+                for start in range(len(full) + 1):
+                    assert list(iter_combinations_from(n, k, start)) == full[start:]
+
+    def test_invalid_start_raises(self):
+        with pytest.raises(ValueError):
+            list(iter_combinations_from(5, 2, 11))
+        with pytest.raises(ValueError):
+            list(iter_combinations_from(5, 2, -1))
+
+    def test_size_zero_stratum(self):
+        assert list(iter_combinations_from(4, 0, 0)) == [frozenset()]
+        assert list(iter_combinations_from(4, 0, 1)) == []
+
+
+class TestStratumPlan:
+    def test_batches_cover_stratum_in_lexicographic_order(self):
+        plan = StratumPlan(7, 3, batch_size=4)
+        walked = [coalition for batch in plan.batches() for coalition in batch]
+        assert walked == list(coalitions_of_size(7, 3))
+        assert plan.exhausted
+        assert plan.remaining == 0
+
+    def test_every_batch_bounded(self):
+        plan = StratumPlan(8, 4, batch_size=16)
+        sizes = [len(batch) for batch in plan.batches()]
+        assert all(size <= 16 for size in sizes)
+        assert sum(sizes) == n_choose_k(8, 4)
+
+    def test_cursor_resume_mid_stratum(self):
+        reference = list(coalitions_of_size(9, 4))
+        first = StratumPlan(9, 4, batch_size=10)
+        head = first.next_batch()
+        # A brand-new plan seeded with the persisted cursor continues exactly
+        # where the interrupted one stopped.
+        resumed = StratumPlan(9, 4, batch_size=10, cursor=first.cursor)
+        tail = [coalition for batch in resumed.batches() for coalition in batch]
+        assert head + tail == reference
+
+    def test_iteration_protocol(self):
+        assert list(StratumPlan(5, 2, batch_size=3)) == list(coalitions_of_size(5, 2))
+        assert len(StratumPlan(5, 2)) == 10
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            StratumPlan(4, 5)
+        with pytest.raises(ValueError):
+            StratumPlan(4, 2, batch_size=0)
+        with pytest.raises(ValueError):
+            StratumPlan(4, 2, cursor=7)  # C(4,2)=6
+
+
+class TestMemoryRegression:
+    """Planning at n=500 must allocate O(batch), never anything 2^n-shaped."""
+
+    @staticmethod
+    def _peak_allocated(fn) -> int:
+        tracemalloc.start()
+        try:
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    def test_stratum_plan_peak_is_batch_sized(self):
+        # The size-250 stratum of a 500-client federation holds ~10^149
+        # coalitions; walking three 256-coalition batches must stay in the
+        # couple-of-MB range (each batch is 256 frozensets of 250 ints).
+        def walk():
+            plan = StratumPlan(500, 250, batch_size=256)
+            for _ in range(3):
+                plan.next_batch()
+
+        assert self._peak_allocated(walk) < 32 * 1024 * 1024
+
+    def test_stratum_sampling_peak_is_count_sized(self):
+        def sample():
+            rng = np.random.default_rng(0)
+            sample_coalitions_of_size(500, 250, rng, 64)
+
+        assert self._peak_allocated(sample) < 32 * 1024 * 1024
+
+    def test_stratified_planning_at_500_clients(self):
+        def plan():
+            algorithm = StratifiedSampling(total_rounds=512, seed=0)
+            rng = np.random.default_rng(0)
+            sampled = algorithm._sample_strata(500, rng)
+            assert sum(len(v) for v in sampled.values()) <= 512
+
+        assert self._peak_allocated(plan) < 64 * 1024 * 1024
+
+    def test_ipss_planning_at_500_clients(self):
+        def plan():
+            algorithm = IPSS(total_rounds=3108, seed=0)
+            info = algorithm.sampling_plan(500)
+            assert info["k_star"] == 1
+            assert info["partial_budget"] > 0
+
+        assert self._peak_allocated(plan) < 32 * 1024 * 1024
+
+
+class TestEnumerationGuards:
+    def test_shared_guard_message_is_actionable(self):
+        with pytest.raises(ValueError) as excinfo:
+            check_enumeration_limit(500, 20, "MC-SV")
+        message = str(excinfo.value)
+        assert "500 clients" in message
+        assert "limit 20" in message
+        assert "max_exact_clients" in message
+        assert "IPSS" in message
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: MCShapley(),
+            lambda: CCShapley(),
+            lambda: PermShapley(),
+        ],
+    )
+    def test_exact_schemes_fail_fast_at_large_n(self, factory):
+        algorithm = factory()
+        with pytest.raises(ValueError, match="intractable"):
+            algorithm.run(lambda s: float(len(s)), 500)
+
+    def test_exact_scheme_limit_is_overridable(self):
+        # Raising the limit genuinely unlocks larger n (here n=21 > 20 is
+        # still too slow to *run*, so only the guard behaviour is probed).
+        algorithm = MCShapley(max_exact_clients=25)
+        payload = algorithm._incremental_init(21, np.random.default_rng(0))
+        assert payload["next_size"] == 0
+        with pytest.raises(ValueError, match="intractable"):
+            MCShapley(max_exact_clients=10)._incremental_init(
+                11, np.random.default_rng(0)
+            )
+
+    def test_k_greedy_fails_fast_on_planned_blowup(self):
+        with pytest.raises(ValueError, match="K-Greedy"):
+            KGreedy(max_size=4, seed=0).run(lambda s: float(len(s)), 500)
+        # Small federations are untouched by the guard.
+        result = KGreedy(max_size=2, seed=0).run(lambda s: float(len(s)), 6)
+        assert result.values.shape == (6,)
+
+    def test_tabular_from_function_guard(self):
+        with pytest.raises(ValueError, match="intractable"):
+            TabularUtility.from_function(500, lambda s: float(len(s)))
+        small = TabularUtility.from_function(4, lambda s: float(len(s)))
+        assert small.n_clients == 4
+
+    def test_ipss_never_needs_the_guard_at_500_clients(self):
+        # The budgeted estimator must keep working where exact paths refuse.
+        algorithm = IPSS(total_rounds=600, seed=0)
+        plan = algorithm.sampling_plan(500)
+        assert plan["exhaustive_evaluations"] <= 600

@@ -1,0 +1,149 @@
+"""RAM-budgeted batch packing: chunk boundaries must never change utilities.
+
+The budget only decides *where* a stacked batch is split; per-coalition seeds
+make every slice independent, so a tiny ``max_batch_bytes`` (many chunks) and
+an effectively unbounded one (one chunk) must produce bitwise-identical
+utilities.  That is the contract the 500-client large-federation mode rests
+on: memory drops to the budget, values do not move.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification_blobs, partition_iid, train_test_split
+from repro.fl import FederatedTrainer, FLConfig, VectorizedCoalitionTrainer
+from repro.fl.vectorized import (
+    DEFAULT_MEMORY_FRACTION,
+    FALLBACK_BATCH_BYTES,
+    available_memory_bytes,
+    resolve_batch_budget,
+)
+from repro.models import LogisticRegressionModel
+
+N = 10
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def trainer():
+    pooled = make_classification_blobs(330, n_features=4, n_classes=3, seed=SEED)
+    train, test = train_test_split(pooled, test_fraction=0.25, seed=SEED)
+    clients = partition_iid(train, N, seed=SEED)
+    return FederatedTrainer(
+        clients,
+        test,
+        lambda: LogisticRegressionModel(n_features=4, n_classes=3, epochs=2),
+        config=FLConfig(rounds=2, local_epochs=1),
+        seed=SEED,
+    )
+
+
+def coalition_sample(n):
+    """A mixed-size batch: singletons, all pairs of the first five, big sets."""
+    keys = [frozenset({i}) for i in range(n)]
+    keys += [frozenset(c) for c in combinations(range(5), 2)]
+    keys += [frozenset(range(k)) for k in range(3, n + 1)]
+    keys.append(frozenset())
+    return keys
+
+
+class TestBudgetSeedParity:
+    def test_tiny_budget_matches_unbounded_bitwise(self, trainer):
+        coalitions = coalition_sample(N)
+        unbounded = VectorizedCoalitionTrainer(
+            trainer, chunk_size=1024, max_batch_bytes=1 << 40
+        )
+        assert len(unbounded.plan_chunks(coalitions)) == 1
+        starved = VectorizedCoalitionTrainer(trainer, chunk_size=1024, max_batch_bytes=1)
+        assert len(starved.plan_chunks(coalitions)) == len(coalitions)
+        reference = unbounded.utilities(coalitions)
+        np.testing.assert_array_equal(
+            np.asarray(reference), np.asarray(starved.utilities(coalitions))
+        )
+
+    def test_intermediate_budget_matches_too(self, trainer):
+        coalitions = coalition_sample(N)
+        unbounded = VectorizedCoalitionTrainer(
+            trainer, chunk_size=1024, max_batch_bytes=1 << 40
+        )
+        # A budget of ~3 grand coalitions forces a multi-chunk, multi-size mix.
+        budget = 3 * unbounded.estimated_coalition_bytes(frozenset(range(N)))
+        chunked = VectorizedCoalitionTrainer(
+            trainer, chunk_size=1024, max_batch_bytes=budget
+        )
+        n_chunks = len(chunked.plan_chunks(coalitions))
+        assert 1 < n_chunks < len(coalitions)
+        np.testing.assert_array_equal(
+            np.asarray(unbounded.utilities(coalitions)),
+            np.asarray(chunked.utilities(coalitions)),
+        )
+
+    def test_budget_matches_serial_path(self, trainer):
+        coalitions = [frozenset(), frozenset({0}), frozenset({1, 3}), frozenset(range(N))]
+        engine = VectorizedCoalitionTrainer(trainer, max_batch_bytes=1)
+        serial = np.asarray([trainer.utility(c) for c in coalitions])
+        np.testing.assert_array_equal(serial, np.asarray(engine.utilities(coalitions)))
+
+
+class TestPlanChunks:
+    def test_order_preserved_and_complete(self, trainer):
+        engine = VectorizedCoalitionTrainer(trainer, chunk_size=3, max_batch_bytes=1 << 40)
+        coalitions = coalition_sample(N)
+        chunks = engine.plan_chunks(coalitions)
+        assert [key for chunk in chunks for key in chunk] == coalitions
+        assert all(len(chunk) <= 3 for chunk in chunks)
+
+    def test_every_chunk_within_byte_budget_or_singleton(self, trainer):
+        engine = VectorizedCoalitionTrainer(trainer, chunk_size=1024, max_batch_bytes=1)
+        chunks = engine.plan_chunks(coalition_sample(N))
+        # An oversized single coalition still trains: budget bounds batching,
+        # it cannot shrink one model.
+        assert all(len(chunk) == 1 for chunk in chunks)
+        roomy = VectorizedCoalitionTrainer(
+            trainer,
+            chunk_size=1024,
+            max_batch_bytes=4 * engine.estimated_coalition_bytes(frozenset(range(N))),
+        )
+        for chunk in roomy.plan_chunks(coalition_sample(N)):
+            assert (
+                len(chunk) == 1
+                or roomy.estimated_batch_bytes(chunk) <= roomy.max_batch_bytes
+            )
+
+    def test_estimates_grow_with_membership(self, trainer):
+        engine = VectorizedCoalitionTrainer(trainer)
+        small = engine.estimated_coalition_bytes(frozenset({0}))
+        large = engine.estimated_coalition_bytes(frozenset(range(N)))
+        assert 0 < small < large
+        assert engine.estimated_batch_bytes(
+            [frozenset({0}), frozenset(range(N))]
+        ) == small + large
+
+
+class TestBudgetResolution:
+    def test_explicit_budget_wins(self):
+        assert resolve_batch_budget(123) == 123
+        with pytest.raises(ValueError):
+            resolve_batch_budget(0)
+
+    def test_auto_detection_uses_available_ram(self):
+        # MemAvailable moves between probes, so bound rather than equate:
+        # the budget is a fraction of RAM, never more than what is available.
+        available = available_memory_bytes()
+        resolved = resolve_batch_budget(None)
+        if available is None:
+            assert resolved == FALLBACK_BATCH_BYTES
+        else:
+            assert 0 < resolved <= available
+            assert resolved <= int(2 * DEFAULT_MEMORY_FRACTION * available)
+
+    def test_meminfo_probe_on_linux(self):
+        # The suite runs on Linux, where /proc/meminfo must parse.
+        available = available_memory_bytes()
+        assert available is None or available > 0
+
+    def test_trainer_defaults_to_auto_budget(self, trainer):
+        engine = VectorizedCoalitionTrainer(trainer)
+        assert engine.max_batch_bytes >= 1

@@ -1,14 +1,19 @@
 """Tests for the content-fingerprint scheme keying the persistent store."""
 
+import hashlib
 import os
 import subprocess
 import sys
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.experiments import ExperimentScale, TaskSpec, task_fingerprint
 from repro.store import (
+    HASHED_KEY_TAG,
+    HASHED_KEY_THRESHOLD,
     canonical_json,
     canonicalize,
     coalition_token,
@@ -67,6 +72,79 @@ class TestUtilityKey:
         base = {"task": "adult", "n": 3, "seed": 0}
         assert fingerprint(base) != fingerprint({**base, "seed": 1})
         assert fingerprint(base) != fingerprint({**base, "n": 4})
+
+
+class TestHashedCoalitionKeys:
+    """Large member sets key as fixed-width digests; small ones stay readable."""
+
+    def test_small_coalitions_keep_the_legacy_plain_format(self):
+        # Backward compatibility: every pre-hashing store entry was written
+        # with this exact token, so tokens at or under the threshold must not
+        # change by a single byte.
+        assert coalition_token(range(HASHED_KEY_THRESHOLD)) == ",".join(
+            str(m) for m in range(HASHED_KEY_THRESHOLD)
+        )
+        assert coalition_token([]) == ""
+        assert coalition_token([5]) == "5"
+
+    def test_large_coalitions_hash_to_fixed_width(self):
+        for size in (HASHED_KEY_THRESHOLD + 1, 100, 500):
+            token = coalition_token(range(size))
+            tag, _, digest = token.partition(":")
+            assert tag == HASHED_KEY_TAG
+            assert len(digest) == 64
+            assert set(digest) <= set("0123456789abcdef")
+
+    def test_hashed_token_is_the_digest_of_the_plain_token(self):
+        members = list(range(0, 60, 3))
+        plain = ",".join(str(m) for m in members)
+        expected = hashlib.sha256(plain.encode("ascii")).hexdigest()
+        assert coalition_token(members) == f"{HASHED_KEY_TAG}:{expected}"
+
+    def test_plain_tokens_can_never_alias_hashed_ones(self):
+        # A plain token is digits and commas only, so the "h1:" namespace is
+        # unreachable from the legacy format by construction.
+        for size in range(HASHED_KEY_THRESHOLD + 1):
+            assert ":" not in coalition_token(range(size))
+
+    def test_namespace_extraction_survives_hashed_tokens(self):
+        key = utility_key("deadbeef", range(500))
+        assert key_namespace(key) == "deadbeef"
+        assert key == f"deadbeef:{coalition_token(range(500))}"
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        members=st.sets(st.integers(min_value=0, max_value=600), max_size=80),
+        order_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_token_is_order_invariant(self, members, order_seed):
+        shuffled = list(members)
+        np.random.default_rng(order_seed).shuffle(shuffled)
+        assert coalition_token(shuffled) == coalition_token(sorted(members))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        pair=st.tuples(
+            st.sets(st.integers(min_value=0, max_value=600), max_size=80),
+            st.sets(st.integers(min_value=0, max_value=600), max_size=80),
+        )
+    )
+    def test_distinct_coalitions_get_distinct_keys(self, pair):
+        first, second = pair
+        if first == second:
+            assert coalition_token(first) == coalition_token(second)
+        else:
+            assert coalition_token(first) != coalition_token(second)
+
+    def test_no_collisions_across_a_dense_coalition_family(self):
+        # Every contiguous slice of a 500-client federation plus all leave-
+        # one-out variants of the grand coalition: thousands of near-identical
+        # large coalitions must all key distinctly.
+        everyone = list(range(500))
+        family = [tuple(everyone[a:b]) for a in range(0, 500, 25) for b in range(a + 1, 501, 25)]
+        family += [tuple(m for m in everyone if m != drop) for drop in everyone]
+        tokens = {coalition_token(c) for c in family}
+        assert len(tokens) == len(set(family))
 
 
 class TestTaskFingerprints:

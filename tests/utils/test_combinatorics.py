@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.utils.combinatorics import (
+    SAMPLING_ENUMERATION_LIMIT,
     all_coalitions,
     balanced_coalitions_of_size,
     client_appearance_counts,
@@ -21,7 +22,9 @@ from repro.utils.combinatorics import (
     random_coalition,
     random_coalition_of_size,
     random_permutation,
+    sample_coalitions_of_size,
     stratum_sizes,
+    unrank_combination,
 )
 
 
@@ -176,6 +179,88 @@ class TestBalancedSampling:
             [frozenset({0, 1}), frozenset({1, 2})], 4
         )
         assert counts.tolist() == [1, 2, 1, 0]
+
+
+class TestUnranking:
+    def test_matches_itertools_enumeration_order(self):
+        for n in range(0, 9):
+            for k in range(0, n + 1):
+                expected = list(coalitions_of_size(n, k))
+                unranked = [
+                    unrank_combination(n, k, rank) for rank in range(len(expected))
+                ]
+                assert unranked == expected
+
+    def test_out_of_range_rank_raises(self):
+        with pytest.raises(ValueError):
+            unrank_combination(5, 2, 10)  # C(5,2)=10, valid ranks 0..9
+        with pytest.raises(ValueError):
+            unrank_combination(5, 2, -1)
+
+    def test_huge_stratum_without_enumeration(self):
+        # C(500, 250) ≈ 10^149: unranking must not touch the stratum size.
+        total = n_choose_k(500, 250)
+        first = unrank_combination(500, 250, 0)
+        last = unrank_combination(500, 250, total - 1)
+        assert first == frozenset(range(250))
+        assert last == frozenset(range(250, 500))
+
+
+class TestSampleCoalitionsOfSize:
+    def test_matches_legacy_choice_path_rng_stream(self, rng):
+        # The pre-plan sampler enumerated small strata and indexed them with
+        # one rng.choice call; the rank-based sampler must reproduce exactly
+        # that stream so seeded runs (and their golden files) are unchanged.
+        n, k, count = 10, 4, 7
+        legacy_rng = np.random.default_rng(123)
+        population = list(coalitions_of_size(n, k))
+        picks = legacy_rng.choice(len(population), size=count, replace=False)
+        legacy = [population[int(i)] for i in picks]
+        new_rng = np.random.default_rng(123)
+        assert sample_coalitions_of_size(n, k, new_rng, count) == legacy
+        # And the generators end in the same state.
+        assert legacy_rng.bit_generator.state == new_rng.bit_generator.state
+
+    def test_full_stratum_returned_without_rng(self):
+        rng = np.random.default_rng(0)
+        state_before = rng.bit_generator.state
+        sample = sample_coalitions_of_size(5, 2, rng, 10)
+        assert set(sample) == set(coalitions_of_size(5, 2))
+        assert rng.bit_generator.state == state_before
+
+    def test_without_replacement_and_sized(self, rng):
+        sample = sample_coalitions_of_size(8, 3, rng, 20)
+        assert len(sample) == 20
+        assert len(set(sample)) == 20
+        assert all(len(c) == 3 for c in sample)
+
+    def test_large_stratum_rejection_path(self, rng):
+        # C(100, 3) = 161700 > SAMPLING_ENUMERATION_LIMIT: the rejection path
+        # must still deliver distinct coalitions without enumerating.
+        assert n_choose_k(100, 3) > SAMPLING_ENUMERATION_LIMIT
+        sample = sample_coalitions_of_size(100, 3, rng, 50)
+        assert len(sample) == 50
+        assert len(set(sample)) == 50
+        assert all(len(c) == 3 for c in sample)
+
+    def test_invalid_arguments_raise(self, rng):
+        with pytest.raises(ValueError):
+            sample_coalitions_of_size(4, 5, rng, 1)
+        with pytest.raises(ValueError):
+            sample_coalitions_of_size(4, 2, rng, -1)
+        assert sample_coalitions_of_size(4, 2, rng, 0) == []
+
+    def test_roughly_uniform_over_small_stratum(self):
+        # χ²-style sanity check: each of the C(5,2)=10 coalitions should be
+        # hit roughly equally often across many independent draws.
+        counts: dict = {}
+        for seed in range(400):
+            rng = np.random.default_rng(seed)
+            for coalition in sample_coalitions_of_size(5, 2, rng, 3):
+                counts[coalition] = counts.get(coalition, 0) + 1
+        assert len(counts) == 10
+        expected = 400 * 3 / 10
+        assert all(0.5 * expected < c < 1.5 * expected for c in counts.values())
 
 
 class TestCoalitionKey:
