@@ -5,7 +5,8 @@
 # scenario-robustness CLI smoke (see scripts/scenario_smoke.sh) + the
 # vectorized-backend parity smoke (see scripts/vectorized_smoke.sh) + the
 # anytime-valuation smoke (see scripts/anytime_smoke.sh) + the
-# large-federation smoke (see scripts/large_n_smoke.sh).
+# large-federation smoke (see scripts/large_n_smoke.sh) + the
+# telemetry-neutrality smoke (see scripts/telemetry_smoke.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,3 +18,4 @@ bash scripts/scenario_smoke.sh
 bash scripts/vectorized_smoke.sh
 bash scripts/anytime_smoke.sh
 bash scripts/large_n_smoke.sh
+bash scripts/telemetry_smoke.sh

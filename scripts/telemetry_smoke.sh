@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Telemetry neutrality smoke: the same IPSS grid run twice — telemetry off,
+# telemetry on — must produce bitwise-identical values and identical store
+# keys (telemetry may observe a run, never steer it), and the journal the
+# second run leaves behind must render through `repro trace` / `repro stats`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+FLAGS=(
+  --task synthetic --setup different-size-same-distribution
+  --model mlp --n-clients 10 --scale tiny --seed 1
+  --algorithms IPSS --stop-on budget:32
+)
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.cli run \
+  --run-dir "$WORK/off" --store "$WORK/off.sqlite" \
+  "${FLAGS[@]}" --no-telemetry --json > "$WORK/off.json"
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.cli run \
+  --run-dir "$WORK/on" --store "$WORK/on.sqlite" \
+  "${FLAGS[@]}" --json > "$WORK/on.json"
+
+WORK="$WORK" PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - <<'PY'
+import json
+import os
+import sqlite3
+
+work = os.environ["WORK"]
+
+
+def run_values(run_dir):
+    with open(os.path.join(run_dir, "manifest.json")) as handle:
+        manifest = json.load(handle)
+    values = {}
+    for cell_id, cell in manifest["cells"].items():
+        if cell.get("status") != "done":
+            continue
+        with open(os.path.join(run_dir, cell["result_file"])) as handle:
+            values[cell_id] = json.load(handle)["result"]["values"]
+    assert values, f"no finished cells in {run_dir}"
+    return values
+
+
+def store_keys(path):
+    with sqlite3.connect(path) as connection:
+        return sorted(row[0] for row in connection.execute("SELECT key FROM utilities"))
+
+
+off = run_values(os.path.join(work, "off"))
+on = run_values(os.path.join(work, "on"))
+assert off == on, "telemetry changed computed values:\n  off %r\n  on  %r" % (off, on)
+
+keys_off = store_keys(os.path.join(work, "off.sqlite"))
+keys_on = store_keys(os.path.join(work, "on.sqlite"))
+assert keys_off == keys_on, "telemetry changed store keys"
+assert keys_on, "store ended up empty"
+
+assert not os.path.exists(os.path.join(work, "off", "telemetry")), (
+    "--no-telemetry still wrote a journal"
+)
+
+with open(os.path.join(work, "off.json")) as handle:
+    report = json.load(handle)
+evaluations = report["accounting"]["evaluations"]
+print(
+    f"telemetry smoke: values and {len(keys_on)} store keys identical "
+    f"off/on ({evaluations} evaluations)"
+)
+PY
+
+TRACE="$(PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.cli trace "$WORK/on")"
+grep -q "pipeline.run" <<<"$TRACE"
+grep -q "critical path:" <<<"$TRACE"
+
+STATS="$(PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.cli stats "$WORK/on")"
+grep -q "utility.eval_seconds" <<<"$STATS"
+grep -q "executor.batch_size" <<<"$STATS"
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.cli stats "$WORK/on" --prometheus \
+  | grep -q "repro_utility_eval_seconds_count"
+
+echo "telemetry smoke ok: trace and stats render from the run journal"

@@ -26,6 +26,13 @@ Subcommands
     Browse the registered client-behavior scenarios (see docs/scenarios.md).
 ``repro store stats`` / ``repro store gc``
     Inspect or compact a utility store.
+``repro trace <run-dir>`` / ``repro stats <run-dir>``
+    Read a finished run's telemetry journal back (see docs/observability.md):
+    ``trace`` renders the span tree and its critical path, ``stats`` the
+    metric summaries (p50/p90/p99; ``--json`` for machine-readable output,
+    ``--prometheus`` for Prometheus text exposition).  Telemetry is on by
+    default for ``run``/``resume``; ``--no-telemetry`` switches it off —
+    values and store keys are bitwise-identical either way.
 ``repro list-tasks``
     Show the registered task kinds and algorithm names a plan may reference.
 ``repro check [paths]``
@@ -80,6 +87,13 @@ from repro.experiments.tables import robustness_table
 from repro.parallel.executors import EXECUTOR_BACKENDS
 from repro.scenarios import available_scenarios, get_scenario, run_robustness
 from repro.store import STORE_BACKENDS, open_store
+from repro.telemetry import Telemetry, prometheus_text, read_journal
+from repro.telemetry.report import (
+    build_span_tree,
+    load_metrics,
+    render_stats,
+    render_trace,
+)
 from repro.version import __version__
 
 _SCALE_NAMES = ("tiny", "small", "paper")
@@ -161,6 +175,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_arguments(gc)
 
+    trace = subparsers.add_parser(
+        "trace", help="span tree + critical path of a finished run's telemetry"
+    )
+    trace.add_argument("run_dir", help="run directory (or a journal.jsonl path)")
+    trace.add_argument(
+        "--max-children",
+        type=int,
+        default=12,
+        metavar="N",
+        help="collapse sibling spans beyond N into one summary line (default 12)",
+    )
+    _add_output_arguments(trace)
+
+    stats_cmd = subparsers.add_parser(
+        "stats", help="metric summaries (p50/p90/p99) of a finished run's telemetry"
+    )
+    stats_cmd.add_argument("run_dir", help="run directory (or a journal.jsonl path)")
+    stats_cmd.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="Prometheus text exposition format instead of the table",
+    )
+    _add_output_arguments(stats_cmd)
+
     list_tasks = subparsers.add_parser(
         "list-tasks", help="registered task kinds and algorithms"
     )
@@ -223,6 +261,13 @@ def _add_anytime_arguments(parser: argparse.ArgumentParser) -> None:
         help="stream one JSON object per estimator chunk to stdout "
         "(followed by a final {'event': 'report'} object)",
     )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="skip the run's telemetry journal (<run-dir>/telemetry/); "
+        "values and store keys are identical either way — telemetry is "
+        "observational only (see docs/observability.md)",
+    )
 
 
 def _add_store_arguments(parser: argparse.ArgumentParser, required: bool = False) -> None:
@@ -283,12 +328,25 @@ def _stop_rule_from_args(args):
     return parse_stopping_rule(spec)
 
 
-def _snapshot_callback(args):
+def _telemetry_from_args(args) -> Optional[Telemetry]:
+    """A journal-backed handle for this run, or ``None`` with --no-telemetry."""
+    if getattr(args, "no_telemetry", False):
+        return None
+    return Telemetry.for_run_dir(args.run_dir)
+
+
+def _snapshot_callback(args, telemetry: Optional[Telemetry] = None):
     """Per-chunk observer for --json-stream / --progress (None otherwise)."""
     if getattr(args, "json_stream", False):
+        # Live metric deltas ride along on each snapshot event: what the
+        # counters/histograms accumulated since the previous event.
+        last_state = [telemetry.snapshot()] if telemetry is not None else None
 
         def emit(spec, algorithm, snapshot):
             payload = {"event": "snapshot", "task": spec.label(), **snapshot.to_dict()}
+            if telemetry is not None and last_state is not None:
+                payload["metrics"] = telemetry.delta_since(last_state[0])
+                last_state[0] = telemetry.snapshot()
             print(json.dumps(payload), flush=True)
 
         return emit
@@ -345,6 +403,18 @@ def _print_report(report: RunReport, as_json: bool) -> None:
         f"| fl_trainings: {report.fl_trainings} "
         f"| store_hits: {report.store_hits}"
     )
+    accounting = report.accounting()
+    batches = ", ".join(
+        f"{backend}:{count}"
+        for backend, count in sorted(accounting["batch_counts"].items())
+    )
+    print(
+        f"accounting: {accounting['evaluations']} evaluations, "
+        f"{accounting['store_hits']} store hits, "
+        f"{accounting['cache_hits']} cache hits "
+        f"(hit-rate {accounting['cache_hit_rate']:.1%})"
+        + (f" | batches {batches}" if batches else "")
+    )
 
 
 def _algorithms_from_args(args) -> Optional[tuple]:
@@ -358,6 +428,7 @@ def _cmd_run(args) -> int:
         return _cmd_run_scenarios(args)
     plan = _plan_from_args(args)
     store = _open_store_arg(args)
+    telemetry = _telemetry_from_args(args)
     quiet = args.json or args.json_stream
     try:
         report = run_plan(
@@ -368,9 +439,12 @@ def _cmd_run(args) -> int:
             log=None if quiet else lambda message: print(message, file=sys.stderr),
             stop_rule=_stop_rule_from_args(args),
             checkpoint_every=args.checkpoint_every,
-            on_snapshot=_snapshot_callback(args),
+            on_snapshot=_snapshot_callback(args, telemetry),
+            telemetry=telemetry,
         )
     finally:
+        if telemetry is not None:
+            telemetry.close()
         if store is not None:
             store.close()
     if args.json_stream:
@@ -404,6 +478,7 @@ def _cmd_run_scenarios(args) -> int:
         )
     names = [name.strip() for name in args.scenario.split(",") if name.strip()]
     store = _open_store_arg(args)
+    telemetry = _telemetry_from_args(args)
     quiet = args.json or args.json_stream
     try:
         report = run_robustness(
@@ -420,9 +495,12 @@ def _cmd_run_scenarios(args) -> int:
             log=None if quiet else lambda message: print(message, file=sys.stderr),
             stop_rule=_stop_rule_from_args(args),
             checkpoint_every=args.checkpoint_every,
-            on_snapshot=_snapshot_callback(args),
+            on_snapshot=_snapshot_callback(args, telemetry),
+            telemetry=telemetry,
         )
     finally:
+        if telemetry is not None:
+            telemetry.close()
         if store is not None:
             store.close()
     if args.json_stream:
@@ -442,6 +520,7 @@ def _cmd_run_scenarios(args) -> int:
 
 def _cmd_resume(args) -> int:
     store = _open_store_arg(args)
+    telemetry = _telemetry_from_args(args)
     quiet = args.json or args.json_stream
     try:
         report = resume_run(
@@ -450,9 +529,12 @@ def _cmd_resume(args) -> int:
             log=None if quiet else lambda message: print(message, file=sys.stderr),
             stop_rule=_stop_rule_from_args(args),
             checkpoint_every=args.checkpoint_every,
-            on_snapshot=_snapshot_callback(args),
+            on_snapshot=_snapshot_callback(args, telemetry),
+            telemetry=telemetry,
         )
     finally:
+        if telemetry is not None:
+            telemetry.close()
         if store is not None:
             store.close()
     if args.json_stream:
@@ -478,8 +560,13 @@ def _cmd_store_stats(args) -> int:
     print(f"backend:  {summary['backend']}")
     print(f"location: {summary['location']}")
     print(f"entries:  {summary['entries']}  ({summary['size_bytes']} bytes)")
-    for namespace, count in sorted(summary["namespaces"].items()):
-        print(f"  {namespace}: {count} coalitions")
+    namespace_bytes = summary.get("namespace_bytes") or {}
+    if summary["namespaces"]:
+        width = max(len(namespace) for namespace in summary["namespaces"])
+        for namespace, count in sorted(summary["namespaces"].items()):
+            size = namespace_bytes.get(namespace)
+            suffix = "" if size is None else f"  {size:>10} bytes"
+            print(f"  {namespace:<{width}}  {count:>6} coalitions{suffix}")
     return 0
 
 
@@ -495,6 +582,58 @@ def _cmd_store_gc(args) -> int:
         f"{result.dropped_duplicates} duplicate, "
         f"{result.dropped_namespaces} out-of-namespace"
     )
+    return 0
+
+
+def _span_node_to_dict(node) -> dict:
+    """JSON shape of one reconstructed span (children nested)."""
+    payload = {
+        "name": node.name,
+        "span": node.span_id,
+        "start": node.start,
+        "dur_s": node.duration,
+        "status": node.status,
+    }
+    if node.attrs:
+        payload["attrs"] = node.attrs
+    if node.children:
+        payload["children"] = [_span_node_to_dict(child) for child in node.children]
+    return payload
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace <run-dir>``: span tree + critical path from the journal."""
+    from repro.telemetry.report import critical_path
+
+    records = read_journal(args.run_dir)
+    roots = build_span_tree(records)
+    if args.json:
+        payload = {
+            "spans": [_span_node_to_dict(root) for root in roots],
+            "critical_path": [
+                {"name": node.name, "span": node.span_id, "dur_s": node.duration}
+                for node in critical_path(roots)
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not roots:
+        print("no spans recorded (run finished before any instrumented section?)")
+        return 0
+    print(render_trace(roots, max_children=args.max_children), end="")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """``repro stats <run-dir>``: metric summaries from the journal."""
+    registry = load_metrics(read_journal(args.run_dir))
+    if args.prometheus:
+        print(prometheus_text(registry.to_dict()), end="")
+        return 0
+    if args.json:
+        print(json.dumps(registry.summaries(), indent=2, sort_keys=True))
+        return 0
+    print(render_stats(registry), end="")
     return 0
 
 
@@ -612,6 +751,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "resume": _cmd_resume,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
         "list-tasks": _cmd_list_tasks,
         "check": _cmd_check,
     }

@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -58,6 +59,7 @@ from repro.experiments.config import sampling_rounds_for
 from repro.experiments.specs import TaskSpec
 from repro.parallel.executors import EXECUTOR_BACKENDS
 from repro.store import StoreLike, fingerprint, resolve_store
+from repro.telemetry import Telemetry
 
 MANIFEST_VERSION = 1
 MANIFEST_NAME = "manifest.json"
@@ -213,6 +215,26 @@ class RunReport:
     cells_continued: int = 0
     fl_trainings: int = 0
     store_hits: int = 0
+    cache_hits: int = 0
+    batch_counts: Dict[str, int] = field(default_factory=dict)
+
+    def accounting(self) -> dict:
+        """Consolidated cost accounting for this invocation.
+
+        One place instead of callers re-deriving it from the oracle:
+        evaluations actually paid, lookups served by each cache tier, the
+        combined hit-rate, and batches dispatched per executor backend.
+        All counts are deterministic (independent of telemetry being on).
+        """
+        lookups = self.fl_trainings + self.cache_hits + self.store_hits
+        served = self.cache_hits + self.store_hits
+        return {
+            "evaluations": self.fl_trainings,
+            "store_hits": self.store_hits,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": (served / lookups) if lookups else 0.0,
+            "batch_counts": dict(sorted(self.batch_counts.items())),
+        }
 
     def to_dict(self) -> dict:
         return {
@@ -224,6 +246,7 @@ class RunReport:
             "cells_continued": self.cells_continued,
             "fl_trainings": self.fl_trainings,
             "store_hits": self.store_hits,
+            "accounting": self.accounting(),
             "rows": self.rows,
         }
 
@@ -268,6 +291,7 @@ def run_plan(
     stop_rule: Optional[StoppingRule] = None,
     checkpoint_every: int = 1,
     on_snapshot: Optional[Callable[[TaskSpec, str, object], None]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunReport:
     """Execute (or finish) a campaign, one manifest-tracked cell at a time.
 
@@ -291,6 +315,14 @@ def run_plan(
     The report's ``fl_trainings`` counts only trainings paid by *this*
     invocation — the number the acceptance bar requires to be zero when a
     finished campaign is rerun against its persistent store.
+
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry` handle, usually
+    journal-backed via ``Telemetry.for_run_dir(run_dir)``) wraps the run and
+    every cell in spans, records snapshot cadence and cache/store metrics,
+    and stamps each completed cell's manifest entry with a ``telemetry``
+    block of metric deltas.  It is strictly observational: values, seeds,
+    store keys and the manifest's completion semantics are bitwise-identical
+    with ``telemetry=None`` (the CI telemetry smoke gate enforces this).
     """
     say = log if log is not None else (lambda message: None)
     if checkpoint_every < 0:
@@ -314,24 +346,37 @@ def run_plan(
 
     report = RunReport(run_dir=run_dir, plan=plan)
     opened_store, owns_store = resolve_store(store)
+    if telemetry is not None and opened_store is not None:
+        opened_store.set_telemetry(telemetry)
+    run_span = (
+        telemetry.span("pipeline.run", plan=plan.name, cells=len(plan.cells()))
+        if telemetry is not None
+        else nullcontext()
+    )
     try:
-        for spec in plan.tasks:
-            _run_task_cells(
-                plan,
-                spec,
-                manifest,
-                run_dir,
-                opened_store,
-                report,
-                say,
-                stop_rule=stop_rule,
-                checkpoint_every=checkpoint_every,
-                on_snapshot=on_snapshot,
-            )
+        with run_span:
+            for spec in plan.tasks:
+                _run_task_cells(
+                    plan,
+                    spec,
+                    manifest,
+                    run_dir,
+                    opened_store,
+                    report,
+                    say,
+                    stop_rule=stop_rule,
+                    checkpoint_every=checkpoint_every,
+                    on_snapshot=on_snapshot,
+                    telemetry=telemetry,
+                )
     finally:
         manifest["updated_at"] = time.time()  # repro: allow[RPR002] reason=manifest telemetry
         _write_json(os.path.join(run_dir, MANIFEST_NAME), manifest)
         _write_json(os.path.join(run_dir, "summary.json"), report.to_dict())
+        if telemetry is not None:
+            telemetry.flush()
+            if opened_store is not None:
+                opened_store.set_telemetry(None)
         if owns_store and opened_store is not None:
             opened_store.close()
     return report
@@ -344,6 +389,7 @@ def resume_run(
     stop_rule: Optional[StoppingRule] = None,
     checkpoint_every: int = 1,
     on_snapshot: Optional[Callable[[TaskSpec, str, object], None]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunReport:
     """Finish an interrupted campaign from its manifest alone.
 
@@ -364,6 +410,7 @@ def resume_run(
         stop_rule=stop_rule,
         checkpoint_every=checkpoint_every,
         on_snapshot=on_snapshot,
+        telemetry=telemetry,
     )
 
 
@@ -473,6 +520,28 @@ def _execute_cell(
     return result
 
 
+def _snapshot_interval_observer(telemetry: Telemetry, on_snapshot):
+    """Wrap ``on_snapshot`` to record the cadence of one cell's snapshots.
+
+    Feeds the ``snapshot.interval_seconds`` histogram — the p50/p99 snapshot
+    latency the ROADMAP service PR needs to quote.  One wrapper per cell, so
+    the gap between cells never pollutes the distribution.
+    """
+    last: List[float] = []
+
+    def observe(spec, algorithm_name, snapshot) -> None:
+        now = time.perf_counter()
+        if last:
+            telemetry.observe("snapshot.interval_seconds", now - last[0])
+            last[0] = now
+        else:
+            last.append(now)
+        if on_snapshot is not None:
+            on_snapshot(spec, algorithm_name, snapshot)
+
+    return observe
+
+
 def _run_task_cells(
     plan: ExperimentPlan,
     spec: TaskSpec,
@@ -484,6 +553,7 @@ def _run_task_cells(
     stop_rule: Optional[StoppingRule] = None,
     checkpoint_every: int = 1,
     on_snapshot=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> None:
     task_fp = spec.fingerprint()
     cell_ids = {
@@ -502,6 +572,8 @@ def _run_task_cells(
             utility = spec.build(store)
             if plan.n_workers > 1 or plan.backend is not None:
                 utility.set_n_workers(plan.n_workers, plan.backend)
+            if telemetry is not None:
+                utility.set_telemetry(telemetry)
         for algorithm_name in plan.algorithms:
             this_cell = cell_ids[algorithm_name]
             recorded = manifest["cells"].get(this_cell)
@@ -523,22 +595,39 @@ def _run_task_cells(
             # making `evaluations` the cell's *incremental* training cost.
             utility.reset_cache()
             store_hits_before = utility.store_hits
+            cache_hits_before = utility.cache_hits
             trainings_before = utility.evaluations
             say(f"running {spec.label()} × {algorithm_name}")
-            try:
-                result = _execute_cell(
-                    algorithm,
-                    utility,
-                    spec,
-                    algorithm_name,
-                    run_dir,
-                    this_cell,
-                    report,
-                    say,
-                    stop_rule,
-                    checkpoint_every,
-                    on_snapshot,
+            cell_observer = on_snapshot
+            telemetry_before: Optional[dict] = None
+            if telemetry is not None:
+                telemetry_before = telemetry.snapshot()
+                cell_observer = _snapshot_interval_observer(telemetry, on_snapshot)
+            cell_span = (
+                telemetry.span(
+                    "pipeline.cell",
+                    cell=this_cell,
+                    task=spec.label(),
+                    algorithm=algorithm_name,
                 )
+                if telemetry is not None
+                else nullcontext()
+            )
+            try:
+                with cell_span:
+                    result = _execute_cell(
+                        algorithm,
+                        utility,
+                        spec,
+                        algorithm_name,
+                        run_dir,
+                        this_cell,
+                        report,
+                        say,
+                        stop_rule,
+                        checkpoint_every,
+                        cell_observer,
+                    )
             except (TypeError, ValueError) as error:
                 cell = {
                     "status": "skipped",
@@ -564,15 +653,23 @@ def _run_task_cells(
             }
             result_file = os.path.join(RESULTS_DIR, f"{this_cell}.json")
             _write_json(os.path.join(run_dir, result_file), payload)
-            manifest["cells"][this_cell] = {
+            cell_record = {
                 "status": "done",
                 "algorithm": algorithm_name,
                 "task": spec.label(),
                 "task_fingerprint": task_fp,
                 "result_file": result_file,
             }
+            if telemetry is not None and telemetry_before is not None:
+                # Metric deltas attributable to this cell (counters/histogram
+                # counts since the cell started).  Purely descriptive — a
+                # resume never reads this block back.
+                cell_record["telemetry"] = telemetry.delta_since(telemetry_before)
+            manifest["cells"][this_cell] = cell_record
             manifest["updated_at"] = time.time()  # repro: allow[RPR002] reason=manifest telemetry
             _write_json(os.path.join(run_dir, MANIFEST_NAME), manifest)
+            if telemetry is not None:
+                telemetry.flush()
             # The cell is durably recorded; its mid-run checkpoint is obsolete.
             _drop_checkpoint(run_dir, this_cell)
             report.cells_run += 1
@@ -587,9 +684,14 @@ def _run_task_cells(
             else:
                 report.fl_trainings += int(result.utility_evaluations)
             report.store_hits += int(payload["store_hits"])
+            report.cache_hits += int(utility.cache_hits - cache_hits_before)
             results[algorithm_name] = payload
     finally:
         if utility is not None:
+            for backend_name, count in getattr(utility, "batch_counts", {}).items():
+                report.batch_counts[backend_name] = (
+                    report.batch_counts.get(backend_name, 0) + int(count)
+                )
             fallback = getattr(utility.executor, "last_fallback_reason", None)
             if fallback:
                 # A requested vectorized backend that cannot engage runs the

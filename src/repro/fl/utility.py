@@ -153,6 +153,25 @@ class CoalitionUtility:
         self._oracle.set_n_workers(n_workers, executor)
 
     # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    @property
+    def telemetry(self):
+        """The attached :class:`~repro.telemetry.Telemetry` handle, if any."""
+        return self._oracle.telemetry
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach (or detach with ``None``) telemetry across the oracle stack.
+
+        Forwards to :meth:`BatchUtilityOracle.set_telemetry`: the cache, the
+        executor and (when attached) the persistent store all pick it up.
+        Observational only — values, seeds and store keys are unaffected.
+        """
+        self._oracle.set_telemetry(telemetry)
+        if self._oracle.store is not None:
+            self._oracle.store.set_telemetry(telemetry)
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     @property
@@ -198,6 +217,11 @@ class CoalitionUtility:
     def store_hits(self) -> int:
         """Utilities served by the persistent store (zero trainings each)."""
         return self._oracle.store_hits
+
+    @property
+    def batch_counts(self) -> dict[str, int]:
+        """Batches dispatched per executor backend (see the oracle)."""
+        return self._oracle.batch_counts
 
     @property
     def modeled_time(self) -> float:

@@ -37,12 +37,16 @@ serial path in :class:`~repro.parallel.executors.VectorizedExecutor`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.fl.federation import FederatedTrainer
+from repro.telemetry import SIZE_BUCKETS
 from repro.utils.rng import RandomState, spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 #: guaranteed absolute utility agreement between the vectorized and serial
 #: backends (the measured divergence is ~0: see docs/performance.md)
@@ -140,6 +144,11 @@ class VectorizedCoalitionTrainer:
         :data:`DEFAULT_MEMORY_FRACTION` of available RAM; chunk boundaries
         are seed-for-seed value-invariant (per-coalition seeds), so any
         budget produces bitwise-identical utilities.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle; each stacked
+        chunk then runs inside a ``vectorized.chunk`` span with its size and
+        estimated bytes attached.  Observational only — chunk planning,
+        seeds and values are identical with or without it.
     """
 
     def __init__(
@@ -147,6 +156,7 @@ class VectorizedCoalitionTrainer:
         trainer: FederatedTrainer,
         chunk_size: int = 64,
         max_batch_bytes: Optional[int] = None,
+        telemetry: "Optional[Telemetry]" = None,
     ) -> None:
         blocker = vectorization_blocker(trainer)
         if blocker is not None:
@@ -157,10 +167,15 @@ class VectorizedCoalitionTrainer:
         self.model = trainer._probe
         self.chunk_size = int(chunk_size)
         self.max_batch_bytes = resolve_batch_budget(max_batch_bytes)
+        self.telemetry = telemetry
         # Per dataset size: stacked (features, targets, client → row) over
         # *all* non-empty clients of that size; built lazily, reused by every
         # batch (client data never changes under a trainer).
         self._stacks: Optional[dict] = None
+
+    def set_telemetry(self, telemetry: "Optional[Telemetry]") -> None:
+        """Attach (or detach with ``None``) the telemetry handle."""
+        self.telemetry = telemetry
 
     @property
     def n_clients(self) -> int:
@@ -182,9 +197,24 @@ class VectorizedCoalitionTrainer:
             if invalid:
                 raise ValueError(f"unknown client ids in coalition: {invalid}")
         values: List[float] = []
+        telemetry = self.telemetry
         for chunk in self.plan_chunks(keys):
-            parameters = self.train_parameters(chunk)
-            evaluated = self.model.batch_evaluate(parameters, self.trainer.test_dataset)
+            if telemetry is not None:
+                with telemetry.span(
+                    "vectorized.chunk",
+                    size=len(chunk),
+                    est_bytes=self.estimated_batch_bytes(chunk),
+                ):
+                    telemetry.observe("vectorized.chunk_size", len(chunk), SIZE_BUCKETS)
+                    parameters = self.train_parameters(chunk)
+                    evaluated = self.model.batch_evaluate(
+                        parameters, self.trainer.test_dataset
+                    )
+            else:
+                parameters = self.train_parameters(chunk)
+                evaluated = self.model.batch_evaluate(
+                    parameters, self.trainer.test_dataset
+                )
             values.extend(float(v) for v in evaluated)
         return values
 

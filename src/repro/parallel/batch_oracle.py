@@ -38,6 +38,7 @@ from repro.parallel.executors import (
     make_executor,
 )
 from repro.store import StoreLike, UtilityStore, resolve_store
+from repro.telemetry import SIZE_BUCKETS, Telemetry
 from repro.utils.cache import UtilityCache
 
 
@@ -87,6 +88,13 @@ class BatchUtilityOracle:
     store_namespace:
         Content-address namespace (task fingerprint) for this oracle's
         coalitions; required to be collision-free across different tasks.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle.  When present,
+        batches run inside ``oracle.batch`` spans, batch sizes feed the
+        ``executor.batch_size`` histogram, the cache records hit/miss/latency
+        metrics, and process-backend workers emit per-evaluation spans into
+        the run journal.  ``None`` (default) disables all of it; telemetry
+        never influences values, ordering, seeds or store keys.
     """
 
     def __init__(
@@ -98,6 +106,7 @@ class BatchUtilityOracle:
         cache: Optional[UtilityCache] = None,
         store: StoreLike = None,
         store_namespace: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if n_clients is None:
             n_clients = getattr(evaluator, "n_clients", None)
@@ -105,6 +114,11 @@ class BatchUtilityOracle:
         self._evaluator = evaluator
         self._cache = cache if cache is not None else UtilityCache(evaluator=evaluator)
         self._owns_store = False
+        self._telemetry = telemetry
+        self._cache.set_telemetry(telemetry)
+        # Deterministic accounting (not telemetry): batches dispatched per
+        # backend, feeding the CLI report's `accounting` block.
+        self._batch_counts: dict[str, int] = {}
         if store is not None or store_namespace is not None:
             self.attach_store(store, store_namespace)
         self.set_n_workers(n_workers, executor)
@@ -143,6 +157,16 @@ class BatchUtilityOracle:
         keys = coalition_batch_keys(coalitions)
         if not keys:
             return {}
+        backend = self._executor.name
+        self._batch_counts[backend] = self._batch_counts.get(backend, 0) + 1
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._evaluate_keys(keys)
+        with telemetry.span("oracle.batch", backend=backend, size=len(keys)):
+            telemetry.observe("executor.batch_size", len(keys), SIZE_BUCKETS)
+            return self._evaluate_keys(keys)
+
+    def _evaluate_keys(self, keys: list[frozenset]) -> dict[frozenset, float]:
         if self._executor.shares_memory:
             # The cache is concurrency-safe and single-flight, so workers can
             # evaluate straight through it: hits are counted, concurrent
@@ -163,7 +187,15 @@ class BatchUtilityOracle:
             else:
                 results[key] = cached
         if pending:
-            values = self._executor.map_utilities(self._evaluator, pending)
+            evaluator = self._evaluator
+            if self._telemetry is not None and self._executor.name == "process":
+                # Worker processes cannot reach the tracer, but the journal
+                # pickles down to its path — wrap the evaluator so each
+                # worker evaluation lands as a `worker.eval` span parented
+                # under this batch.  The wrapper returns the evaluator's
+                # float unchanged, so values stay bitwise-identical.
+                evaluator = self._telemetry.wrap_worker_evaluator(evaluator)
+            values = self._executor.map_utilities(evaluator, pending)
             for key, value in zip(pending, values):
                 results[key] = self._cache.store(key, value)
         return {key: results[key] for key in keys}
@@ -197,8 +229,24 @@ class BatchUtilityOracle:
                 executor = previous  # custom instance: keep verbatim
         self._n_workers = int(n_workers)
         self._executor = make_executor(executor, self._n_workers)
+        self._executor.set_telemetry(self._telemetry)
         if previous is not None and previous is not self._executor:
             previous.close()  # release any worker pool the old backend held
+
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        return self._telemetry
+
+    def set_telemetry(self, telemetry: Optional[Telemetry]) -> None:
+        """Attach (or detach with ``None``) telemetry across the whole stack.
+
+        Propagates to the cache (hit/miss/latency metrics) and the active
+        executor (vectorized chunk spans).  Purely observational — see the
+        fingerprint-neutrality contract in :mod:`repro.telemetry`.
+        """
+        self._telemetry = telemetry
+        self._cache.set_telemetry(telemetry)
+        self._executor.set_telemetry(telemetry)
 
     def close(self) -> None:
         """Release worker pools and any store handle this oracle opened.
@@ -272,6 +320,15 @@ class BatchUtilityOracle:
     def store_hits(self) -> int:
         """Lookups served by the persistent tier (zero trainings each)."""
         return self._cache.stats.store_hits
+
+    @property
+    def batch_counts(self) -> dict[str, int]:
+        """Batches dispatched per executor backend since construction.
+
+        Plain deterministic accounting (kept even with telemetry disabled);
+        survives :meth:`reset_cache` so a multi-cell run reports totals.
+        """
+        return dict(self._batch_counts)
 
     def reset_cache(self) -> None:
         """Drop the in-memory tier (the persistent store, if any, survives)."""

@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import abc
 import concurrent.futures
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 Evaluator = Callable[[frozenset], float]
 
@@ -57,11 +60,23 @@ class CoalitionExecutor(abc.ABC):
     #: executors may leave the default
     name: str = "custom"
 
+    #: optional :class:`~repro.telemetry.Telemetry` handle (observational
+    #: only; never consulted for values, seeds or ordering)
+    telemetry: "Optional[Telemetry]" = None
+
     @abc.abstractmethod
     def map_utilities(
         self, evaluator: Evaluator, coalitions: Sequence[frozenset]
     ) -> list[float]:
         """Return ``[evaluator(c) for c in coalitions]``, possibly in parallel."""
+
+    def set_telemetry(self, telemetry: "Optional[Telemetry]") -> None:
+        """Attach (or detach with ``None``) a telemetry handle.
+
+        The base implementation just stores it; backends that own inner
+        engines (vectorized) propagate it further.
+        """
+        self.telemetry = telemetry
 
     def close(self) -> None:
         """Release any worker resources (no-op for stateless executors)."""
@@ -203,11 +218,14 @@ class VectorizedExecutor(CoalitionExecutor):
         from repro.fl.vectorized import VectorizedCoalitionTrainer
 
         if self._trainer_cache is not None and self._trainer_cache[0] is trainer:
-            return self._trainer_cache[1]
+            engine = self._trainer_cache[1]
+            engine.set_telemetry(self.telemetry)
+            return engine
         engine = VectorizedCoalitionTrainer(
             trainer,
             chunk_size=self.chunk_size,
             max_batch_bytes=self.max_batch_bytes,
+            telemetry=self.telemetry,
         )
         self._trainer_cache = (trainer, engine)
         return engine

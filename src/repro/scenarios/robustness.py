@@ -205,6 +205,7 @@ def run_robustness(
     stop_rule=None,
     checkpoint_every: int = 1,
     on_snapshot=None,
+    telemetry=None,
 ) -> RobustnessReport:
     """Run an algorithm × scenario grid and score every cell's robustness.
 
@@ -215,7 +216,8 @@ def run_robustness(
     vector is scored.  Cells the pipeline skipped (inapplicable algorithms)
     surface as ``status: "skipped"`` rows.
 
-    ``stop_rule`` / ``checkpoint_every`` / ``on_snapshot`` are forwarded to
+    ``stop_rule`` / ``checkpoint_every`` / ``on_snapshot`` / ``telemetry``
+    are forwarded to
     :func:`~repro.experiments.pipeline.run_plan`: cells can stop early on a
     convergence rule (their robustness is then scored on the early-stopped
     values) and interrupted cells resume from their estimator checkpoints.
@@ -240,6 +242,7 @@ def run_robustness(
         stop_rule=stop_rule,
         checkpoint_every=checkpoint_every,
         on_snapshot=on_snapshot,
+        telemetry=telemetry,
     )
     manifest = load_manifest(run_dir)
 

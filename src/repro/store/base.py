@@ -21,9 +21,13 @@ import abc
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
 
 from repro.store.fingerprint import key_namespace
+from repro.telemetry import BYTES_BUCKETS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -81,6 +85,16 @@ class UtilityStore(abc.ABC):
         self.stats = StoreStats()
         self._lock = threading.RLock()
         self._closed = False
+        self.telemetry: "Optional[Telemetry]" = None
+
+    def set_telemetry(self, telemetry: "Optional[Telemetry]") -> None:
+        """Attach (or detach with ``None``) a telemetry handle.
+
+        Observational only: the handle feeds the ``store.put_bytes``
+        histogram; it never influences keys, values or placement.
+        """
+        with self._lock:
+            self.telemetry = telemetry
 
     # ------------------------------------------------------------------ #
     # Core mapping interface
@@ -115,7 +129,9 @@ class UtilityStore(abc.ABC):
         with self._lock:
             self._check_open()
             self.stats.puts += 1
-            self._write(key, value)
+            written = self._write(key, value)
+            if self.telemetry is not None and written:
+                self.telemetry.observe("store.put_bytes", written, BYTES_BUCKETS)
 
     def get_many(self, keys: Iterable[str]) -> Dict[str, float]:
         """Batch read; only present (readable) keys appear in the result."""
@@ -144,7 +160,13 @@ class UtilityStore(abc.ABC):
     # Maintenance
     # ------------------------------------------------------------------ #
     def summary(self) -> dict:
-        """Describe the store: backend, location, entry counts per namespace."""
+        """Describe the store: backend, location, entry counts per namespace.
+
+        ``namespace_bytes`` maps each namespace to its on-disk byte size when
+        the backend can attribute bytes to records (JSONL: actual line
+        lengths; SQLite: row-payload estimates) and is ``None`` for backends
+        that cannot (memory).
+        """
         with self._lock:
             self._check_open()
             namespaces: Dict[str, int] = {}
@@ -156,6 +178,7 @@ class UtilityStore(abc.ABC):
                 "location": self.location,
                 "entries": sum(namespaces.values()),
                 "namespaces": namespaces,
+                "namespace_bytes": self._namespace_sizes(),
                 "size_bytes": self._size_bytes(),
             }
 
@@ -202,7 +225,8 @@ class UtilityStore(abc.ABC):
     def _read(self, key: str) -> Optional[float]: ...
 
     @abc.abstractmethod
-    def _write(self, key: str, value: float) -> None: ...
+    def _write(self, key: str, value: float) -> int:
+        """Persist one record; returns the on-disk bytes it cost (0 if unknown)."""
 
     @abc.abstractmethod
     def _count(self) -> int: ...
@@ -215,6 +239,10 @@ class UtilityStore(abc.ABC):
 
     def _size_bytes(self) -> int:
         return 0
+
+    def _namespace_sizes(self) -> Optional[Dict[str, int]]:
+        """Per-namespace on-disk bytes, or ``None`` when not attributable."""
+        return None
 
     def _close(self) -> None: ...
 
@@ -238,8 +266,9 @@ class MemoryUtilityStore(UtilityStore):
     def _read(self, key: str) -> Optional[float]:
         return self._data.get(key)
 
-    def _write(self, key: str, value: float) -> None:
+    def _write(self, key: str, value: float) -> int:
         self._data[key] = value
+        return 0  # nothing touches disk
 
     def _count(self) -> int:
         return len(self._data)

@@ -136,7 +136,7 @@ class JsonlUtilityStore(UtilityStore):
             value = shard.index.get(key)
         return value
 
-    def _write(self, key: str, value: float) -> None:
+    def _write(self, key: str, value: float) -> int:
         shard = self._shard_for(key)
         line = json.dumps(
             # Entry timestamps aid store forensics; keys and values are
@@ -148,6 +148,7 @@ class JsonlUtilityStore(UtilityStore):
         with open(shard.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
         shard.index[key] = float(value)
+        return len(line.encode("utf-8")) + 1  # the appended line incl. newline
 
     def _count(self) -> int:
         return len(self._full_index())
@@ -170,6 +171,31 @@ class JsonlUtilityStore(UtilityStore):
             except OSError:
                 pass
         return total
+
+    def _namespace_sizes(self) -> Dict[str, int]:
+        """Actual on-disk bytes per namespace (supersesed duplicates included).
+
+        Attributes each valid record line (plus its newline) to its key's
+        namespace — that is what the namespace really occupies on disk until
+        a :meth:`gc` rewrite.  Corrupt lines belong to no namespace and are
+        simply not attributed.
+        """
+        sizes: Dict[str, int] = {}
+        for shard in self._all_shards():
+            try:
+                with open(shard.path, "rb") as handle:
+                    raw = handle.read()
+            except OSError:
+                continue
+            for line in raw.splitlines():
+                if not line.strip():
+                    continue
+                parsed = _parse_record(line)
+                if parsed is None:
+                    continue
+                ns = key_namespace(parsed[0])
+                sizes[ns] = sizes.get(ns, 0) + len(line) + 1
+        return sizes
 
     def _gc(self, keep_namespace: Optional[str]) -> GCResult:
         result = GCResult()

@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 import sqlite3
 import time
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.store.base import GCResult, UtilityStore
 from repro.store.fingerprint import key_namespace
@@ -29,6 +29,19 @@ CREATE TABLE IF NOT EXISTS utilities (
 );
 CREATE INDEX IF NOT EXISTS idx_utilities_namespace ON utilities (namespace);
 """
+
+
+def _row_bytes_estimate(key: str) -> int:
+    """Estimated on-disk payload of one ``utilities`` row.
+
+    SQLite record = key text + namespace text (the key's prefix) + two
+    8-byte REALs + ~8 bytes of header/serial-type overhead.  An estimate is
+    the honest best here: real page-level cost depends on B-tree fill and
+    WAL state, which no per-row accounting can see.
+    """
+    key_bytes = len(key.encode("utf-8"))
+    namespace_bytes = len(key_namespace(key).encode("utf-8"))
+    return key_bytes + namespace_bytes + 16 + 8
 
 
 class SqliteUtilityStore(UtilityStore):
@@ -72,7 +85,7 @@ class SqliteUtilityStore(UtilityStore):
             return None
         return value
 
-    def _write(self, key: str, value: float) -> None:
+    def _write(self, key: str, value: float) -> int:
         self._connection.execute(
             "INSERT OR REPLACE INTO utilities (key, namespace, value, created_at) "
             "VALUES (?, ?, ?, ?)",
@@ -82,6 +95,7 @@ class SqliteUtilityStore(UtilityStore):
             (key, key_namespace(key), float(value), time.time()),
         )
         self._connection.commit()
+        return _row_bytes_estimate(key)
 
     def _count(self) -> int:
         row = self._connection.execute("SELECT COUNT(*) FROM utilities").fetchone()
@@ -98,6 +112,16 @@ class SqliteUtilityStore(UtilityStore):
             return os.path.getsize(self.path)
         except OSError:
             return 0
+
+    def _namespace_sizes(self) -> Dict[str, int]:
+        """Estimated row-payload bytes per namespace (see `_row_bytes_estimate`)."""
+        sizes: Dict[str, int] = {}
+        rows: List[tuple] = self._connection.execute(
+            "SELECT namespace, key FROM utilities"
+        ).fetchall()
+        for namespace, key in rows:
+            sizes[namespace] = sizes.get(namespace, 0) + _row_bytes_estimate(key)
+        return sizes
 
     def _gc(self, keep_namespace: Optional[str]) -> GCResult:
         result = GCResult()

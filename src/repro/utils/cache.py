@@ -30,11 +30,13 @@ benchmark campaign report exactly how much training it actually re-paid.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store import UtilityStore
+    from repro.telemetry import Telemetry
 
 #: sentinel distinguishing "absent" from a cached value
 _MISSING = object()
@@ -98,6 +100,7 @@ class UtilityCache:
     max_size: Optional[int] = None
     persistent: Optional["UtilityStore"] = None
     namespace: str = "default"
+    telemetry: Optional["Telemetry"] = field(default=None, repr=False)
     _store: Dict[frozenset, float] = field(default_factory=dict)
     stats: CacheStats = field(default_factory=CacheStats)
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
@@ -119,6 +122,16 @@ class UtilityCache:
             self.persistent = persistent
             if namespace is not None:
                 self.namespace = namespace
+
+    def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        """Attach (or detach with ``None``) the telemetry handle.
+
+        Telemetry observes lookups and evaluation latency only — it never
+        influences keys, values or eviction, so attaching it cannot change
+        what any caller computes (the fingerprint-neutrality contract).
+        """
+        with self._lock:
+            self.telemetry = telemetry
 
     def _persistent_key(self, key: frozenset) -> str:
         from repro.store.fingerprint import utility_key
@@ -150,6 +163,8 @@ class UtilityCache:
                 cached = self._store.get(key, _MISSING)
                 if cached is not _MISSING:
                     self.stats.hits += 1
+                    if self.telemetry is not None:
+                        self.telemetry.count("cache.hit")
                     return cached
                 event = self._in_flight.get(key)
                 if event is None:
@@ -167,11 +182,20 @@ class UtilityCache:
                 # counter and is promoted into the memory tier for free.
                 with self._lock:
                     self.stats.store_hits += 1
+                    if self.telemetry is not None:
+                        self.telemetry.count("store.hit")
                     self._insert(key, stored, count_miss=False)
                     del self._in_flight[key]
                 event.set()
                 return stored
-            value = float(self.evaluator(key))
+            if self.telemetry is not None:
+                if self.persistent is not None:
+                    self.telemetry.count("store.miss")
+                t0 = time.perf_counter()
+                value = float(self.evaluator(key))
+                self.telemetry.observe("utility.eval_seconds", time.perf_counter() - t0)
+            else:
+                value = float(self.evaluator(key))
             # Inside the try: a failing store write (disk full, lock timeout)
             # must still release the in-flight entry, or every later lookup
             # of this coalition would block forever on the unset event.
@@ -220,12 +244,18 @@ class UtilityCache:
             cached = self._store.get(key, _MISSING)
             if cached is not _MISSING:
                 self.stats.hits += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("cache.hit")
                 return cached
         stored = self._persistent_get(key)
         if stored is None:
+            if self.telemetry is not None and self.persistent is not None:
+                self.telemetry.count("store.miss")
             return None
         with self._lock:
             self.stats.store_hits += 1
+            if self.telemetry is not None:
+                self.telemetry.count("store.hit")
             self._insert(key, stored, count_miss=False)
         return stored
 

@@ -1,0 +1,172 @@
+"""CLI surface of the telemetry subsystem: trace, stats, flags, columns."""
+
+import json
+
+from repro.cli import main
+
+TASK_FLAGS = [
+    "--task", "adult",
+    "--model", "logistic",
+    "--n-clients", "3",
+    "--scale", "tiny",
+    "--seed", "0",
+    "--algorithms", "MC-Shapley,IPSS",
+]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def _run_values(run_dir):
+    """cell id → value vector for every done cell, read from the result files."""
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    values = {}
+    for cell_id, cell in manifest["cells"].items():
+        if cell.get("status") != "done":
+            continue
+        payload = json.loads((run_dir / cell["result_file"]).read_text())
+        values[cell_id] = payload["result"]["values"]
+    assert values
+    return values
+
+
+def finished_run(capsys, tmp_path, *extra):
+    run_dir = str(tmp_path / "run")
+    code, _ = run_cli(
+        capsys,
+        "run", "--run-dir", run_dir,
+        "--store", str(tmp_path / "store.sqlite"),
+        *TASK_FLAGS, *extra,
+    )
+    assert code == 0
+    return run_dir
+
+
+class TestTraceCommand:
+    def test_renders_span_tree_and_critical_path(self, capsys, tmp_path):
+        run_dir = finished_run(capsys, tmp_path)
+        code, out = run_cli(capsys, "trace", run_dir)
+        assert code == 0
+        assert "pipeline.run" in out
+        assert "pipeline.cell" in out
+        assert "oracle.batch" in out
+        assert "critical path:" in out
+
+    def test_json_output_nests_spans(self, capsys, tmp_path):
+        run_dir = finished_run(capsys, tmp_path)
+        code, out = run_cli(capsys, "trace", run_dir, "--json")
+        payload = json.loads(out)
+        assert code == 0
+        (root,) = payload["spans"]
+        assert root["name"] == "pipeline.run"
+        assert {child["name"] for child in root["children"]} == {"pipeline.cell"}
+        assert payload["critical_path"][0]["name"] == "pipeline.run"
+
+    def test_max_children_collapses_siblings(self, capsys, tmp_path):
+        run_dir = finished_run(capsys, tmp_path)
+        code, out = run_cli(capsys, "trace", run_dir, "--max-children", "1")
+        assert code == 0
+        assert "more," in out
+
+    def test_missing_journal_is_a_clean_error(self, capsys, tmp_path):
+        run_dir = finished_run(capsys, tmp_path, "--no-telemetry")
+        code, _ = run_cli(capsys, "trace", run_dir)
+        assert code == 2
+
+
+class TestStatsCommand:
+    def test_renders_metric_table(self, capsys, tmp_path):
+        run_dir = finished_run(capsys, tmp_path)
+        code, out = run_cli(capsys, "stats", run_dir)
+        assert code == 0
+        assert "utility.eval_seconds" in out
+        assert "executor.batch_size" in out
+        assert "p99" in out
+
+    def test_json_output_is_summaries(self, capsys, tmp_path):
+        run_dir = finished_run(capsys, tmp_path)
+        code, out = run_cli(capsys, "stats", run_dir, "--json")
+        payload = json.loads(out)
+        assert code == 0
+        assert payload["utility.eval_seconds"]["count"] == 8
+        assert payload["store.miss"] == 8.0
+
+    def test_prometheus_export(self, capsys, tmp_path):
+        run_dir = finished_run(capsys, tmp_path)
+        code, out = run_cli(capsys, "stats", run_dir, "--prometheus")
+        assert code == 0
+        assert "# TYPE repro_utility_eval_seconds histogram" in out
+        assert 'repro_utility_eval_seconds_bucket{le="+Inf"} 8' in out
+
+    def test_missing_journal_is_a_clean_error(self, capsys, tmp_path):
+        code, _ = run_cli(capsys, "stats", str(tmp_path / "never-ran"))
+        assert code == 2
+
+
+class TestNoTelemetryFlag:
+    def test_flag_leaves_no_telemetry_dir(self, capsys, tmp_path):
+        run_dir = finished_run(capsys, tmp_path, "--no-telemetry")
+        assert not (tmp_path / "run" / "telemetry").exists()
+        assert (tmp_path / "run" / "manifest.json").exists()
+
+    def test_default_writes_a_journal(self, capsys, tmp_path):
+        finished_run(capsys, tmp_path)
+        assert (tmp_path / "run" / "telemetry" / "journal.jsonl").exists()
+
+    def test_values_identical_with_and_without(self, capsys, tmp_path):
+        """The CLI face of fingerprint neutrality (CI re-checks via smoke)."""
+        for name, extra in (("on", ()), ("off", ("--no-telemetry",))):
+            code, _ = run_cli(
+                capsys,
+                "run", "--run-dir", str(tmp_path / name), *TASK_FLAGS,
+                *extra, "--json",
+            )
+            assert code == 0
+        assert _run_values(tmp_path / "on") == _run_values(tmp_path / "off")
+
+
+class TestReportAccounting:
+    def test_human_report_prints_accounting_line(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run"),
+            "--store", str(tmp_path / "store.sqlite"), *TASK_FLAGS,
+        )
+        assert code == 0
+        assert "accounting:" in out
+        assert "hit-rate" in out
+        assert "batches serial:" in out
+
+    def test_json_report_carries_accounting_block(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            "run", "--run-dir", str(tmp_path / "run"), *TASK_FLAGS, "--json",
+        )
+        report = json.loads(out)
+        accounting = report["accounting"]
+        assert code == 0
+        assert accounting["evaluations"] == report["fl_trainings"]
+        assert accounting["store_hits"] == report["store_hits"]
+        assert accounting["batch_counts"].get("serial", 0) > 0
+
+
+class TestStoreStatsColumns:
+    def test_per_namespace_bytes_column(self, capsys, tmp_path):
+        store = str(tmp_path / "store.sqlite")
+        finished_run(capsys, tmp_path)
+        code, out = run_cli(capsys, "store", "stats", "--store", store)
+        assert code == 0
+        (row,) = [line for line in out.splitlines() if "coalitions" in line]
+        assert "bytes" in row
+
+    def test_json_summary_gains_namespace_bytes(self, capsys, tmp_path):
+        store = str(tmp_path / "store.sqlite")
+        finished_run(capsys, tmp_path)
+        code, out = run_cli(capsys, "store", "stats", "--store", store, "--json")
+        summary = json.loads(out)
+        assert code == 0
+        assert set(summary["namespace_bytes"]) == set(summary["namespaces"])
+        assert all(size > 0 for size in summary["namespace_bytes"].values())

@@ -1,0 +1,73 @@
+"""Golden-file pin of the --json-stream event schema.
+
+Downstream consumers (dashboards, the service PR on the roadmap) parse these
+events line-by-line; the golden file makes any key rename/removal an explicit,
+reviewed change rather than an accidental one.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "data" / "golden_json_stream_events.json").read_text()
+)
+
+TASK_FLAGS = [
+    "--task", "adult",
+    "--model", "logistic",
+    "--n-clients", "3",
+    "--scale", "tiny",
+    "--seed", "0",
+    "--algorithms", "MC-Shapley,IPSS",
+]
+
+
+def stream_events(capsys, tmp_path, *extra):
+    code = main(
+        ["run", "--run-dir", str(tmp_path / "run"), *TASK_FLAGS, "--json-stream", *extra]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    return [json.loads(line) for line in out.strip().splitlines()]
+
+
+class TestJsonStreamSchema:
+    def test_snapshot_events_match_golden_keys(self, capsys, tmp_path):
+        events = stream_events(capsys, tmp_path)
+        snapshots = [e for e in events if e["event"] == "snapshot"]
+        assert snapshots
+        for snapshot in snapshots:
+            assert sorted(snapshot) == GOLDEN["snapshot_keys"]
+
+    def test_snapshot_events_without_telemetry_drop_only_metrics(
+        self, capsys, tmp_path
+    ):
+        events = stream_events(capsys, tmp_path, "--no-telemetry")
+        snapshots = [e for e in events if e["event"] == "snapshot"]
+        assert snapshots
+        for snapshot in snapshots:
+            assert sorted(snapshot) == GOLDEN["snapshot_keys_without_telemetry"]
+
+    def test_report_event_matches_golden_keys(self, capsys, tmp_path):
+        report = stream_events(capsys, tmp_path)[-1]
+        assert report["event"] == "report"
+        assert sorted(report) == GOLDEN["report_keys"]
+        assert sorted(report["accounting"]) == GOLDEN["accounting_keys"]
+
+    def test_metric_deltas_are_flat_name_to_scalar_or_count_sum(
+        self, capsys, tmp_path
+    ):
+        events = stream_events(capsys, tmp_path)
+        snapshots = [e for e in events if e["event"] == "snapshot"]
+        saw_delta = False
+        for snapshot in snapshots:
+            for name, value in snapshot["metrics"].items():
+                saw_delta = True
+                assert isinstance(name, str)
+                if isinstance(value, dict):
+                    assert sorted(value) == ["count", "sum"]
+                else:
+                    assert isinstance(value, (int, float))
+        assert saw_delta, "expected at least one non-empty metric delta"

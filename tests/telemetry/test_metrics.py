@@ -1,0 +1,212 @@
+"""Tests for the metrics half of the telemetry subsystem."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    BYTES_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SECONDS_BUCKETS,
+    SIZE_BUCKETS,
+    prometheus_text,
+    registry_from_dict,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("store.hit")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_merge_adds(self):
+        counter = Counter("x")
+        counter.inc(3)
+        counter.merge({"kind": "counter", "value": 7.0})
+        assert counter.value == 10.0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("pool")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_merge_keeps_max(self):
+        gauge = Gauge("pool")
+        gauge.set(2)
+        gauge.merge({"kind": "gauge", "value": 5.0})
+        assert gauge.value == 5.0
+
+
+class TestHistogram:
+    def test_buckets_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=[])
+
+    def test_observe_tracks_count_sum_min_max(self):
+        histogram = Histogram("x", buckets=[1.0, 10.0])
+        for value in (0.5, 3.0, 200.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(203.5)
+        assert histogram.min == 0.5
+        assert histogram.max == 200.0
+        # one per bucket, last lands in the implicit overflow bucket
+        assert histogram.counts == [1, 1, 1]
+
+    def test_percentile_empty_is_none(self):
+        assert Histogram("x", buckets=[1.0]).percentile(0.5) is None
+
+    def test_percentile_bounds_validated(self):
+        histogram = Histogram("x", buckets=[1.0])
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.0)
+
+    def test_percentile_clamped_to_observed_range(self):
+        """A single observation must report itself, not a bucket bound."""
+        histogram = Histogram("x", buckets=[1.0, 10.0])
+        histogram.observe(3.0)
+        for q in (0.5, 0.9, 0.99):
+            assert histogram.percentile(q) == 3.0
+
+    def test_percentile_interpolates(self):
+        histogram = Histogram("x", buckets=[10.0, 20.0])
+        for value in (1.0, 2.0, 12.0, 18.0):
+            histogram.observe(value)
+        p50 = histogram.percentile(0.5)
+        assert 1.0 <= p50 <= 10.0  # rank 2 of 4 falls in the first bucket
+        assert histogram.percentile(0.99) <= 18.0
+
+    def test_summary_shape(self):
+        histogram = Histogram("x", buckets=[1.0])
+        histogram.observe(0.5)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "sum", "min", "max", "p50", "p90", "p99"}
+
+    def test_merge_adds_counts(self):
+        left = Histogram("x", buckets=[1.0, 2.0])
+        right = Histogram("x", buckets=[1.0, 2.0])
+        left.observe(0.5)
+        right.observe(1.5)
+        right.observe(9.0)
+        left.merge(right.to_dict())
+        assert left.count == 3
+        assert left.counts == [1, 1, 1]
+        assert left.min == 0.5
+        assert left.max == 9.0
+
+    def test_merge_rejects_different_buckets(self):
+        left = Histogram("x", buckets=[1.0])
+        right = Histogram("x", buckets=[2.0])
+        with pytest.raises(ValueError):
+            left.merge(right.to_dict())
+
+    def test_default_bucket_families_are_sorted(self):
+        for buckets in (SECONDS_BUCKETS, SIZE_BUCKETS, BYTES_BUCKETS):
+            assert list(buckets) == sorted(buckets)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+        with pytest.raises(ValueError):
+            registry.histogram("a")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=[1.0])
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=[2.0])
+
+    def test_roundtrip_through_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("pool").set(4)
+        registry.histogram("lat", buckets=[1.0]).observe(0.5)
+        rebuilt = registry_from_dict(registry.to_dict())
+        assert rebuilt.to_dict() == registry.to_dict()
+        assert rebuilt.names() == ["hits", "lat", "pool"]
+
+    def test_merge_folds_worker_payload(self):
+        parent = MetricsRegistry()
+        parent.counter("hits").inc(1)
+        worker = MetricsRegistry()
+        worker.counter("hits").inc(2)
+        worker.histogram("lat", buckets=[1.0]).observe(0.2)
+        parent.merge(worker.to_dict())
+        assert parent.counter("hits").value == 3.0
+        assert parent.histogram("lat", buckets=[1.0]).count == 1
+
+    def test_summaries_mix_scalars_and_digests(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2)
+        registry.histogram("lat", buckets=[1.0]).observe(0.5)
+        summaries = registry.summaries()
+        assert summaries["hits"] == 2.0
+        assert summaries["lat"]["count"] == 1
+
+    def test_delta_since_reports_changes_and_elides_zeros(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2)
+        registry.counter("misses").inc(1)
+        registry.histogram("lat", buckets=[1.0]).observe(0.5)
+        before = registry.to_dict()
+        registry.counter("hits").inc(3)
+        registry.histogram("lat", buckets=[1.0]).observe(0.25)
+        registry.gauge("pool").set(8)
+        delta = registry.delta_since(before)
+        assert delta["hits"] == 3.0
+        assert "misses" not in delta  # unchanged → elided
+        assert delta["lat"] == {"count": 1, "sum": 0.25}
+        assert delta["pool"] == 8.0
+
+    def test_delta_since_empty_snapshot_is_full_state(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2)
+        assert registry.delta_since({}) == {"hits": 2.0}
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("store.hit").inc(5)
+        registry.gauge("pool-size").set(2)
+        text = prometheus_text(registry.to_dict())
+        assert "# TYPE repro_store_hit counter" in text
+        assert "repro_store_hit 5" in text
+        assert "repro_pool_size 2" in text  # dots and dashes mangled
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=[1.0, 2.0])
+        for value in (0.5, 1.5, 9.0):
+            histogram.observe(value)
+        text = prometheus_text(registry.to_dict())
+        assert '_bucket{le="1"} 1' in text
+        assert '_bucket{le="2"} 2' in text
+        assert '_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_count 3" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text({}) == ""

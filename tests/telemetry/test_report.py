@@ -1,0 +1,146 @@
+"""Tests for journal → span-tree/metric reconstruction and rendering."""
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.report import (
+    build_span_tree,
+    critical_path,
+    format_seconds,
+    load_metrics,
+    render_stats,
+    render_trace,
+)
+
+
+def span(name, span_id, parent=None, start=0.0, dur=1.0, status="ok", attrs=None):
+    record = {
+        "event": "span",
+        "name": name,
+        "span": span_id,
+        "parent": parent,
+        "start": start,
+        "dur_s": dur,
+        "status": status,
+    }
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+class TestBuildSpanTree:
+    def test_links_children_to_parents(self):
+        roots = build_span_tree(
+            [
+                span("child", "p.2", parent="p.1", start=1.0),
+                span("root", "p.1", start=0.0),
+            ]
+        )
+        (root,) = roots
+        assert root.name == "root"
+        assert [child.name for child in root.children] == ["child"]
+
+    def test_orphans_become_roots(self):
+        roots = build_span_tree([span("lost", "p.9", parent="p.gone")])
+        assert [root.name for root in roots] == ["lost"]
+
+    def test_siblings_sorted_by_start(self):
+        roots = build_span_tree(
+            [
+                span("root", "p.1"),
+                span("late", "p.3", parent="p.1", start=5.0),
+                span("early", "p.2", parent="p.1", start=1.0),
+            ]
+        )
+        assert [c.name for c in roots[0].children] == ["early", "late"]
+
+    def test_non_span_records_are_ignored(self):
+        assert build_span_tree([{"event": "metrics", "registry": {}}]) == []
+
+    def test_self_seconds_subtracts_children(self):
+        roots = build_span_tree(
+            [
+                span("root", "p.1", dur=10.0),
+                span("child", "p.2", parent="p.1", dur=4.0),
+            ]
+        )
+        assert roots[0].self_seconds == 6.0
+
+
+class TestCriticalPath:
+    def test_follows_heaviest_children(self):
+        roots = build_span_tree(
+            [
+                span("root", "p.1", dur=10.0),
+                span("light", "p.2", parent="p.1", dur=2.0),
+                span("heavy", "p.3", parent="p.1", dur=7.0),
+                span("leaf", "p.4", parent="p.3", dur=5.0),
+            ]
+        )
+        assert [node.name for node in critical_path(roots)] == ["root", "heavy", "leaf"]
+
+    def test_empty_forest(self):
+        assert critical_path([]) == []
+
+
+class TestLoadMetrics:
+    def test_last_metrics_record_wins(self):
+        first = MetricsRegistry()
+        first.counter("c").inc(1)
+        second = MetricsRegistry()
+        second.counter("c").inc(5)
+        registry = load_metrics(
+            [
+                {"event": "metrics", "registry": first.to_dict()},
+                {"event": "metrics", "registry": second.to_dict()},
+            ]
+        )
+        assert registry.counter("c").value == 5.0
+
+    def test_no_metrics_records_yields_empty_registry(self):
+        assert len(load_metrics([span("s", "p.1")])) == 0
+
+
+class TestRendering:
+    def test_format_seconds_units(self):
+        assert format_seconds(None) == "-"
+        assert format_seconds(2.5) == "2.50s"
+        assert format_seconds(0.0042).endswith("ms")
+        assert format_seconds(0.0000042).endswith("µs")
+
+    def test_render_trace_shows_tree_and_critical_path(self):
+        roots = build_span_tree(
+            [
+                span("root", "p.1", dur=3.0, attrs={"plan": "demo"}),
+                span("child", "p.2", parent="p.1", dur=1.0),
+            ]
+        )
+        text = render_trace(roots)
+        assert "root" in text and "child" in text
+        assert "plan=demo" in text
+        assert "critical path:" in text
+
+    def test_render_trace_collapses_long_sibling_runs(self):
+        records = [span("root", "p.0", dur=10.0)]
+        records += [
+            span("w", f"p.{i}", parent="p.0", start=float(i), dur=0.5)
+            for i in range(1, 21)
+        ]
+        text = render_trace(build_span_tree(records), max_children=3)
+        assert "(+17 more" in text
+        assert text.count("w  ") <= 4
+
+    def test_render_trace_marks_errors(self):
+        text = render_trace(build_span_tree([span("bad", "p.1", status="error")]))
+        assert "!error" in text
+
+    def test_render_stats_formats_by_metric_family(self):
+        registry = MetricsRegistry()
+        registry.counter("store.hit").inc(3)
+        registry.histogram("utility.eval_seconds", buckets=[1.0]).observe(0.002)
+        registry.histogram("executor.batch_size", buckets=[8.0]).observe(4)
+        text = render_stats(registry)
+        assert "store.hit" in text
+        assert "2.0ms" in text  # seconds histograms render as durations
+        assert " 4 " in text  # size histograms render as plain numbers
+
+    def test_render_stats_empty(self):
+        assert "no metrics" in render_stats(MetricsRegistry())
