@@ -22,6 +22,12 @@ Subcommands
     The anytime surface (see docs/anytime.md): early-stop rules per cell
     (``budget:64,ci:0.02,rank:2@top5,wallclock:30``), checkpoint cadence,
     and per-chunk progress/snapshot streaming.
+``repro worker <queue-dir>``
+    Serve a fleet lease queue (see docs/fleet.md): claim coalition batches,
+    evaluate them with a local executor, deposit utilities into the shared
+    persistent store, heartbeat the lease.  Pairs with
+    ``repro run --backend fleet --queue-dir DIR --store PATH`` on any
+    machine that shares the queue directory and store.
 ``repro scenarios list`` / ``repro scenarios show``
     Browse the registered client-behavior scenarios (see docs/scenarios.md).
 ``repro store stats`` / ``repro store gc``
@@ -84,6 +90,7 @@ from repro.core import parse_stopping_rule
 from repro.experiments.reporting import format_table
 from repro.experiments.specs import SYNTHETIC_SETUPS, TaskSpec, available_tasks
 from repro.experiments.tables import robustness_table
+from repro.fleet.coordinator import WORKER_BACKENDS
 from repro.parallel.executors import EXECUTOR_BACKENDS
 from repro.scenarios import available_scenarios, get_scenario, run_robustness
 from repro.store import STORE_BACKENDS, open_store
@@ -139,10 +146,88 @@ def build_parser() -> argparse.ArgumentParser:
         "when --n-workers > 1); 'vectorized' trains whole coalition batches "
         "in lockstep on stacked parameters — see docs/performance.md",
     )
+    run.add_argument(
+        "--queue-dir",
+        help="fleet backend only: shared lease-queue directory (created if "
+        "missing); workers join with `repro worker QUEUE_DIR`",
+    )
+    run.add_argument(
+        "--spawn-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fleet backend only: worker processes the run launches itself "
+        "(default 0: rely on externally started `repro worker` processes)",
+    )
+    run.add_argument(
+        "--worker-backend",
+        choices=WORKER_BACKENDS,
+        help="fleet backend only: executor each worker evaluates with "
+        "(default: serial)",
+    )
+    run.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="fleet backend only: batch lease duration; an expired lease "
+        "requeues the batch for another worker (default 30)",
+    )
     run.add_argument("--resume", action="store_true", help="continue an existing run dir")
     _add_anytime_arguments(run)
     _add_store_arguments(run)
     _add_output_arguments(run)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="serve a fleet lease queue: claim coalition batches, evaluate, "
+        "deposit into the shared store",
+    )
+    worker.add_argument("queue_dir", help="lease-queue directory shared with the run")
+    worker.add_argument(
+        "--backend",
+        choices=WORKER_BACKENDS,
+        default="serial",
+        help="executor used inside this worker (default: serial)",
+    )
+    worker.add_argument(
+        "--n-workers",
+        type=int,
+        default=1,
+        help="concurrency level for this worker's internal executor",
+    )
+    worker.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="lease duration requested per claim (default 30)",
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="sleep between claim attempts when the queue is empty",
+    )
+    worker.add_argument(
+        "--max-batches",
+        type=int,
+        metavar="N",
+        help="exit after serving N batches (default: unlimited)",
+    )
+    worker.add_argument(
+        "--idle-timeout",
+        type=float,
+        metavar="S",
+        help="exit after S seconds without claiming anything",
+    )
+    worker.add_argument(
+        "--stop-when-finished",
+        action="store_true",
+        help="exit once no active runs and no outstanding batches remain",
+    )
+    _add_output_arguments(worker)
 
     resume = subparsers.add_parser("resume", help="finish an interrupted run")
     resume.add_argument("--run-dir", required=True)
@@ -295,14 +380,31 @@ def _open_store_arg(args) -> Optional[object]:
     return open_store(args.store, backend=getattr(args, "store_backend", None))
 
 
+def _fleet_overrides(args) -> dict:
+    """Fleet execution flags, normalised for dataclasses.replace / the plan."""
+    overrides = {}
+    if getattr(args, "queue_dir", None):
+        overrides["queue_dir"] = args.queue_dir
+    if getattr(args, "spawn_workers", 0):
+        overrides["spawn_workers"] = args.spawn_workers
+    if getattr(args, "worker_backend", None):
+        overrides["worker_backend"] = args.worker_backend
+    if getattr(args, "lease_seconds", 30.0) != 30.0:
+        overrides["lease_seconds"] = args.lease_seconds
+    return overrides
+
+
 def _plan_from_args(args) -> ExperimentPlan:
     if args.config:
         with open(args.config, "r", encoding="utf-8") as handle:
             plan = ExperimentPlan.from_dict(json.load(handle))
+        overrides = _fleet_overrides(args)
         if args.backend:
             # Executor choice is machine-local, not plan content: a CLI
             # override neither changes values nor the plan fingerprint.
-            plan = dataclasses.replace(plan, backend=args.backend)
+            overrides["backend"] = args.backend
+        if overrides:
+            plan = dataclasses.replace(plan, **overrides)
         return plan
     task = args.task or "adult"
     spec = TaskSpec(
@@ -318,6 +420,7 @@ def _plan_from_args(args) -> ExperimentPlan:
         algorithms=_algorithms_from_args(args) or DEFAULT_ALGORITHMS,
         n_workers=args.n_workers,
         backend=args.backend,
+        **_fleet_overrides(args),
     )
 
 
@@ -451,6 +554,48 @@ def _cmd_run(args) -> int:
         _emit_report(report, args)
     else:
         _print_report(report, args.json)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    """``repro worker QUEUE_DIR``: serve a fleet lease queue until told to stop."""
+    from repro.fleet.worker import run_worker
+
+    if not os.path.isdir(args.queue_dir):
+        raise ValueError(
+            f"queue directory {args.queue_dir!r} does not exist; start the "
+            "coordinating run (repro run --backend fleet --queue-dir ...) "
+            "first, or create the directory"
+        )
+    quiet = args.json
+    stats = run_worker(
+        args.queue_dir,
+        backend=args.backend,
+        n_workers=args.n_workers,
+        lease_seconds=args.lease_seconds,
+        poll_interval=args.poll_interval,
+        max_batches=args.max_batches,
+        idle_timeout=args.idle_timeout,
+        stop_when_finished=args.stop_when_finished,
+        log=None if quiet else lambda message: print(message, file=sys.stderr),
+    )
+    payload = {
+        "worker_id": stats.worker_id,
+        "batches": stats.batches,
+        "trainings": stats.trainings,
+        "store_hits": stats.store_hits,
+        "released": stats.released,
+        "renewals_lost": stats.renewals_lost,
+        "runs_seen": stats.runs_seen,
+    }
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(
+            f"worker {stats.worker_id}: {stats.batches} batches, "
+            f"{stats.trainings} trainings, {stats.store_hits} store hits, "
+            f"{stats.released} released"
+        )
     return 0
 
 
@@ -751,6 +896,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "resume": _cmd_resume,
+        "worker": _cmd_worker,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "list-tasks": _cmd_list_tasks,

@@ -123,6 +123,13 @@ class ExperimentPlan:
     (:data:`~repro.parallel.executors.EXECUTOR_BACKENDS`; ``None`` keeps the
     oracle's automatic serial/thread choice) and is recorded in the manifest
     alongside ``n_workers``.
+
+    The ``fleet`` backend additionally needs ``queue_dir`` (the shared lease
+    queue directory) and accepts ``spawn_workers`` (worker processes the run
+    launches itself; 0 relies on external ``repro worker`` processes),
+    ``worker_backend`` (each worker's internal executor) and
+    ``lease_seconds``.  All of these are machine-local execution choices —
+    like ``n_workers`` they never enter the plan fingerprint.
     """
 
     tasks: tuple
@@ -130,6 +137,10 @@ class ExperimentPlan:
     name: str = "run"
     n_workers: int = 1
     backend: Optional[str] = None
+    queue_dir: Optional[str] = None
+    spawn_workers: int = 0
+    worker_backend: Optional[str] = None
+    lease_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if not self.tasks:
@@ -147,14 +158,37 @@ class ExperimentPlan:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {EXECUTOR_BACKENDS}"
             )
+        if self.backend == "fleet" and not self.queue_dir:
+            raise ValueError(
+                "backend 'fleet' needs a queue directory (queue_dir= / "
+                "--queue-dir) shared with its workers"
+            )
+        if self.spawn_workers < 0:
+            raise ValueError(
+                f"spawn_workers must be >= 0, got {self.spawn_workers}"
+            )
+        if self.lease_seconds <= 0:
+            raise ValueError(
+                f"lease_seconds must be > 0, got {self.lease_seconds}"
+            )
+        if self.worker_backend is not None:
+            from repro.fleet.coordinator import WORKER_BACKENDS
+
+            if self.worker_backend not in WORKER_BACKENDS:
+                raise ValueError(
+                    f"unknown worker backend {self.worker_backend!r}; "
+                    f"choose from {WORKER_BACKENDS}"
+                )
 
     def fingerprint(self) -> str:
         """Content address of the plan (tasks + algorithms, not concurrency).
 
-        ``n_workers``, ``backend`` and ``name`` are deliberately excluded:
-        resuming a campaign on a beefier machine, under a different label or
-        on a different executor must not invalidate its completed cells —
-        the backends are value-equivalent (see ``docs/performance.md``).
+        ``n_workers``, ``backend``, ``name`` and the fleet execution fields
+        (``queue_dir``, ``spawn_workers``, ``worker_backend``,
+        ``lease_seconds``) are deliberately excluded: resuming a campaign on
+        a beefier machine, under a different label or on a different
+        executor must not invalidate its completed cells — the backends are
+        value-equivalent (see ``docs/performance.md``).
         """
         return fingerprint(
             {
@@ -182,11 +216,29 @@ class ExperimentPlan:
         }
         if self.backend is not None:
             payload["backend"] = self.backend
+        if self.queue_dir is not None:
+            payload["queue_dir"] = self.queue_dir
+        if self.spawn_workers:
+            payload["spawn_workers"] = self.spawn_workers
+        if self.worker_backend is not None:
+            payload["worker_backend"] = self.worker_backend
+        if self.lease_seconds != 30.0:
+            payload["lease_seconds"] = self.lease_seconds
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentPlan":
-        unknown = set(payload) - {"name", "tasks", "algorithms", "n_workers", "backend"}
+        unknown = set(payload) - {
+            "name",
+            "tasks",
+            "algorithms",
+            "n_workers",
+            "backend",
+            "queue_dir",
+            "spawn_workers",
+            "worker_backend",
+            "lease_seconds",
+        }
         if unknown:
             # A typo in a plan file ("algorithm" for "algorithms") must fail
             # loudly, not silently run hours of the default campaign.
@@ -199,6 +251,10 @@ class ExperimentPlan:
             name=payload.get("name", "run"),
             n_workers=int(payload.get("n_workers", 1)),
             backend=payload.get("backend"),
+            queue_dir=payload.get("queue_dir"),
+            spawn_workers=int(payload.get("spawn_workers", 0)),
+            worker_backend=payload.get("worker_backend"),
+            lease_seconds=float(payload.get("lease_seconds", 30.0)),
         )
 
 
@@ -346,6 +402,11 @@ def run_plan(
 
     report = RunReport(run_dir=run_dir, plan=plan)
     opened_store, owns_store = resolve_store(store)
+    if plan.backend == "fleet" and opened_store is None:
+        raise ValueError(
+            "backend 'fleet' needs a persistent utility store shared with "
+            "its workers (--store PATH / store=...)"
+        )
     if telemetry is not None and opened_store is not None:
         opened_store.set_telemetry(telemetry)
     run_span = (
@@ -570,7 +631,23 @@ def _run_task_cells(
     try:
         if pending:
             utility = spec.build(store)
-            if plan.n_workers > 1 or plan.backend is not None:
+            if plan.backend == "fleet":
+                # The fleet backend is not name-constructible (it needs the
+                # queue directory), so build the instance here; the oracle's
+                # bind_store hook then ships the store identity to workers.
+                from repro.fleet.coordinator import FleetExecutor
+
+                utility.set_n_workers(
+                    plan.n_workers,
+                    FleetExecutor(
+                        queue_dir=plan.queue_dir,
+                        spawn_workers=plan.spawn_workers,
+                        worker_backend=plan.worker_backend or "serial",
+                        lease_seconds=plan.lease_seconds,
+                        log=say,
+                    ),
+                )
+            elif plan.n_workers > 1 or plan.backend is not None:
                 utility.set_n_workers(plan.n_workers, plan.backend)
             if telemetry is not None:
                 utility.set_telemetry(telemetry)

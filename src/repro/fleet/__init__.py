@@ -1,0 +1,43 @@
+"""Fleet execution: multi-process/multi-host coalition evaluation.
+
+The package behind the ``fleet`` executor backend (see ``docs/fleet.md``):
+
+* :mod:`repro.fleet.queue` — the durable SQLite lease queue
+  (claim/renew/complete, lease-expiry → requeue, trainings ledger);
+* :mod:`repro.fleet.worker` — the claim → evaluate → deposit → heartbeat
+  loop behind ``repro worker <queue-dir>``;
+* :mod:`repro.fleet.coordinator` — :class:`FleetExecutor`, the
+  :class:`~repro.parallel.executors.CoalitionExecutor` that enqueues an
+  oracle's miss batches and blocks on results deposited through the shared
+  persistent :class:`~repro.store.UtilityStore`;
+* :mod:`repro.fleet.modeled` — the picklable modeled-cost game the fleet
+  benchmark and crash tests evaluate.
+"""
+
+from repro.fleet.coordinator import FleetExecutor, WORKER_BACKENDS, spawn_worker
+from repro.fleet.modeled import ModeledCostEvaluator
+from repro.fleet.queue import (
+    Claim,
+    DEFAULT_MAX_ATTEMPTS,
+    LeaseQueue,
+    QueueCounts,
+    QUEUE_FILENAME,
+    WorkPayload,
+)
+from repro.fleet.worker import WorkerStats, default_worker_id, run_worker
+
+__all__ = [
+    "Claim",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FleetExecutor",
+    "LeaseQueue",
+    "ModeledCostEvaluator",
+    "QueueCounts",
+    "QUEUE_FILENAME",
+    "WORKER_BACKENDS",
+    "WorkPayload",
+    "WorkerStats",
+    "default_worker_id",
+    "run_worker",
+    "spawn_worker",
+]

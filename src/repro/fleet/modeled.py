@@ -1,0 +1,60 @@
+"""A picklable modeled-cost coalition game for fleet tests and benchmarks.
+
+The fleet's scaling story is about *scheduling*: how close the queue gets to
+dividing the paper's per-coalition training cost τ across W workers.  Real
+FL training on the benchmark boxes is CPU-bound, so measuring worker scaling
+with it confounds queue behavior with core count; following the repo's
+worker-scaling benchmark convention (``benchmarks/bench_parallel.py``), the
+per-coalition cost is *modeled* instead — a ``time.sleep(tau)`` that
+occupies a worker without occupying a core — on top of a deterministic
+monotone game, so utilities are exactly reproducible and the measured
+speedup isolates claim/lease/deposit overhead.
+
+Unlike the in-benchmark modeled game, this one is a plain module-level class
+so it pickles by reference — a ``repro worker`` subprocess can unpickle it
+from the queue payload without importing any benchmark file.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+
+class ModeledCostEvaluator:
+    """Deterministic monotone coalition game with a modeled cost τ per call.
+
+    Utilities are a saturating function of seeded per-client weights —
+    monotone, submodular-ish, and bitwise-reproducible for a given
+    ``(n_clients, seed)`` on every process that evaluates them.  ``tau``
+    seconds of sleep model the FL training cost; ``tau=0`` makes the game
+    instantaneous for correctness tests.
+    """
+
+    def __init__(self, n_clients: int = 10, tau: float = 0.0, seed: int = 0) -> None:
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        self.n_clients = int(n_clients)
+        self.tau = float(tau)
+        self.seed = int(seed)
+        # Drawn once at construction from an explicitly seeded generator and
+        # carried inside the pickle, so every unpickled copy plays the exact
+        # same game.
+        self.weights = np.random.default_rng(self.seed).uniform(
+            0.5, 1.5, size=self.n_clients
+        )
+
+    def __call__(self, coalition: Iterable[int]) -> float:
+        if self.tau > 0.0:
+            time.sleep(self.tau)
+        members = sorted(int(c) for c in coalition)
+        total = float(sum(self.weights[m] for m in members))
+        return total / (1.0 + 0.25 * total)
+
+    def utility(self, coalition: Iterable[int]) -> float:
+        return self(coalition)
+
+
+__all__ = ["ModeledCostEvaluator"]

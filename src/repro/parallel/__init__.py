@@ -8,10 +8,12 @@ they need.  This package turns that structure into throughput:
   batches, deduplicates them against a concurrency-safe cache and trains the
   misses concurrently;
 * :mod:`repro.parallel.executors` — the pluggable serial / thread / process /
-  vectorized backends behind it, all order-deterministic.  The vectorized
-  backend trains the whole miss batch in lockstep on stacked parameter
-  matrices (:mod:`repro.fl.vectorized`) instead of spreading per-coalition
-  loops over workers; see ``docs/performance.md`` for the backend matrix.
+  vectorized / fleet backends behind it, all order-deterministic.  The
+  vectorized backend trains the whole miss batch in lockstep on stacked
+  parameter matrices (:mod:`repro.fl.vectorized`); the fleet backend
+  (:mod:`repro.fleet`) drains miss batches through a durable shared lease
+  queue served by independent worker processes/hosts; see
+  ``docs/performance.md`` for the backend matrix.
 
 The valuation algorithms request their coalition batches through
 :meth:`repro.core.base.ValuationAlgorithm._batch_utilities`, which detects

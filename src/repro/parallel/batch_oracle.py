@@ -230,6 +230,9 @@ class BatchUtilityOracle:
         self._n_workers = int(n_workers)
         self._executor = make_executor(executor, self._n_workers)
         self._executor.set_telemetry(self._telemetry)
+        # Store-aware backends (fleet) need the persistent tier's identity to
+        # ship work to sibling processes; a no-op for everyone else.
+        self._executor.bind_store(self._cache.persistent, self._cache.namespace)
         if previous is not None and previous is not self._executor:
             previous.close()  # release any worker pool the old backend held
 
@@ -299,6 +302,9 @@ class BatchUtilityOracle:
         resolved, owned = resolve_store(store)
         self._owns_store = owned
         self._cache.attach_store(resolved, namespace)
+        if getattr(self, "_executor", None) is not None:
+            # Keep store-aware backends (fleet) pointed at the live tier.
+            self._executor.bind_store(self._cache.persistent, self._cache.namespace)
 
     # ------------------------------------------------------------------ #
     # Cost accounting

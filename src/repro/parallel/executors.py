@@ -1,7 +1,7 @@
 """Pluggable execution backends for batched coalition evaluation.
 
 A coalition executor maps an evaluator over a list of coalitions and returns
-the utilities *in input order*.  Four backends are provided:
+the utilities *in input order*.  Five backends are provided:
 
 * :class:`SerialExecutor` — plain loop; the reference semantics.
 * :class:`ThreadPoolExecutor` — concurrent evaluation in threads.  The right
@@ -16,6 +16,13 @@ the utilities *in input order*.  Four backends are provided:
   parallelising per-coalition loops; no workers at all.  Falls back to the
   serial loop for evaluators the vectorized engine cannot handle (plain
   game functions, non-parametric/CNN models, partial client participation).
+* ``FleetExecutor`` (:mod:`repro.fleet.coordinator`, re-exported here) —
+  enqueues miss batches onto a durable shared lease queue and blocks on
+  results deposited through the persistent utility store, so any number of
+  worker *processes or hosts* (``repro worker <queue-dir>``) drain one
+  coalition plan.  Needs a queue directory and a disk-backed store, so
+  :func:`make_executor` cannot conjure one from the bare name — construct
+  it explicitly (or use ``repro run --backend fleet --queue-dir ...``).
 
 All backends are deterministic in *values*: utilities depend only on the
 coalition (per-coalition seeds are content-derived, see
@@ -37,8 +44,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 Evaluator = Callable[[frozenset], float]
 
-#: backend names accepted by :func:`make_executor`
-EXECUTOR_BACKENDS = ("serial", "thread", "process", "vectorized")
+#: registered backend names; all but "fleet" are constructible by
+#: :func:`make_executor` from the bare name (fleet needs a queue directory)
+EXECUTOR_BACKENDS = ("serial", "thread", "process", "vectorized", "fleet")
 
 
 class CoalitionExecutor(abc.ABC):
@@ -77,6 +85,16 @@ class CoalitionExecutor(abc.ABC):
         engines (vectorized) propagate it further.
         """
         self.telemetry = telemetry
+
+    def bind_store(self, store, namespace) -> None:
+        """Receive the oracle's persistent store and namespace.
+
+        The oracle calls this whenever executor or store change.  Most
+        backends ignore it (they see deposits through the oracle's cache);
+        the fleet backend needs it to ship the store's location to worker
+        processes and to read results back.  Observational for everyone
+        else — the base implementation is a no-op.
+        """
 
     def close(self) -> None:
         """Release any worker resources (no-op for stateless executors)."""
@@ -279,6 +297,24 @@ def make_executor(executor: ExecutorLike = None, n_workers: int = 1) -> Coalitio
     if executor == "vectorized":
         # Lockstep training has no workers; n_workers is irrelevant to it.
         return VectorizedExecutor()
+    if executor == "fleet":
+        raise ValueError(
+            "the fleet backend cannot be constructed from its bare name: it "
+            "needs a queue directory (and a disk-backed store).  Construct "
+            "repro.fleet.FleetExecutor(queue_dir=...) and pass the instance, "
+            "or use `repro run --backend fleet --queue-dir DIR --store PATH`"
+        )
     raise ValueError(
         f"unknown executor backend {executor!r}; choose from {EXECUTOR_BACKENDS}"
     )
+
+
+def __getattr__(name: str):
+    # FleetExecutor lives in repro.fleet (which imports this module); the
+    # lazy re-export keeps `from repro.parallel.executors import
+    # FleetExecutor` working without a circular import.
+    if name == "FleetExecutor":
+        from repro.fleet.coordinator import FleetExecutor
+
+        return FleetExecutor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,6 +14,16 @@ sibling worker process become visible without re-reading the whole shard.
 Unparseable lines (a crash mid-append, disk corruption) are counted and
 skipped — never fatal — and :meth:`gc` rewrites shards to shed them along
 with superseded duplicates.
+
+gc vs concurrent writers: a shard rewrite (read → filter → ``os.replace``)
+would silently destroy any line appended between the read and the replace.
+Writers therefore take a *shared* ``flock`` on the shard for the duration of
+each append (re-opening if the inode changed under them), while :meth:`gc`
+takes an *exclusive* lock around the whole rewrite and takes its snapshot
+only after acquiring it — so every record deposited before the rewrite is in
+the snapshot, and every writer that raced it lands on the new file.  On
+platforms without ``fcntl`` the locks degrade to no-ops (single-writer use
+stays correct; concurrent gc is a POSIX-only guarantee).
 """
 
 from __future__ import annotations
@@ -23,6 +33,11 @@ import json
 import os
 import time
 from typing import Dict, Iterable, List, Optional
+
+try:  # pragma: no cover - fcntl exists everywhere the test matrix runs
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.store.base import GCResult, UtilityStore
 from repro.store.fingerprint import key_namespace
@@ -145,10 +160,35 @@ class JsonlUtilityStore(UtilityStore):
             {"key": key, "value": value, "ts": time.time()},
             separators=(",", ":"),
         )
-        with open(shard.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        self._append_record(shard.path, line + "\n")
         shard.index[key] = float(value)
         return len(line.encode("utf-8")) + 1  # the appended line incl. newline
+
+    @staticmethod
+    def _append_record(path: str, text: str) -> None:
+        """Append under a shared flock, surviving a concurrent gc rewrite.
+
+        A gc in another process holds the exclusive lock while it replaces
+        the shard file; acquiring the shared lock therefore waits the rewrite
+        out.  If the inode changed while we waited (our handle points at the
+        replaced, soon-to-be-orphaned file), writing would lose the record —
+        so re-open and retry against the live file instead.
+        """
+        while True:
+            handle = open(path, "a", encoding="utf-8")
+            try:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_SH)
+                    try:
+                        current = os.stat(path)
+                    except OSError:
+                        continue  # shard vanished mid-race; reopen recreates it
+                    if os.fstat(handle.fileno()).st_ino != current.st_ino:
+                        continue  # raced a gc rewrite: retry on the new inode
+                handle.write(text)
+                return
+            finally:
+                handle.close()  # also releases the flock
 
     def _count(self) -> int:
         return len(self._full_index())
@@ -201,34 +241,53 @@ class JsonlUtilityStore(UtilityStore):
         result = GCResult()
         for shard in self._all_shards():
             try:
-                with open(shard.path, "rb") as handle:
-                    raw = handle.read()
+                lock_handle = open(shard.path, "rb")
             except OSError:
                 continue
-            survivors: Dict[str, str] = {}
-            for line in raw.splitlines():
-                if not line.strip():
-                    continue
-                parsed = _parse_record(line)
-                if parsed is None:
-                    result.dropped_corrupt += 1
-                    continue
-                key = parsed[0]
-                if key in survivors:
-                    result.dropped_duplicates += 1
-                if keep_namespace is not None and key_namespace(key) != keep_namespace:
-                    result.dropped_namespaces += 1
-                    survivors.pop(key, None)
-                    continue
-                survivors[key] = line.decode("utf-8")
-            tmp_path = shard.path + ".gc-tmp"
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                for line_text in survivors.values():
-                    handle.write(line_text + "\n")
-            os.replace(tmp_path, shard.path)
-            shard.index = {
-                k: float(json.loads(v)["value"]) for k, v in survivors.items()
-            }
-            shard.offset = os.path.getsize(shard.path)
-            result.kept += len(survivors)
+            try:
+                if fcntl is not None:
+                    # Exclusive lock for the whole read→rewrite→replace
+                    # window: writers (shared lock) block until the rewrite
+                    # is done, and the snapshot below is taken *after* the
+                    # lock — no record deposited before this point can be
+                    # lost, and none can land between snapshot and replace.
+                    fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+                self._gc_shard(shard, keep_namespace, result)
+            finally:
+                lock_handle.close()
         return result
+
+    def _gc_shard(
+        self, shard: _Shard, keep_namespace: Optional[str], result: GCResult
+    ) -> None:
+        try:
+            with open(shard.path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return
+        survivors: Dict[str, str] = {}
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            parsed = _parse_record(line)
+            if parsed is None:
+                result.dropped_corrupt += 1
+                continue
+            key = parsed[0]
+            if key in survivors:
+                result.dropped_duplicates += 1
+            if keep_namespace is not None and key_namespace(key) != keep_namespace:
+                result.dropped_namespaces += 1
+                survivors.pop(key, None)
+                continue
+            survivors[key] = line.decode("utf-8")
+        tmp_path = shard.path + ".gc-tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for line_text in survivors.values():
+                handle.write(line_text + "\n")
+        os.replace(tmp_path, shard.path)
+        shard.index = {
+            k: float(json.loads(v)["value"]) for k, v in survivors.items()
+        }
+        shard.offset = os.path.getsize(shard.path)
+        result.kept += len(survivors)

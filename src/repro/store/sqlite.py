@@ -8,6 +8,14 @@ the content-address determines).
 
 A row whose ``value`` is not a REAL (e.g. hand-edited, or torn by a crash on
 a non-journaling filesystem) reads as a miss and is swept out by :meth:`gc`.
+
+Concurrency: WAL lets readers proceed under a writer, but two simultaneous
+write transactions still contend for the single write lock.  The connection
+sets an explicit ``busy_timeout`` (SQLite blocks instead of failing fast) and
+every write additionally runs under :func:`run_with_busy_retry`, so a fleet
+of worker processes hammering one store file never surfaces a transient
+``SQLITE_BUSY`` to callers — a lock that persists past both layers is a real
+deadlock and does raise.
 """
 
 from __future__ import annotations
@@ -15,10 +23,48 @@ from __future__ import annotations
 import os
 import sqlite3
 import time
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
 from repro.store.base import GCResult, UtilityStore
 from repro.store.fingerprint import key_namespace
+
+_T = TypeVar("_T")
+
+#: write attempts before a busy error surfaces to the caller
+BUSY_RETRIES = 8
+
+#: base pause between busy retries (seconds); scaled linearly per attempt
+BUSY_BACKOFF_SECONDS = 0.05
+
+
+def is_busy_error(error: BaseException) -> bool:
+    """Whether an :class:`sqlite3.OperationalError` is SQLITE_BUSY/LOCKED."""
+    message = str(error).lower()
+    return "database is locked" in message or "database is busy" in message
+
+
+def run_with_busy_retry(
+    operation: Callable[[], _T],
+    retries: int = BUSY_RETRIES,
+    backoff: float = BUSY_BACKOFF_SECONDS,
+) -> _T:
+    """Run ``operation``, absorbing up to ``retries`` SQLITE_BUSY errors.
+
+    The pause grows linearly (``backoff``, ``2*backoff``, ...) so colliding
+    writers spread out instead of retrying in lockstep.  Non-busy operational
+    errors — and a lock still held after the final attempt — propagate: this
+    helper exists to absorb *transient* contention, not to hide deadlocks.
+    """
+    attempts = max(1, int(retries))
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except sqlite3.OperationalError as error:
+            if not is_busy_error(error) or attempt == attempts - 1:
+                raise
+            time.sleep(backoff * (attempt + 1))
+    raise AssertionError("unreachable")  # pragma: no cover
+
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS utilities (
@@ -62,7 +108,14 @@ class SqliteUtilityStore(UtilityStore):
         except sqlite3.DatabaseError:
             pass  # WAL is an optimisation; read-only media still work
         self._connection.execute("PRAGMA synchronous=NORMAL")
-        self._connection.executescript(_SCHEMA)
+        # The connect() timeout only covers the lock waits the sqlite3 module
+        # itself performs; an explicit busy_timeout makes SQLite block (not
+        # fail) inside every statement, which is what many concurrent fleet
+        # workers sharing one store file need.
+        self._connection.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+        run_with_busy_retry(
+            lambda: self._connection.executescript(_SCHEMA)
+        )
         self._connection.commit()
 
     @property
@@ -86,15 +139,23 @@ class SqliteUtilityStore(UtilityStore):
         return value
 
     def _write(self, key: str, value: float) -> int:
-        self._connection.execute(
-            "INSERT OR REPLACE INTO utilities (key, namespace, value, created_at) "
-            "VALUES (?, ?, ?, ?)",
-            # created_at aids store forensics; keys and values are
-            # content-addressed without it.
-            # repro: allow[RPR002] reason=created_at is telemetry, not identity
-            (key, key_namespace(key), float(value), time.time()),
-        )
-        self._connection.commit()
+        def write_row() -> None:
+            try:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO utilities "
+                    "(key, namespace, value, created_at) VALUES (?, ?, ?, ?)",
+                    # created_at aids store forensics; keys and values are
+                    # content-addressed without it.
+                    # repro: allow[RPR002] reason=created_at is telemetry, not identity
+                    (key, key_namespace(key), float(value), time.time()),
+                )
+                self._connection.commit()
+            except sqlite3.OperationalError:
+                # Leave no transaction half-open behind a retry.
+                self._connection.rollback()
+                raise
+
+        run_with_busy_retry(write_row)
         return _row_bytes_estimate(key)
 
     def _count(self) -> int:
@@ -124,18 +185,41 @@ class SqliteUtilityStore(UtilityStore):
         return sizes
 
     def _gc(self, keep_namespace: Optional[str]) -> GCResult:
+        # Concurrent-writer safety: the DELETEs carry their predicates into
+        # the database, so a row deposited *while* gc runs is judged by the
+        # same rules as every other row — a fresh valid entry in the kept
+        # namespace can never be swept just because it post-dates whatever
+        # summary the caller looked at before invoking gc.
         result = GCResult()
-        cursor = self._connection.execute(
-            "DELETE FROM utilities WHERE typeof(value) != 'real'"
-        )
-        result.dropped_corrupt = cursor.rowcount if cursor.rowcount > 0 else 0
-        if keep_namespace is not None:
-            cursor = self._connection.execute(
-                "DELETE FROM utilities WHERE namespace != ?", (keep_namespace,)
-            )
-            result.dropped_namespaces = cursor.rowcount if cursor.rowcount > 0 else 0
-        self._connection.commit()
-        self._connection.execute("VACUUM")
+
+        def sweep() -> None:
+            try:
+                cursor = self._connection.execute(
+                    "DELETE FROM utilities WHERE typeof(value) != 'real'"
+                )
+                result.dropped_corrupt = max(cursor.rowcount, 0)
+                if keep_namespace is not None:
+                    cursor = self._connection.execute(
+                        "DELETE FROM utilities WHERE namespace != ?",
+                        (keep_namespace,),
+                    )
+                    result.dropped_namespaces = max(cursor.rowcount, 0)
+                self._connection.commit()
+            except sqlite3.OperationalError:
+                self._connection.rollback()
+                result.dropped_corrupt = 0
+                result.dropped_namespaces = 0
+                raise
+
+        run_with_busy_retry(sweep)
+        try:
+            run_with_busy_retry(lambda: self._connection.execute("VACUUM"))
+        except sqlite3.OperationalError as error:
+            if not is_busy_error(error):
+                raise
+            # VACUUM needs the file to itself; under live concurrent writers
+            # the deletes above are already durable and space reclaim is
+            # cosmetic, so skip it rather than fail the gc.
         result.kept = self._count()
         return result
 
