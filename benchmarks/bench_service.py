@@ -1,0 +1,224 @@
+"""Benchmark: valuation-service load — N concurrent tenants over HTTP.
+
+Exercises the whole service stack end to end: a :class:`ValuationService`
+with four scheduler workers behind the stdlib HTTP server, N tenants
+submitting the paper's standard IPSS workload (n = 10 clients, γ = 32 from
+Table III) plus an MC-Shapley job each, every job watched over a live SSE
+stream exactly as a real client would.
+
+Per tenant the job mix is:
+
+* one cold IPSS job (tenant-specific seed — nothing cached);
+* one duplicate IPSS submit (store affinity serialises it behind the cold
+  one, which turns it into a warm re-run: zero trainings, all store hits);
+* one MC-Shapley job on a different seed (the long-running tail).
+
+Measured: jobs/sec over the whole burst, p50/p99 first-snapshot latency
+(submit → first SSE ``snapshot`` frame, per job), warm-store hit rate, and
+the maximum number of simultaneously running jobs (sampled via /healthz).
+
+Acceptance: ≥4 jobs progressing concurrently, p99 first-snapshot < 5 s, and
+zero duplicated trainings in the service ledger.  Results land under
+``benchmarks/results/service_load.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.experiments.reporting import format_table
+from repro.service.client import ServiceClient
+from repro.service.scheduler import ValuationService
+from repro.service.server import serve
+
+from conftest import run_once, save_report
+from harness import BenchResult, save_bench_json
+
+N_TENANTS = 4
+WORKERS = 4
+N_CLIENTS = 10  # paper grid: γ = 32 sampling rounds at n = 10
+SAMPLE_SECONDS = 0.02
+
+#: the ISSUE's acceptance gates for the committed results
+MIN_CONCURRENT_JOBS = 4
+MAX_P99_FIRST_SNAPSHOT_SECONDS = 5.0
+
+
+def _task(seed):
+    return {
+        "kind": "synthetic",
+        "setup": "same-size-same-distribution",
+        "n_clients": N_CLIENTS,
+        "seed": seed,
+    }
+
+
+class _JobWatch(threading.Thread):
+    """One client-side SSE stream: records the first-snapshot latency."""
+
+    def __init__(self, client, job_id, submitted_at):
+        super().__init__(name=f"watch-{job_id}", daemon=True)
+        self.client = client
+        self.job_id = job_id
+        self.submitted_at = submitted_at
+        self.first_snapshot_seconds = None
+
+    def run(self):
+        for event in self.client.stream(self.job_id):
+            if event.get("event") == "snapshot" and self.first_snapshot_seconds is None:
+                self.first_snapshot_seconds = time.perf_counter() - self.submitted_at
+            if event.get("event") in ("result", "failed", "cancelled"):
+                return
+
+
+class _ConcurrencySampler(threading.Thread):
+    """Samples /healthz and records the peak number of running jobs."""
+
+    def __init__(self, client):
+        super().__init__(name="concurrency-sampler", daemon=True)
+        self.client = client
+        self.max_running = 0
+        self._done = threading.Event()
+
+    def run(self):
+        while not self._done.wait(SAMPLE_SECONDS):
+            counts = self.client.health()["jobs"]
+            self.max_running = max(self.max_running, counts.get("running", 0))
+
+    def stop(self):
+        self._done.set()
+        self.join(timeout=5.0)
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_load(state_dir):
+    service = ValuationService(str(state_dir), workers=WORKERS).start()
+    server = serve(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.1}, daemon=True
+    )
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    client = ServiceClient(url, timeout=120.0)
+    sampler = _ConcurrencySampler(ServiceClient(url, timeout=30.0))
+    sampler.start()
+    try:
+        started = time.perf_counter()
+        watches = []
+
+        def submit(tenant, task, algorithm):
+            submitted_at = time.perf_counter()
+            record = client.submit(
+                {"task": task, "algorithm": algorithm, "tenant": tenant}
+            )
+            watch = _JobWatch(
+                ServiceClient(url, timeout=120.0), record["job_id"], submitted_at
+            )
+            watch.start()
+            watches.append(watch)
+            return record["job_id"]
+
+        # The short jobs go in first so no worker idles behind the MC tail.
+        for index in range(N_TENANTS):
+            tenant = f"tenant-{index}"
+            submit(tenant, _task(seed=index), "IPSS")
+            submit(tenant, _task(seed=index), "IPSS")  # the warm duplicate
+        for index in range(N_TENANTS):
+            submit(f"tenant-{index}", _task(seed=100 + index), "MC-Shapley")
+
+        job_ids = [watch.job_id for watch in watches]
+        records = {job_id: client.wait(job_id, timeout=300.0) for job_id in job_ids}
+        wall = time.perf_counter() - started
+        for watch in watches:
+            watch.join(timeout=30.0)
+    finally:
+        sampler.stop()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+        total, distinct = service.jobs.training_counts()
+        service.stop()
+
+    assert all(r["status"] == "done" for r in records.values()), {
+        job_id: r["status"] for job_id, r in records.items()
+    }
+    latencies = [w.first_snapshot_seconds for w in watches]
+    assert all(latency is not None for latency in latencies)
+    trainings = sum(r["fl_trainings"] for r in records.values())
+    hits = sum(r["store_hits"] for r in records.values())
+    return {
+        "jobs": len(job_ids),
+        "wall_seconds": wall,
+        "jobs_per_second": len(job_ids) / wall,
+        "first_snapshot_p50_s": _percentile(latencies, 0.50),
+        "first_snapshot_p99_s": _percentile(latencies, 0.99),
+        "max_concurrent_running": sampler.max_running,
+        "fl_trainings": trainings,
+        "store_hits": hits,
+        "warm_hit_rate": hits / (hits + trainings),
+        "ledger_total": total,
+        "ledger_distinct": distinct,
+    }
+
+
+def test_service_load(benchmark, results_dir, tmp_path):
+    measured = run_once(benchmark, _run_load, tmp_path / "state")
+
+    # The ISSUE's gates on the committed numbers.
+    assert measured["max_concurrent_running"] >= MIN_CONCURRENT_JOBS, (
+        f"only {measured['max_concurrent_running']} jobs ever ran concurrently"
+    )
+    assert measured["first_snapshot_p99_s"] < MAX_P99_FIRST_SNAPSHOT_SECONDS, (
+        f"p99 first-snapshot latency {measured['first_snapshot_p99_s']:.2f}s"
+    )
+    assert measured["ledger_total"] == measured["ledger_distinct"], (
+        f"{measured['ledger_total'] - measured['ledger_distinct']} duplicated trainings"
+    )
+
+    benchmark.extra_info.update(measured)
+    text = format_table(
+        [
+            {
+                "workload": f"{N_TENANTS} tenants x 3 jobs",
+                "jobs": measured["jobs"],
+                "jobs/s": f"{measured['jobs_per_second']:.2f}",
+                "p50 first-snap (ms)": f"{measured['first_snapshot_p50_s'] * 1000:.0f}",
+                "p99 first-snap (ms)": f"{measured['first_snapshot_p99_s'] * 1000:.0f}",
+                "max running": measured["max_concurrent_running"],
+                "warm hit rate": f"{measured['warm_hit_rate']:.2f}",
+                "ledger total/distinct": (
+                    f"{measured['ledger_total']}/{measured['ledger_distinct']}"
+                ),
+            }
+        ],
+        title="valuation-service load (HTTP + SSE, stdlib server)",
+    )
+    save_report(results_dir, "service_load", text)
+    save_bench_json(
+        results_dir,
+        "service_load",
+        [
+            BenchResult(
+                name="service-load",
+                config={
+                    "tenants": N_TENANTS,
+                    "workers": WORKERS,
+                    "n_clients": N_CLIENTS,
+                    "job_mix": "IPSS cold + IPSS warm duplicate + MC-Shapley",
+                    "transport": "HTTP + SSE (stdlib server, ephemeral port)",
+                },
+                wall_time_s=measured["wall_seconds"],
+                metrics={
+                    key: value
+                    for key, value in measured.items()
+                    if key != "wall_seconds"
+                },
+            )
+        ],
+    )

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Valuation-service smoke gate (shared by scripts/smoke.sh and CI): start
+# `repro serve`, submit two jobs where the second (higher priority) preempts
+# the first mid-run, SIGKILL the server while the preempted job is running
+# again, restart the server over the same state directory, and assert the
+# recovered job completes with values **bitwise-identical** to a direct
+# `repro run` of the same task — with zero duplicated trainings in the
+# service ledger (COUNT(*) == COUNT(DISTINCT key)).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE_DIR=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+CLI="python -m repro.cli"
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+SLOW_FLAGS="--task synthetic --setup same-size-same-distribution --n-clients 12 --seed 0"
+FAST_FLAGS="--task synthetic --setup same-size-same-distribution --n-clients 5 --seed 1"
+STATE_DIR="$SMOKE_DIR/state"
+
+start_server() {
+    $CLI serve "$STATE_DIR" --port 0 --workers 1 > "$SMOKE_DIR/banner.json" 2>"$SMOKE_DIR/server.log" &
+    SERVER_PID=$!
+    # The first stdout line is a JSON banner carrying the ephemeral port.
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE_DIR/banner.json" ] && break
+        sleep 0.1
+    done
+    URL="http://127.0.0.1:$(head -n1 "$SMOKE_DIR/banner.json" | python -c 'import json,sys; print(json.load(sys.stdin)["port"])')"
+}
+
+# 1. Direct references: what `repro run` computes for each task.
+$CLI run --run-dir "$SMOKE_DIR/ref-slow" $SLOW_FLAGS --algorithms MC-Shapley \
+    --json-stream | tail -n2 | head -n1 > "$SMOKE_DIR/ref-slow.json"
+$CLI run --run-dir "$SMOKE_DIR/ref-fast" $FAST_FLAGS --algorithms MC-Shapley \
+    --json-stream | tail -n2 | head -n1 > "$SMOKE_DIR/ref-fast.json"
+
+# 2. Start the server and submit the slow job.
+start_server
+echo "service smoke: server pid $SERVER_PID at $URL"
+SLOW_JOB=$($CLI submit --url "$URL" $SLOW_FLAGS --algorithm MC-Shapley --json \
+    | python -c 'import json,sys; print(json.load(sys.stdin)["job_id"])')
+
+# 3. Once the slow job is mid-run, submit a higher-priority job: the
+#    scheduler (one worker) must preempt the slow job to serve it.
+python - "$URL" "$SLOW_JOB" <<'EOF'
+import sys, time
+from repro.service.client import ServiceClient
+
+client = ServiceClient(sys.argv[1])
+deadline = time.monotonic() + 60
+while time.monotonic() < deadline:
+    if client.job(sys.argv[2])["status"] == "running":
+        sys.exit(0)
+    time.sleep(0.05)
+sys.exit("service smoke: slow job never started running")
+EOF
+FAST_JOB=$($CLI submit --url "$URL" $FAST_FLAGS --algorithm MC-Shapley --priority 10 --json \
+    | python -c 'import json,sys; print(json.load(sys.stdin)["job_id"])')
+
+# 4. Wait for the preemption to land and the fast job to finish, then catch
+#    the slow job running its second attempt and SIGKILL the server.
+python - "$URL" "$SLOW_JOB" "$FAST_JOB" <<'EOF'
+import sys, time
+from repro.service.client import ServiceClient
+
+client = ServiceClient(sys.argv[1])
+deadline = time.monotonic() + 120
+while time.monotonic() < deadline:
+    slow = client.job(sys.argv[2])
+    fast = client.job(sys.argv[3])
+    if (
+        fast["status"] == "done"
+        and slow["status"] == "running"
+        and slow["preemptions"] >= 1
+    ):
+        sys.exit(0)
+    if slow["status"] == "done":
+        sys.exit("service smoke: slow job finished before the kill window")
+    time.sleep(0.05)
+sys.exit("service smoke: never reached the preempted-and-running-again state")
+EOF
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "service smoke: SIGKILLed the server mid-job"
+
+# 5. Restart over the same state directory: the orphaned job must be
+#    recovered, resumed from its checkpoint, and completed.
+start_server
+head -n1 "$SMOKE_DIR/banner.json" | python -c '
+import json, sys
+banner = json.load(sys.stdin)
+assert banner["recovered"], "restarted server recovered no jobs"
+print("service smoke: restarted, recovered", banner["recovered"])
+'
+python - "$URL" "$SLOW_JOB" "$FAST_JOB" "$SMOKE_DIR/ref-slow.json" "$SMOKE_DIR/ref-fast.json" "$STATE_DIR" <<'EOF'
+import json, sys
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobStore
+
+client = ServiceClient(sys.argv[1])
+slow = client.wait(sys.argv[2], timeout=300)
+fast = client.job(sys.argv[3])
+assert slow["status"] == "done", f"recovered job ended {slow['status']!r}: {slow.get('error')}"
+assert fast["status"] == "done", f"fast job ended {fast['status']!r}"
+assert slow["preemptions"] >= 1, "the priority submit never preempted the slow job"
+assert slow["attempts"] >= 2, "the recovered job never re-attempted"
+
+ref_slow = json.load(open(sys.argv[4]))
+ref_fast = json.load(open(sys.argv[5]))
+assert ref_slow["event"] == ref_fast["event"] == "snapshot" and ref_slow["done"]
+assert slow["result"]["result"]["values"] == ref_slow["values"], (
+    "recovered job values differ from the direct run"
+)
+assert fast["result"]["result"]["values"] == ref_fast["values"], (
+    "preempting job values differ from the direct run"
+)
+
+with JobStore(sys.argv[6]) as jobs:
+    total, distinct = jobs.training_counts()
+assert total > 0, "service trained nothing"
+assert total == distinct, f"{total - distinct} duplicated trainings in the ledger"
+print(
+    f"service smoke ok: preempted, SIGKILLed, recovered; values match the "
+    f"direct runs bitwise; {total} trainings, 0 duplicated"
+)
+EOF

@@ -28,6 +28,15 @@ Subcommands
     persistent store, heartbeat the lease.  Pairs with
     ``repro run --backend fleet --queue-dir DIR --store PATH`` on any
     machine that shares the queue directory and store.
+``repro serve <state-dir>``
+    Run the valuation service (see docs/service.md): an HTTP/JSON job server
+    where tenants POST valuation jobs, stream live snapshot events (SSE),
+    and read results; jobs are scheduled by priority with tenant fairness,
+    preempted gracefully at chunk boundaries, and recovered from checkpoints
+    after a crash — bitwise-identical to an uninterrupted ``repro run``.
+``repro submit`` / ``repro jobs``
+    The scripting client for a running service: submit a job (``--wait`` /
+    ``--stream`` to follow it), list/inspect/cancel/stream jobs.
 ``repro scenarios list`` / ``repro scenarios show``
     Browse the registered client-behavior scenarios (see docs/scenarios.md).
 ``repro store stats`` / ``repro store gc``
@@ -235,6 +244,90 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_arguments(resume)
     _add_output_arguments(resume)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the valuation service: an HTTP job server over a durable "
+        "state directory (see docs/service.md)",
+    )
+    serve.add_argument(
+        "state_dir",
+        help="service state directory (job queue, store, checkpoints, events)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8310,
+        help="listen port (0 binds an ephemeral port and prints it; default 8310)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent scheduler workers (jobs running at once; default 2)",
+    )
+    _add_store_arguments(serve)
+    _add_output_arguments(serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a valuation job to a running `repro serve`"
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8310", help="service base URL"
+    )
+    submit.add_argument("--spec", help="JSON JobSpec file (overrides task flags)")
+    submit.add_argument("--task", choices=available_tasks())
+    submit.add_argument("--setup", choices=SYNTHETIC_SETUPS)
+    submit.add_argument("--model", default="logistic")
+    submit.add_argument("--n-clients", type=int)
+    submit.add_argument("--scale", choices=_SCALE_NAMES, default="tiny")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--algorithm",
+        default="IPSS",
+        help=f"one algorithm name (known: {','.join(available_algorithms())})",
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="higher runs first and may preempt lower-priority running jobs",
+    )
+    submit.add_argument("--stop-on", metavar="SPEC")
+    submit.add_argument("--checkpoint-every", type=int, default=1, metavar="N")
+    submit.add_argument("--backend", choices=EXECUTOR_BACKENDS)
+    submit.add_argument("--n-workers", type=int, default=1)
+    submit.add_argument(
+        "--wait", action="store_true", help="block until the job is terminal"
+    )
+    submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="print the job's event stream (JSONL) until it finishes",
+    )
+    _add_output_arguments(submit)
+
+    jobs = subparsers.add_parser(
+        "jobs", help="list, inspect, cancel or stream jobs on a `repro serve`"
+    )
+    jobs.add_argument("job_id", nargs="?", help="one job to show (default: list)")
+    jobs.add_argument(
+        "--url", default="http://127.0.0.1:8310", help="service base URL"
+    )
+    jobs.add_argument("--tenant", help="list filter")
+    jobs.add_argument("--status", help="list filter (queued/running/done/...)")
+    jobs.add_argument(
+        "--cancel", action="store_true", help="cancel the given job id"
+    )
+    jobs.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the given job's events (JSONL) until it finishes",
+    )
+    _add_output_arguments(jobs)
+
     scenarios = subparsers.add_parser(
         "scenarios", help="browse the client-behavior scenario catalog"
     )
@@ -347,6 +440,15 @@ def _add_anytime_arguments(parser: argparse.ArgumentParser) -> None:
         "(followed by a final {'event': 'report'} object)",
     )
     parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="with --json-stream: emit a {'event': 'heartbeat'} line after S "
+        "seconds without a snapshot, so consumers can tell a stalled run "
+        "from a slow chunk (0 disables; default 0)",
+    )
+    parser.add_argument(
         "--no-telemetry",
         action="store_true",
         help="skip the run's telemetry journal (<run-dir>/telemetry/); "
@@ -438,21 +540,52 @@ def _telemetry_from_args(args) -> Optional[Telemetry]:
     return Telemetry.for_run_dir(args.run_dir)
 
 
+class _StreamCallback:
+    """--json-stream observer: snapshot events (and optional heartbeats).
+
+    Events go through the service's :class:`~repro.service.stream.EventWriter`
+    — the same writer the SSE endpoint uses — so a CLI stream and an HTTP
+    stream of the same run are line-identical.  With ``--heartbeat S`` a
+    :class:`~repro.service.stream.Heartbeat` shares the writer, emitting
+    ``{"event": "heartbeat"}`` whenever S seconds pass without a snapshot.
+    """
+
+    def __init__(self, telemetry: Optional[Telemetry], heartbeat_seconds: float):
+        from repro.service.stream import EventWriter, Heartbeat
+
+        self._telemetry = telemetry
+        # Live metric deltas ride along on each snapshot event: what the
+        # counters/histograms accumulated since the previous event.
+        self._last_state = telemetry.snapshot() if telemetry is not None else None
+        self._writer = EventWriter(stream=sys.stdout)
+        self._heartbeat = None
+        if heartbeat_seconds:
+            self._heartbeat = Heartbeat(self._writer.emit, heartbeat_seconds).start()
+
+    def __call__(self, spec, algorithm, snapshot) -> None:
+        payload = {"event": "snapshot", "task": spec.label(), **snapshot.to_dict()}
+        if self._telemetry is not None:
+            payload["metrics"] = self._telemetry.delta_since(self._last_state)
+            self._last_state = self._telemetry.snapshot()
+        if self._heartbeat is not None:
+            self._heartbeat.touch()
+        self._writer.emit(payload)
+
+    def close(self) -> None:
+        if self._heartbeat is not None:
+            self._heartbeat.stop()
+
+
+def _close_callback(callback) -> None:
+    close = getattr(callback, "close", None)
+    if close is not None:
+        close()
+
+
 def _snapshot_callback(args, telemetry: Optional[Telemetry] = None):
     """Per-chunk observer for --json-stream / --progress (None otherwise)."""
     if getattr(args, "json_stream", False):
-        # Live metric deltas ride along on each snapshot event: what the
-        # counters/histograms accumulated since the previous event.
-        last_state = [telemetry.snapshot()] if telemetry is not None else None
-
-        def emit(spec, algorithm, snapshot):
-            payload = {"event": "snapshot", "task": spec.label(), **snapshot.to_dict()}
-            if telemetry is not None and last_state is not None:
-                payload["metrics"] = telemetry.delta_since(last_state[0])
-                last_state[0] = telemetry.snapshot()
-            print(json.dumps(payload), flush=True)
-
-        return emit
+        return _StreamCallback(telemetry, getattr(args, "heartbeat", 0.0))
     if getattr(args, "progress", False) and not getattr(args, "json", False):
 
         def emit(spec, algorithm, snapshot):
@@ -533,6 +666,7 @@ def _cmd_run(args) -> int:
     store = _open_store_arg(args)
     telemetry = _telemetry_from_args(args)
     quiet = args.json or args.json_stream
+    callback = _snapshot_callback(args, telemetry)
     try:
         report = run_plan(
             plan,
@@ -542,10 +676,11 @@ def _cmd_run(args) -> int:
             log=None if quiet else lambda message: print(message, file=sys.stderr),
             stop_rule=_stop_rule_from_args(args),
             checkpoint_every=args.checkpoint_every,
-            on_snapshot=_snapshot_callback(args, telemetry),
+            on_snapshot=callback,
             telemetry=telemetry,
         )
     finally:
+        _close_callback(callback)
         if telemetry is not None:
             telemetry.close()
         if store is not None:
@@ -625,6 +760,7 @@ def _cmd_run_scenarios(args) -> int:
     store = _open_store_arg(args)
     telemetry = _telemetry_from_args(args)
     quiet = args.json or args.json_stream
+    callback = _snapshot_callback(args, telemetry)
     try:
         report = run_robustness(
             names,
@@ -640,10 +776,11 @@ def _cmd_run_scenarios(args) -> int:
             log=None if quiet else lambda message: print(message, file=sys.stderr),
             stop_rule=_stop_rule_from_args(args),
             checkpoint_every=args.checkpoint_every,
-            on_snapshot=_snapshot_callback(args, telemetry),
+            on_snapshot=callback,
             telemetry=telemetry,
         )
     finally:
+        _close_callback(callback)
         if telemetry is not None:
             telemetry.close()
         if store is not None:
@@ -667,6 +804,7 @@ def _cmd_resume(args) -> int:
     store = _open_store_arg(args)
     telemetry = _telemetry_from_args(args)
     quiet = args.json or args.json_stream
+    callback = _snapshot_callback(args, telemetry)
     try:
         report = resume_run(
             args.run_dir,
@@ -674,10 +812,11 @@ def _cmd_resume(args) -> int:
             log=None if quiet else lambda message: print(message, file=sys.stderr),
             stop_rule=_stop_rule_from_args(args),
             checkpoint_every=args.checkpoint_every,
-            on_snapshot=_snapshot_callback(args, telemetry),
+            on_snapshot=callback,
             telemetry=telemetry,
         )
     finally:
+        _close_callback(callback)
         if telemetry is not None:
             telemetry.close()
         if store is not None:
@@ -686,6 +825,151 @@ def _cmd_resume(args) -> int:
         _emit_report(report, args)
     else:
         _print_report(report, args.json)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve STATE_DIR``: the valuation service (docs/service.md)."""
+    from repro.service.scheduler import ValuationService
+    from repro.service.server import serve as bind_server
+
+    quiet = args.json
+    service = ValuationService(
+        args.state_dir,
+        workers=args.workers,
+        store_path=getattr(args, "store", None),
+        store_backend=getattr(args, "store_backend", None),
+        log=None if quiet else lambda message: print(message, file=sys.stderr),
+    )
+    server = bind_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    service.start()
+    banner = {
+        "event": "serving",
+        "host": host,
+        "port": port,
+        "state_dir": args.state_dir,
+        "workers": args.workers,
+        "recovered": list(service.recovered_jobs),
+    }
+    # Always printed (and flushed) first, so scripts can scrape the bound
+    # port even with --port 0.
+    print(json.dumps(banner, sort_keys=True), flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass  # graceful shutdown below checkpoints + requeues running jobs
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _submit_spec_from_args(args) -> dict:
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    task = args.task or "adult"
+    task_payload = {
+        "kind": task,
+        "model": args.model,
+        "n_clients": 3 if args.n_clients is None else args.n_clients,
+        "scale": args.scale,
+        "seed": args.seed,
+    }
+    if task == "synthetic":
+        task_payload["setup"] = args.setup
+    payload = {
+        "task": task_payload,
+        "algorithm": args.algorithm,
+        "tenant": args.tenant,
+        "priority": args.priority,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    if args.stop_on:
+        payload["stop_on"] = args.stop_on
+    if args.backend:
+        payload["backend"] = args.backend
+    if args.n_workers != 1:
+        payload["n_workers"] = args.n_workers
+    return payload
+
+
+def _cmd_submit(args) -> int:
+    """``repro submit``: POST one job to a running service."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    record = client.submit(_submit_spec_from_args(args))
+    job_id = record["job_id"]
+    if args.stream:
+        for event in client.stream(job_id):
+            print(json.dumps(event, sort_keys=True), flush=True)
+        record = client.job(job_id)
+    elif args.wait:
+        record = client.wait(job_id)
+    if args.json or args.stream:
+        print(json.dumps(record, sort_keys=True))
+    else:
+        print(f"{job_id}: {record['status']} ({record['task']} × {record['algorithm']})")
+    return 0 if record["status"] in ("queued", "running", "done") else 1
+
+
+def _cmd_jobs(args) -> int:
+    """``repro jobs``: list/inspect/cancel/stream jobs on a running service."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.cancel:
+        if not args.job_id:
+            raise ValueError("--cancel requires a job id")
+        print(json.dumps(client.cancel(args.job_id), sort_keys=True))
+        return 0
+    if args.stream:
+        if not args.job_id:
+            raise ValueError("--stream requires a job id")
+        for event in client.stream(args.job_id):
+            print(json.dumps(event, sort_keys=True), flush=True)
+        return 0
+    if args.job_id:
+        print(json.dumps(client.job(args.job_id), indent=2, sort_keys=True))
+        return 0
+    records = client.jobs(tenant=args.tenant, status=args.status)
+    if args.json:
+        print(json.dumps({"jobs": records}, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print("no jobs")
+        return 0
+    print(
+        format_table(
+            [
+                {
+                    "job": r["job_id"],
+                    "status": r["status"],
+                    "tenant": r["tenant"],
+                    "priority": r["priority"],
+                    "algorithm": r["algorithm"],
+                    "task": r["task"],
+                    "attempts": r["attempts"],
+                    "preemptions": r["preemptions"],
+                }
+                for r in records
+            ],
+            columns=[
+                "job",
+                "status",
+                "tenant",
+                "priority",
+                "algorithm",
+                "task",
+                "attempts",
+                "preemptions",
+            ],
+            title=f"jobs: {args.url}",
+        )
+    )
     return 0
 
 
@@ -897,6 +1181,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "resume": _cmd_resume,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "list-tasks": _cmd_list_tasks,

@@ -100,6 +100,62 @@ def available_algorithms() -> list[str]:
     return list(ALGORITHM_BUILDERS)
 
 
+def build_task_algorithm(spec: TaskSpec, algorithm_name: str, n_clients: int):
+    """Construct the estimator one (task, algorithm) cell runs.
+
+    The single adaptation point between a declarative cell identity and a
+    live estimator: the paper's γ budget is derived from the client count and
+    the spec's seed feeds the estimator RNG.  Both the pipeline and the
+    valuation service (:mod:`repro.service`) build their estimators here, so
+    a service job and a ``repro run`` cell with the same spec are the same
+    computation — bitwise, at fixed seed.
+    """
+    if algorithm_name not in ALGORITHM_BUILDERS:
+        raise ValueError(
+            f"unknown algorithm {algorithm_name!r}; "
+            f"choose from {available_algorithms()}"
+        )
+    gamma = sampling_rounds_for(n_clients)
+    return ALGORITHM_BUILDERS[algorithm_name](n_clients, gamma, spec.seed)
+
+
+def load_estimator_checkpoint(
+    path: str,
+    algorithm,
+    n_clients: int,
+    say: Callable[[str], None],
+) -> Optional[EstimatorState]:
+    """Restore a mid-valuation checkpoint file, if it matches the estimator.
+
+    A checkpoint that fails to parse, carries no restorable RNG snapshot, or
+    belongs to a different algorithm configuration (e.g. the budget changed
+    between invocations) is ignored — the valuation simply restarts from
+    scratch rather than failing.  Shared by the pipeline's per-cell
+    checkpoints and the service's per-job checkpoints.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            state = EstimatorState.from_dict(json.load(handle))
+        if not state.done:
+            # Vet the RNG snapshot now: a missing or unrestorable rng_state
+            # raising later, inside iter_run, would be mistaken for an
+            # inapplicable algorithm and record the cell as skipped for good.
+            if state.rng_state is None:
+                raise ValueError("checkpoint carries no RNG state")
+            restore_rng(state.rng_state)
+    except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
+        say(f"ignoring unreadable checkpoint {path}: {error}")
+        return None
+    if not isinstance(algorithm, ValuationAlgorithm):
+        return None
+    if not algorithm.state_matches(state, n_clients):
+        say(f"ignoring stale checkpoint {path}: algorithm configuration changed")
+        return None
+    return state
+
+
 def _slug(name: str) -> str:
     return "".join(c if c.isalnum() else "-" for c in name.lower()).strip("-")
 
@@ -485,32 +541,10 @@ def _checkpoint_path(run_dir: str, cell: str) -> str:
 def _load_checkpoint(
     run_dir: str, cell: str, algorithm, n_clients: int, say: Callable[[str], None]
 ) -> Optional[EstimatorState]:
-    """Restore a cell's mid-valuation checkpoint, if one matches.
-
-    A checkpoint that fails to parse or belongs to a different algorithm
-    configuration (e.g. the budget changed between invocations) is ignored —
-    the cell simply restarts from scratch rather than failing the campaign.
-    """
-    path = _checkpoint_path(run_dir, cell)
-    if not os.path.exists(path):
-        return None
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            state = EstimatorState.from_dict(json.load(handle))
-        if not state.done:
-            # Vet the RNG snapshot now: a missing or unrestorable rng_state
-            # raising later, inside iter_run, would be mistaken for an
-            # inapplicable algorithm and record the cell as skipped for good.
-            if state.rng_state is None:
-                raise ValueError("checkpoint carries no RNG state")
-            restore_rng(state.rng_state)
-    except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
-        say(f"ignoring unreadable checkpoint {path}: {error}")
-        return None
-    if not algorithm.state_matches(state, n_clients):
-        say(f"ignoring stale checkpoint {path}: algorithm configuration changed")
-        return None
-    return state
+    """Restore a cell's mid-valuation checkpoint, if one matches."""
+    return load_estimator_checkpoint(
+        _checkpoint_path(run_dir, cell), algorithm, n_clients, say
+    )
 
 
 def _drop_checkpoint(run_dir: str, cell: str) -> None:
@@ -663,10 +697,7 @@ def _run_task_cells(
                     report.rows.append(_skip_row(spec, algorithm_name, recorded))
                 continue
 
-            gamma = sampling_rounds_for(utility.n_clients)
-            algorithm = ALGORITHM_BUILDERS[algorithm_name](
-                utility.n_clients, gamma, spec.seed
-            )
+            algorithm = build_task_algorithm(spec, algorithm_name, utility.n_clients)
             # Fresh memory tier per cell, so one cell's hits never count for
             # another; the persistent store deliberately serves across cells,
             # making `evaluations` the cell's *incremental* training cost.

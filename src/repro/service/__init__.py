@@ -1,0 +1,61 @@
+"""The valuation service: a multi-tenant async job server over the anytime API.
+
+``repro serve <state-dir>`` turns the library's anytime valuation pieces —
+checkpointable estimators, the shared utility store, executor backends, the
+telemetry registry — into a long-running HTTP service: clients POST valuation
+jobs, stream live :class:`~repro.core.ValuationSnapshot` events, and read
+results; behind the API a durable WAL-SQLite queue schedules jobs across
+worker threads with priorities, per-tenant store namespaces, graceful
+preemption at chunk boundaries and crash recovery from checkpoints.
+
+The invariant everything here is built around: a service job computes
+*bitwise* the same values as ``repro run`` with the same spec — across
+preemptions, restarts, and tenants (see ``docs/service.md``).
+
+Layout:
+
+:mod:`~repro.service.models`
+    Wire schema — :class:`JobSpec`, :class:`JobRecord`, the job lifecycle.
+:mod:`~repro.service.jobs`
+    Durable job queue + trainings ledger (WAL-SQLite).
+:mod:`~repro.service.ledger`
+    :class:`RecordingStore` — the per-job store proxy feeding the ledger.
+:mod:`~repro.service.runner`
+    One job's execution: the job → plan-cell adaptation.
+:mod:`~repro.service.scheduler`
+    :class:`ValuationService` — workers, priorities, preemption, recovery.
+:mod:`~repro.service.server`
+    The stdlib HTTP/SSE surface.
+:mod:`~repro.service.client`
+    The urllib client behind ``repro submit`` / ``repro jobs``.
+:mod:`~repro.service.stream`
+    Shared JSONL event writing, heartbeats, SSE framing.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobStore
+from repro.service.models import (
+    DEFAULT_TENANT,
+    JOB_STATUSES,
+    JobRecord,
+    JobSpec,
+    TERMINAL_STATUSES,
+    tenant_namespace,
+)
+from repro.service.scheduler import ValuationService
+from repro.service.server import ServiceHTTPServer, serve
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "JOB_STATUSES",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "TERMINAL_STATUSES",
+    "ValuationService",
+    "serve",
+    "tenant_namespace",
+]

@@ -1,0 +1,117 @@
+"""A small urllib client for the valuation service HTTP API.
+
+Backs ``repro submit`` / ``repro jobs`` and the smoke/benchmark scripts; no
+third-party HTTP library, matching the server side.  Every method raises
+:class:`ServiceError` with the server's own message on non-2xx responses.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Iterator, List, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (carries the server's error message and status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+
+
+class ServiceClient:
+    """Requests against one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as error:
+            body = error.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except (ValueError, AttributeError):
+                message = body
+            raise ServiceError(error.code, message) from error
+        except URLError as error:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {error.reason}") from error
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        request = Request(self.base_url + "/metrics")
+        with urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
+
+    def submit(self, spec: dict) -> dict:
+        """POST a JobSpec dict; returns the created job record."""
+        return self._request("POST", "/v1/jobs", payload=spec)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(
+        self, tenant: Optional[str] = None, status: Optional[str] = None
+    ) -> List[dict]:
+        query = []
+        if tenant is not None:
+            query.append(f"tenant={tenant}")
+        if status is not None:
+            query.append(f"status={status}")
+        suffix = ("?" + "&".join(query)) if query else ""
+        return self._request("GET", "/v1/jobs" + suffix)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """Yield the job's SSE events as dicts until the stream closes."""
+        request = Request(
+            self.base_url + f"/v1/jobs/{job_id}/stream",
+            headers={"Accept": "text/event-stream"},
+        )
+        with urlopen(request, timeout=self.timeout) as response:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if line.startswith("data: "):
+                    yield json.loads(line[len("data: ") :])
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.2) -> dict:
+        """Poll until the job is terminal; returns its final record."""
+        deadline = time.perf_counter() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in ("done", "failed", "cancelled"):
+                return record
+            if time.perf_counter() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['status']!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,67 @@
+"""Well-known span and metric names emitted by instrumented subsystems.
+
+One module instead of string literals scattered across call sites, so the
+observability docs, the Prometheus exposition and the instrumented code
+cannot drift apart.  Names follow ``<subsystem>.<measurement>``; histograms
+carry their unit as the trailing path segment (``_seconds`` / ``_bytes``
+after Prometheus mangling — see :func:`repro.telemetry.metrics.prometheus_text`).
+
+Only the service names live here for now (the service was instrumented after
+this module existed); older subsystems keep their literals, with this module
+as the destination when they are next touched.  The catalog of *all* names is
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------- #
+# Valuation service (repro serve — see repro.service and docs/service.md)
+# --------------------------------------------------------------------------- #
+#: span around one scheduler execution attempt of a job (a preempted job
+#: opens a new span per attempt; attrs: job, tenant, algorithm, attempt)
+SERVICE_JOB_SPAN = "service.job"
+
+#: counter: jobs accepted by POST /v1/jobs (or ValuationService.submit)
+SERVICE_JOBS_SUBMITTED = "service.jobs_submitted"
+#: counter: jobs that reached the ``done`` state
+SERVICE_JOBS_COMPLETED = "service.jobs_completed"
+#: counter: jobs that reached the ``failed`` state
+SERVICE_JOBS_FAILED = "service.jobs_failed"
+#: counter: jobs cancelled by the client (queued or running)
+SERVICE_JOBS_CANCELLED = "service.jobs_cancelled"
+#: counter: graceful preemptions (a running job checkpointed and requeued
+#: to make room for a higher-priority one)
+SERVICE_PREEMPTIONS = "service.preemptions"
+#: counter: jobs found mid-run at startup and requeued from their checkpoint
+SERVICE_JOBS_RECOVERED = "service.jobs_recovered"
+#: counter: HTTP requests served, any route or method
+SERVICE_HTTP_REQUESTS = "service.http_requests"
+
+#: gauge: jobs waiting in the queue (status ``queued``)
+SERVICE_QUEUE_DEPTH = "service.queue_depth"
+#: gauge: jobs currently executing on a scheduler worker
+SERVICE_RUNNING = "service.running"
+
+#: histogram (seconds): submit → first snapshot of a job's first attempt —
+#: the service's p50/p99 first-result latency
+SERVICE_FIRST_SNAPSHOT_SECONDS = "service.first_snapshot_seconds"
+#: histogram (seconds): execution time of one job attempt
+SERVICE_JOB_SECONDS = "service.job_seconds"
+#: histogram (seconds): submit (or requeue) → claim wait per attempt
+SERVICE_QUEUE_WAIT_SECONDS = "service.queue_wait_seconds"
+
+__all__ = [
+    "SERVICE_FIRST_SNAPSHOT_SECONDS",
+    "SERVICE_HTTP_REQUESTS",
+    "SERVICE_JOBS_CANCELLED",
+    "SERVICE_JOBS_COMPLETED",
+    "SERVICE_JOBS_FAILED",
+    "SERVICE_JOBS_RECOVERED",
+    "SERVICE_JOBS_SUBMITTED",
+    "SERVICE_JOB_SECONDS",
+    "SERVICE_JOB_SPAN",
+    "SERVICE_PREEMPTIONS",
+    "SERVICE_QUEUE_DEPTH",
+    "SERVICE_QUEUE_WAIT_SECONDS",
+    "SERVICE_RUNNING",
+]

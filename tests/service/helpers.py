@@ -1,0 +1,63 @@
+"""Shared fixtures for the valuation-service suite.
+
+Synthetic tasks keep these tests dataset-free; `n_clients` tunes how long a
+job runs (n=4 ≈ 0.1s, n=5 ≈ 0.2s, n=8 ≈ 2.5s — the slow one leaves a wide
+window to preempt/cancel/kill mid-run).
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.pipeline import build_task_algorithm
+from repro.experiments.specs import TaskSpec
+from repro.service.models import JobSpec
+
+
+def make_task(n_clients=5, seed=0):
+    return {
+        "kind": "synthetic",
+        "setup": "same-size-same-distribution",
+        "n_clients": n_clients,
+        "seed": seed,
+    }
+
+
+def make_spec(n_clients=5, seed=0, **overrides):
+    fields = {"task": make_task(n_clients, seed), "algorithm": "MC-Shapley"}
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+def direct_values(task, algorithm_name):
+    """The comparator: what ``repro run`` computes for the same (task, algo).
+
+    No store, no service — the raw estimator at the task's seed.  Service
+    jobs must match this bitwise across preemptions, restarts and tenants.
+    """
+    spec = TaskSpec.from_dict(task)
+    utility = spec.build(None)
+    try:
+        algorithm = build_task_algorithm(spec, algorithm_name, utility.n_clients)
+        result = algorithm.run(utility, utility.n_clients)
+        return result.to_dict()["values"]
+    finally:
+        utility.close()
+
+
+def wait_until(predicate, timeout=30.0, poll=0.05, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(poll)
+    pytest.fail(f"timed out after {timeout}s waiting for {message}")
+
+
+def wait_terminal(service, job_id, timeout=60.0):
+    wait_until(
+        lambda: service.get(job_id).terminal,
+        timeout=timeout,
+        message=f"{job_id} to reach a terminal status",
+    )
+    return service.get(job_id)

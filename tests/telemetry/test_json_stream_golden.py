@@ -56,6 +56,18 @@ class TestJsonStreamSchema:
         assert sorted(report) == GOLDEN["report_keys"]
         assert sorted(report["accounting"]) == GOLDEN["accounting_keys"]
 
+    def test_heartbeat_events_match_golden_keys(self, capsys, tmp_path):
+        events = stream_events(capsys, tmp_path, "--heartbeat", "0.002")
+        heartbeats = [e for e in events if e["event"] == "heartbeat"]
+        assert heartbeats, "expected heartbeats at a 2ms interval"
+        for heartbeat in heartbeats:
+            assert sorted(heartbeat) == GOLDEN["heartbeat_keys"]
+            assert heartbeat["elapsed_seconds"] >= 0.0
+
+    def test_heartbeat_off_by_default(self, capsys, tmp_path):
+        events = stream_events(capsys, tmp_path)
+        assert not [e for e in events if e["event"] == "heartbeat"]
+
     def test_metric_deltas_are_flat_name_to_scalar_or_count_sum(
         self, capsys, tmp_path
     ):
